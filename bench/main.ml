@@ -1,0 +1,545 @@
+(* Benchmark harness: regenerates every quantitative claim of the paper as a
+   table (experiments E1..E12, see DESIGN.md and EXPERIMENTS.md), and
+   registers one Bechamel wall-clock kernel per experiment.
+
+     dune exec bench/main.exe              # all tables + wall-clock pass
+     dune exec bench/main.exe -- e1 e8     # selected tables only
+     dune exec bench/main.exe -- tables    # all tables, skip wall clock
+*)
+
+open Kdom_graph
+open Kdom
+
+let pf = Format.printf
+
+let header title claim =
+  pf "@.=== %s ===@." title;
+  pf "claim: %s@.@." claim
+
+let seeded seed = Rng.create seed
+
+(* ------------------------------------------------------------------ *)
+(* E1 — DiamDOM (Lemma 2.3): rounds <= 5*Diam + k, |D| <= ceil(n/(k+1)). *)
+
+let tree_for rng family n =
+  match family with
+  | "path" -> Generators.path ~rng n
+  | "star" -> Generators.star ~rng n
+  | "binary" -> Generators.binary_tree ~rng n
+  | "caterpillar" -> Generators.caterpillar ~rng ~spine:(max 1 (n / 5)) ~legs:4
+  | "random" -> Generators.random_tree ~rng n
+  | "broom" -> Generators.broom ~rng ~handle:(n / 2) ~bristles:(n - (n / 2))
+  | _ -> invalid_arg "tree_for"
+
+let e1 () =
+  header "E1  DiamDOM on trees"
+    "Lemma 2.3: rounds <= 5*Diam(T) + k; |D| <= ceil(n/(k+1)) (root-augmented)";
+  pf "%-12s %6s %3s %6s %7s %7s %6s %7s %5s@." "family" "n" "k" "diam" "rounds" "bound"
+    "|D|" "ceil" "ok";
+  List.iter
+    (fun (family, n) ->
+      List.iter
+        (fun k ->
+          let g = tree_for (seeded (n + k)) family n in
+          let diam = Traversal.diameter g in
+          let r = Diam_dom.run g ~root:0 ~k in
+          let d = Diam_dom.dominating_list r in
+          let bound = Diam_dom.round_bound ~diam ~k in
+          let size_bound = Domination.size_bound_ceil ~n ~k in
+          let ok =
+            r.rounds <= bound
+            && List.length d <= size_bound
+            && Domination.is_k_dominating g ~k d
+          in
+          pf "%-12s %6d %3d %6d %7d %7d %6d %7d %5b@." family n k diam r.rounds bound
+            (List.length d) size_bound ok)
+        [ 2; 8 ])
+    [
+      ("path", 512); ("path", 2048);
+      ("star", 2048);
+      ("binary", 2047);
+      ("caterpillar", 2000);
+      ("broom", 1024);
+      ("random", 512); ("random", 2048);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E2 — tree symmetry breaking (Lemma 3.2/3.3): O(log* n) rounds. *)
+
+let e2 () =
+  header "E2  Cole-Vishkin / MIS / BalancedDOM on trees"
+    "Lemmas 3.2-3.3: O(log* n) rounds; balanced dominating set with |D| <= n/2, \
+     clusters >= 2";
+  pf "%8s %8s %9s %9s %9s %8s %9s@." "n" "log*n" "3col-rnd" "congest" "bd-rnd" "|D|"
+    "|D|/(n/2)";
+  List.iter
+    (fun n ->
+      let g = Generators.random_tree ~rng:(seeded n) n in
+      let t = Tree.root_at g 0 in
+      let col = Coloring.three_color t in
+      let _, congest_stats = Coloring.three_color_congest g ~root:0 in
+      let bd = Balanced_dom.run t in
+      let dsize =
+        Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 bd.dominating
+      in
+      pf "%8d %8d %9d %9d %9d %8d %9.2f@." n (Log_star.log_star n) col.rounds
+        congest_stats.rounds bd.rounds dsize
+        (float_of_int dsize /. (float_of_int n /. 2.0)))
+    [ 64; 256; 1024; 4096; 16384; 65536 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3 — the DOM_Partition family (Lemmas 3.4/3.6/3.7/3.8). *)
+
+let e3 () =
+  header "E3  DOM_Partition variants on a 2000-node random tree"
+    "sizes >= k+1 (all); radius <= 4k^2 (v1) / 5k+2 (v2, fast); rounds \
+     O(k^2 log* n) / O(k log k log* n) / O(k log* n)";
+  let n = 2000 in
+  let g = Generators.random_tree ~rng:(seeded 3) n in
+  pf "%3s | %8s %6s %6s | %8s %6s %6s | %8s %6s %6s@." "k" "v1-rnds" "rad" "minsz"
+    "v2-rnds" "rad" "minsz" "fast-rnd" "rad" "minsz";
+  List.iter
+    (fun k ->
+      let r1 = Dom_partition.run_1 g ~k in
+      let r2 = Dom_partition.run_2 g ~k in
+      let rf = Dom_partition.run g ~k in
+      pf "%3d | %8d %6d %6d | %8d %6d %6d | %8d %6d %6d@." k r1.rounds
+        (Dom_partition.max_radius r1) (Dom_partition.min_size r1) r2.rounds
+        (Dom_partition.max_radius r2) (Dom_partition.min_size r2) rf.rounds
+        (Dom_partition.max_radius rf) (Dom_partition.min_size rf))
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  pf "@.radius bounds: v1 <= 4k^2, v2/fast <= 5k+2; all cluster sizes >= k+1@."
+
+(* ------------------------------------------------------------------ *)
+(* E4 — FastDOM_T (Theorem 3.2). *)
+
+let e4 () =
+  header "E4  FastDOM_T on trees"
+    "Theorem 3.2: |D| <= n/(k+1), rounds O(k log* n).  census = the paper's \
+     DiamDOM stage (ceil(|C|/(k+1)) per cluster after the Lemma 2.1 repair); \
+     dp = the Tree_dp stage that restores the exact floor bound";
+  pf "%-10s %6s %3s %9s | %7s %5s | %7s %5s | %7s %9s %7s@." "family" "n" "k"
+    "n/(k+1)" "census" "ok" "dp" "ok" "rounds" "k*log*n" "Rad(P)";
+  List.iter
+    (fun (family, n) ->
+      List.iter
+        (fun k ->
+          let g = tree_for (seeded (n * k)) family n in
+          let r = Fastdom_tree.run g ~k in
+          let rdp = Fastdom_tree.run ~stage:Fastdom_tree.Optimal_dp g ~k in
+          let target = Domination.size_bound ~n ~k in
+          let ok_census =
+            Domination.is_k_dominating g ~k r.dominating
+            && Cluster.max_radius r.partition <= k
+          in
+          let ok_dp =
+            Domination.is_k_dominating g ~k rdp.dominating
+            && List.length rdp.dominating <= target
+          in
+          pf "%-10s %6d %3d %9d | %7d %5b | %7d %5b | %7d %9d %7d@." family n k target
+            (List.length r.dominating)
+            ok_census
+            (List.length rdp.dominating)
+            ok_dp r.rounds (Log_star.k_log_star ~k ~n)
+            (Cluster.max_radius r.partition))
+        [ 2; 4; 16 ])
+    [ ("random", 512); ("random", 2048); ("random", 8192); ("path", 2048); ("binary", 2047) ]
+
+(* ------------------------------------------------------------------ *)
+(* E5 — SimpleMST (Lemma 4.3). *)
+
+let graph_for rng family n =
+  match family with
+  | "gnp" -> Generators.gnp_connected ~rng ~n ~p:(8.0 /. float_of_int n)
+  | "grid" ->
+    let side = int_of_float (sqrt (float_of_int n)) in
+    Generators.grid ~rng ~rows:side ~cols:side
+  | "torus" ->
+    let side = int_of_float (sqrt (float_of_int n)) in
+    Generators.torus ~rng ~rows:side ~cols:side
+  | "ladder" -> Generators.ladder ~rng (n / 2)
+  | "lollipop" -> Generators.lollipop ~rng ~clique:(n / 4) ~tail:(n - (n / 4))
+  | "regular" -> Generators.random_regular ~rng ~n ~d:4
+  | "hidden" -> Generators.hidden_path ~rng ~n ~shortcuts:(2 * n)
+  | _ -> invalid_arg "graph_for"
+
+let e5 () =
+  header "E5  SimpleMST spanning forest"
+    "Lemma 4.3: O(k) rounds (exact charge 5*2^i+2 per phase); fragments of size >= \
+     k+1 that are MST subtrees.  congest = rounds of the message-level \
+     implementation of the same schedule; same? = identical fragment partitions";
+  pf "%-8s %6s %3s %7s %7s %7s %9s %7s %6s %6s@." "family" "n" "k" "rounds" "bound"
+    "congest" "fragments" "min-sz" "mst?" "same?";
+  List.iter
+    (fun (family, n) ->
+      List.iter
+        (fun k ->
+          let g = graph_for (seeded (n + (3 * k))) family n in
+          let r = Simple_mst.run g ~k in
+          let mst_ids =
+            List.map (fun (e : Graph.edge) -> e.id) (Mst.kruskal g)
+          in
+          let subtrees =
+            List.for_all
+              (fun (e : Graph.edge) -> List.mem e.id mst_ids)
+              (Simple_mst.spanning_forest_edges r)
+          in
+          let minsz =
+            List.fold_left
+              (fun acc (f : Simple_mst.fragment) -> min acc (List.length f.members))
+              max_int r.fragments
+          in
+          let congest = Simple_mst_congest.run g ~k in
+          let partition_of fragments =
+            List.map
+              (fun (f : Simple_mst.fragment) -> List.sort compare f.members)
+              fragments
+            |> List.sort compare
+          in
+          let same = partition_of congest.fragments = partition_of r.fragments in
+          pf "%-8s %6d %3d %7d %7d %7d %9d %7d %6b %6b@." family n k r.rounds
+            (Simple_mst.round_bound ~k)
+            congest.stats.rounds
+            (List.length r.fragments) minsz subtrees same)
+        [ 2; 8; 32 ])
+    [ ("gnp", 1024); ("grid", 1024); ("torus", 1024); ("regular", 1024) ]
+
+(* ------------------------------------------------------------------ *)
+(* E6 — FastDOM_G (Theorem 4.4). *)
+
+let e6 () =
+  header "E6  FastDOM_G on general graphs"
+    "Theorem 4.4: k-dominating set of size ~n/(k+1) in O(k log* n) rounds";
+  pf "%-8s %6s %3s %6s %9s %7s %9s %5s@." "family" "n" "k" "|D|" "n/(k+1)" "rounds"
+    "k*log*n" "ok";
+  List.iter
+    (fun (family, n) ->
+      List.iter
+        (fun k ->
+          let g = graph_for (seeded (n * (k + 1))) family n in
+          let r = Fastdom_graph.run g ~k in
+          let ok = Domination.is_k_dominating g ~k r.dominating in
+          pf "%-8s %6d %3d %6d %9d %7d %9d %5b@." family n k
+            (List.length r.dominating)
+            (Domination.size_bound ~n ~k)
+            r.rounds (Log_star.k_log_star ~k ~n) ok)
+        [ 2; 4; 16 ])
+    [ ("gnp", 1024); ("grid", 1024); ("ladder", 1024); ("lollipop", 512) ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Pipeline (Lemmas 5.3/5.5): full pipelining, O(N + Diam) rounds,
+   red-rule traffic reduction. *)
+
+let e7 () =
+  header "E7  Pipelined convergecast"
+    "Lemma 5.3: zero stalls; Lemma 5.5: upcast rounds <= 2*Diam + N + c; the red \
+     rule shrinks root traffic vs collect-all";
+  pf "%-8s %6s %6s %5s %7s %7s %7s %9s %9s@." "family" "n" "diam" "N" "upcast" "bound"
+    "stalls" "root-rcv" "collect";
+  List.iter
+    (fun (family, n, k) ->
+      let g = graph_for (seeded (n + k)) family n in
+      let dom = Fastdom_graph.run g ~k in
+      let fragment_of = Simple_mst.fragment_of_array g dom.forest in
+      let bfs, _ = Bfs_tree.run g ~root:0 in
+      let pipe = Pipeline.run g ~bfs ~fragment_of in
+      let nf = 1 + Array.fold_left max 0 fragment_of in
+      let diam = Traversal.diameter g in
+      let trivial = Collect_all.run g in
+      pf "%-8s %6d %6d %5d %7d %7d %7d %9d %9d@." family n diam nf
+        pipe.upcast_stats.rounds
+        (Pipeline.round_bound ~diam ~fragments:nf)
+        pipe.stalls pipe.root_received trivial.edges_at_root)
+    [
+      ("gnp", 512, 4); ("gnp", 1024, 8);
+      ("grid", 1024, 8);
+      ("torus", 1024, 4);
+      ("regular", 1024, 8);
+      ("lollipop", 512, 8);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — FastMST vs GHS vs Collect-all (Theorem 5.6): who wins where. *)
+
+let e8 () =
+  header "E8  Distributed MST round comparison"
+    "Theorem 5.6: FastMST = O(sqrt(n) log* n + Diam); GHS = O(n log n)-style; \
+     collect-all = O(m + Diam).  Shape: FastMST's advantage grows with n on \
+     low-diameter graphs; on high-diameter graphs Diam dominates everyone.";
+  pf "%-8s %6s %6s %7s | %9s %9s %9s | %9s %7s@." "family" "n" "diam" "m" "fast"
+    "ghs" "collect" "bound5.6" "winner";
+  List.iter
+    (fun (family, ns) ->
+      List.iter
+        (fun n ->
+          let g = graph_for (seeded (7 * n)) family n in
+          (* exact diameter is quadratic; fall back to a double-sweep
+             estimate on the largest instances (informational column only) *)
+          let diam =
+            if Graph.n g <= 2500 then Traversal.diameter g
+            else begin
+              let far =
+                let d = Traversal.distances_from g 0 in
+                let best = ref 0 in
+                Array.iteri (fun v x -> if x > d.(!best) then best := v) d;
+                !best
+              in
+              Traversal.eccentricity g far
+            end
+          in
+          let fast = Fast_mst.run g in
+          let ghs = Ghs.run g in
+          let kruskal = Mst.kruskal g in
+          assert (Mst.same_edge_set fast.mst kruskal);
+          assert (Mst.same_edge_set ghs.mst kruskal);
+          (* collect-all simulates one round per edge description; skip it
+             when the message-level run would dominate the harness *)
+          let collect_rounds =
+            if Graph.m g > 10_000 then None
+            else begin
+              let trivial = Collect_all.run g in
+              assert (Mst.same_edge_set trivial.mst kruskal);
+              Some trivial.rounds
+            end
+          in
+          let candidates =
+            (fast.rounds, "fast") :: (ghs.rounds, "ghs")
+            :: (match collect_rounds with Some c -> [ (c, "collect") ] | None -> [])
+          in
+          let _, winner = List.fold_left min (List.hd candidates) (List.tl candidates) in
+          let collect_str =
+            match collect_rounds with Some c -> string_of_int c | None -> "-"
+          in
+          pf "%-8s %6d %6d %7d | %9d %9d %9s | %9.0f %7s@." family n diam (Graph.m g)
+            fast.rounds ghs.rounds collect_str
+            (Log_star.fast_mst_bound ~n ~diam)
+            winner)
+        ns)
+    [
+      ("gnp", [ 256; 512; 1024 ]);
+      ("grid", [ 256; 1024 ]);
+      ("ladder", [ 256; 1024 ]);
+      ("lollipop", [ 256 ]);
+      ("hidden", [ 1024; 4096; 16384; 32768 ]);
+    ];
+  pf
+    "@.The 'hidden' family (path MST + heavy random shortcuts, Diam = O(log n)) is@.\
+     the Theorem 5.6 regime: GHS fragment trees grow Theta(n) deep while FastMST@.\
+     pays sqrt(n) log* n + Diam; the crossover appears as n grows.@."
+
+(* ------------------------------------------------------------------ *)
+(* E9 — routing application [PU]. *)
+
+let e9 () =
+  header "E9  Cluster routing tables"
+    "[PU] application: per-node table shrinks towards |C| + n/(k+1) entries at the \
+     cost of <= 2k additive stretch";
+  let n = 512 in
+  let g = Generators.gnp_connected ~rng:(seeded 9) ~n ~p:(6.0 /. float_of_int n) in
+  pf "graph: gnp n=%d m=%d diam=%d; full tables = %d entries/node@.@." n (Graph.m g)
+    (Traversal.diameter g)
+    (Kdom_apps.Routing.full_table_size g);
+  pf "%3s %9s %10s %12s %12s %10s@." "k" "clusters" "avg-table" "avg-stretch"
+    "max-stretch" "max-extra";
+  List.iter
+    (fun k ->
+      let scheme = Kdom_apps.Routing.build g ~k in
+      let report = Kdom_apps.Routing.evaluate ~rng:(seeded (k + 100)) scheme ~pairs:400 in
+      let rng = seeded (k + 200) in
+      let worst_extra = ref 0 in
+      for _i = 1 to 200 do
+        let src = Rng.int rng n and dst = Rng.int rng n in
+        if src <> dst then begin
+          let r = Kdom_apps.Routing.route scheme ~src ~dst in
+          worst_extra := max !worst_extra (r.hops - r.shortest)
+        end
+      done;
+      pf "%3d %9d %10.1f %12.3f %12.2f %6d<=2k@." k
+        (List.length scheme.partition.clusters)
+        report.avg_table report.avg_stretch report.max_stretch !worst_extra)
+    [ 1; 2; 3; 5; 8; 12 ];
+  pf "@.-- nested multi-level hierarchy ([PU]'s actual shape) --@.";
+  pf "%-12s %9s %10s %12s %12s@." "levels" "clusters" "avg-table" "avg-stretch"
+    "max-stretch";
+  List.iter
+    (fun ks ->
+      let h = Kdom_apps.Hierarchy.build g ~ks in
+      let report = Kdom_apps.Hierarchy.evaluate ~rng:(seeded 77) h ~pairs:300 in
+      let label = String.concat "," (List.map string_of_int ks) in
+      let tops = Array.length h.levels.(Array.length h.levels - 1).centers in
+      pf "k=%-10s %9d %10.1f %12.3f %12.2f@." label tops report.avg_table
+        report.avg_stretch report.max_stretch)
+    [ [ 2 ]; [ 2; 4 ]; [ 2; 4; 8 ]; [ 3; 9 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* E10 — center selection [BKP] and directory placement [P2]. *)
+
+let e10 () =
+  header "E10  Server placement and directory replication"
+    "[BKP]/[P2] applications: max client distance <= k with ~n/(k+1) servers; \
+     read-cost vs update-cost replication tradeoff";
+  let g = Generators.grid ~rng:(seeded 10) ~rows:20 ~cols:20 in
+  pf "graph: 20x20 grid (n=400, diam=%d)@.@." (Traversal.diameter g);
+  pf "%3s | %8s %6s %7s | %8s %8s | %8s %10s %12s@." "k" "servers" "max-d" "avg-d"
+    "greedy-d" "random-d" "copies" "avg-lookup" "update-cost";
+  List.iter
+    (fun k ->
+      let kdom = Kdom_apps.Centers.via_kdom g ~k in
+      let greedy = Kdom_apps.Centers.greedy_k_center g ~count:kdom.count in
+      let random =
+        Kdom_apps.Centers.random_placement ~rng:(seeded (k * 31)) g ~count:kdom.count
+      in
+      let d = Kdom_apps.Directory.place g ~k in
+      let c = Kdom_apps.Directory.evaluate d in
+      pf "%3d | %8d %6d %7.2f | %8d %8d | %8d %10.2f %12d@." k kdom.count
+        kdom.max_distance kdom.avg_distance greedy.max_distance random.max_distance
+        c.copies c.avg_lookup c.update_cost)
+    [ 1; 2; 3; 5; 8; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* E11 — design-choice ablations called out in DESIGN.md. *)
+
+let e11 () =
+  header "E11  Ablations"
+    "DESIGN.md design choices: (a) Small-Dom-Set construction (MIS stars + \
+     BalancedDOM repair vs already-balanced matching); (b) in-cluster stage \
+     (paper census vs optimal DP); (c) designated root vs leader election";
+  let g = Generators.random_tree ~rng:(seeded 11) 2000 in
+  pf "-- (a) Small-Dom-Set inside DOM_Partition(k), random tree n=2000 --@.";
+  pf "%3s | %9s %9s | %9s %9s@." "k" "mis-rnds" "clusters" "match-rnd" "clusters";
+  List.iter
+    (fun k ->
+      let mis = Dom_partition.run ~small:Small_dom_set.via_mis g ~k in
+      let mat = Dom_partition.run ~small:Small_dom_set.via_matching g ~k in
+      pf "%3d | %9d %9d | %9d %9d@." k mis.rounds
+        (List.length mis.clusters)
+        mat.rounds
+        (List.length mat.clusters))
+    [ 2; 8; 32 ];
+  pf "@.-- (b) in-cluster stage of FastDOM_T, random tree n=2000 --@.";
+  pf "%3s | %9s %7s | %9s %7s@." "k" "census-rd" "|D|" "dp-rds" "|D|";
+  List.iter
+    (fun k ->
+      let census = Fastdom_tree.run g ~k in
+      let dp = Fastdom_tree.run ~stage:Fastdom_tree.Optimal_dp g ~k in
+      pf "%3d | %9d %7d | %9d %7d@." k census.rounds
+        (List.length census.dominating)
+        dp.rounds
+        (List.length dp.dominating))
+    [ 2; 8; 32 ];
+  pf "@.-- (c) FastMST root acquisition, gnp n=512 --@.";
+  let gg = Generators.gnp_connected ~rng:(seeded 12) ~n:512 ~p:0.015 in
+  let designated = Fast_mst.run gg in
+  let elected = Fast_mst.run_elected gg in
+  pf "designated root: %d rounds; with leader election: %d rounds (+%d for the \
+      O(Diam) election)@."
+    designated.rounds elected.rounds
+    (elected.rounds - designated.rounds
+    + (match List.assoc_opt "BFS tree" (Ledger.entries designated.ledger) with
+      | Some r -> r
+      | None -> 0))
+
+(* ------------------------------------------------------------------ *)
+(* E12 — message complexity of the message-level algorithms. *)
+
+let e12 () =
+  header "E12  Message complexity (message-level algorithms)"
+    "The paper ignores message counts (§1.2: a synchronizer costs 2m per \
+     round); this table reports what the message-level implementations \
+     actually send.";
+  pf "%-10s %6s %7s | %9s %9s %9s %9s %9s@." "family" "n" "m" "bfs" "coloring"
+    "diamdom" "pipeline" "leader";
+  List.iter
+    (fun (family, n) ->
+      let g = graph_for (seeded (13 * n)) family n in
+      let _, bfs_stats = Bfs_tree.run g ~root:0 in
+      let leader = Leader.elect g in
+      let dom = Fastdom_graph.run g ~k:4 in
+      let fragment_of = Simple_mst.fragment_of_array g dom.forest in
+      let bfs, _ = Bfs_tree.run g ~root:0 in
+      let pipe = Pipeline.run g ~bfs ~fragment_of in
+      (* coloring and DiamDOM run on the graph's MST to have a tree *)
+      let tree = Graph.subgraph_of_edges g (Mst.kruskal g) in
+      let _, col_stats = Coloring.three_color_congest tree ~root:0 in
+      let dd = Diam_dom.run tree ~root:0 ~k:4 in
+      let dd_msgs =
+        dd.init_stats.messages
+        + match dd.census_stats with Some s -> s.messages | None -> 0
+      in
+      pf "%-10s %6d %7d | %9d %9d %9d %9d %9d@." family n (Graph.m g)
+        bfs_stats.messages col_stats.messages dd_msgs
+        pipe.upcast_stats.messages leader.stats.messages)
+    [ ("gnp", 256); ("gnp", 1024); ("grid", 1024); ("ladder", 512) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock kernels: one per experiment. *)
+
+let wall_clock () =
+  let open Bechamel in
+  pf "@.=== Wall-clock kernels (Bechamel, monotonic clock) ===@.";
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let g_tree = Generators.random_tree ~rng:(seeded 101) 1024 in
+  let g_gnp = Generators.gnp_connected ~rng:(seeded 102) ~n:256 ~p:0.03 in
+  let g_grid = Generators.grid ~rng:(seeded 103) ~rows:16 ~cols:16 in
+  let rooted = Tree.root_at g_tree 0 in
+  let tests =
+    [
+      mk "e01-diamdom-1024" (fun () -> ignore (Diam_dom.run g_tree ~root:0 ~k:4));
+      mk "e02-balanceddom-1024" (fun () -> ignore (Balanced_dom.run rooted));
+      mk "e03-partition-1024" (fun () -> ignore (Dom_partition.run g_tree ~k:4));
+      mk "e04-fastdom-t-1024" (fun () -> ignore (Fastdom_tree.run g_tree ~k:4));
+      mk "e05-simple-mst-256" (fun () -> ignore (Simple_mst.run g_gnp ~k:4));
+      mk "e06-fastdom-g-256" (fun () -> ignore (Fastdom_graph.run g_gnp ~k:4));
+      mk "e07-pipeline-256" (fun () ->
+          let dom = Fastdom_graph.run g_gnp ~k:4 in
+          let fragment_of = Simple_mst.fragment_of_array g_gnp dom.forest in
+          let bfs, _ = Bfs_tree.run g_gnp ~root:0 in
+          ignore (Pipeline.run g_gnp ~bfs ~fragment_of));
+      mk "e08-fast-mst-256" (fun () -> ignore (Fast_mst.run g_gnp));
+      mk "e08-ghs-256" (fun () -> ignore (Ghs.run g_gnp));
+      mk "e09-routing-grid" (fun () -> ignore (Kdom_apps.Routing.build g_grid ~k:3));
+      mk "e10-directory-grid" (fun () -> ignore (Kdom_apps.Directory.place g_grid ~k:3));
+      mk "e11-leader-256" (fun () -> ignore (Leader.elect g_gnp));
+      mk "e12-simple-mst-congest-256" (fun () -> ignore (Simple_mst_congest.run g_gnp ~k:4));
+      mk "async-bfs-256" (fun () ->
+          ignore (Kdom_congest.Async.run ~rng:(seeded 300) g_gnp (Bfs_tree.algorithm g_gnp ~root:0)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"kdom" tests)
+  in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name res acc -> (name, res) :: acc) results [] in
+  pf "%-34s %14s@." "kernel" "time/run";
+  List.iter
+    (fun (name, res) ->
+      match Analyze.OLS.estimates res with
+      | Some (t :: _) -> pf "%-34s %11.3f ms@." name (t /. 1e6)
+      | _ -> pf "%-34s %14s@." name "n/a")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("e11", e11); ("e12", e12);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let tables_only = List.mem "tables" args in
+  let selected = List.filter (fun a -> List.mem_assoc a experiments) args in
+  let to_run =
+    if selected = [] then experiments
+    else List.filter (fun (name, _) -> List.mem name selected) experiments
+  in
+  pf "kdom benchmark harness — Kutten & Peleg, PODC'95 reproduction@.";
+  pf "(rounds are synchronous CONGEST rounds; see DESIGN.md for the charge model)@.";
+  List.iter (fun (_, f) -> f ()) to_run;
+  if (not tables_only) && selected = [] then wall_clock ()

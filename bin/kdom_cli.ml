@@ -1,0 +1,177 @@
+(* Command-line front-end: run any algorithm of the library on any generated
+   workload and print the result with its statistics.
+
+     dune exec bin/kdom_cli.exe -- dom --family random-tree -n 1000 -k 5
+     dune exec bin/kdom_cli.exe -- mst --family gnp -n 400
+     dune exec bin/kdom_cli.exe -- route --family grid -n 225 -k 3
+*)
+
+open Kdom_graph
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* workload construction *)
+
+let make_graph ~family ~n ~seed =
+  let rng = Rng.create seed in
+  match family with
+  | "path" -> Generators.path ~rng n
+  | "star" -> Generators.star ~rng n
+  | "binary-tree" -> Generators.binary_tree ~rng n
+  | "random-tree" -> Generators.random_tree ~rng n
+  | "caterpillar" -> Generators.caterpillar ~rng ~spine:(max 1 (n / 5)) ~legs:4
+  | "cycle" -> Generators.cycle ~rng n
+  | "grid" ->
+    let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+    Generators.grid ~rng ~rows:side ~cols:side
+  | "torus" ->
+    let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+    Generators.torus ~rng ~rows:side ~cols:side
+  | "gnp" -> Generators.gnp_connected ~rng ~n ~p:(4.0 /. float_of_int n *. 2.0)
+  | "lollipop" -> Generators.lollipop ~rng ~clique:(max 2 (n / 3)) ~tail:(max 1 (n - (n / 3)))
+  | "ladder" -> Generators.ladder ~rng (max 2 (n / 2))
+  | "regular" -> Generators.random_regular ~rng ~n ~d:4
+  | "complete" -> Generators.complete ~rng n
+  | "hidden" -> Generators.hidden_path ~rng ~n ~shortcuts:(2 * n)
+  | other -> invalid_arg (Printf.sprintf "unknown family %S" other)
+
+let family_arg =
+  let doc =
+    "Graph family: path, star, binary-tree, random-tree, caterpillar, cycle, grid, \
+     torus, gnp, lollipop, ladder, regular, complete, hidden."
+  in
+  Arg.(value & opt string "random-tree" & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let n_arg = Arg.(value & opt int 500 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+let k_arg = Arg.(value & opt int 4 & info [ "k"; "param" ] ~docv:"K" ~doc:"Domination parameter k.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+(* ------------------------------------------------------------------ *)
+(* subcommands *)
+
+let describe g =
+  Format.printf "graph: n=%d m=%d diameter=%d@." (Graph.n g) (Graph.m g)
+    (Traversal.diameter g)
+
+let dom_cmd family n k seed =
+  let g = make_graph ~family ~n ~seed in
+  describe g;
+  if Tree.is_tree g then begin
+    let r = Kdom.Fastdom_tree.run g ~k in
+    Format.printf "FastDOM_T: |D| = %d (n/(k+1) = %d), valid = %b, rounds = %d@."
+      (List.length r.dominating)
+      (Graph.n g / (k + 1))
+      (Domination.is_k_dominating g ~k r.dominating)
+      r.rounds;
+    Format.printf "partition: %d clusters, max radius %d@."
+      (List.length r.partition.clusters)
+      (Kdom.Cluster.max_radius r.partition);
+    Format.printf "@[<v2>rounds:@,%a@]@." Kdom.Ledger.pp r.ledger
+  end
+  else begin
+    let r = Kdom.Fastdom_graph.run g ~k in
+    Format.printf "FastDOM_G: |D| = %d (n/(k+1) = %d), valid = %b, rounds = %d@."
+      (List.length r.dominating)
+      (Graph.n g / (k + 1))
+      (Domination.is_k_dominating g ~k r.dominating)
+      r.rounds;
+    Format.printf "fragments: %d, partition clusters: %d (max radius %d)@."
+      (List.length r.fragments)
+      (List.length r.partition.clusters)
+      (Kdom.Cluster.max_radius r.partition);
+    Format.printf "@[<v2>rounds:@,%a@]@." Kdom.Ledger.pp r.ledger
+  end
+
+let mst_cmd family n seed elect =
+  let g = make_graph ~family ~n ~seed in
+  describe g;
+  let kruskal = Mst.kruskal g in
+  let fast = if elect then Kdom.Fast_mst.run_elected g else Kdom.Fast_mst.run g in
+  let ghs = Kdom.Ghs.run g in
+  let trivial = Kdom.Collect_all.run g in
+  Format.printf "MST weight (Kruskal): %d@." (Mst.weight kruskal);
+  Format.printf "FastMST:     rounds = %6d  correct = %b  stalls = %d@." fast.rounds
+    (Mst.same_edge_set fast.mst kruskal)
+    fast.pipeline.stalls;
+  Format.printf "GHS:         rounds = %6d  correct = %b@." ghs.rounds
+    (Mst.same_edge_set ghs.mst kruskal);
+  Format.printf "Collect-all: rounds = %6d  correct = %b (%d edges at root)@."
+    trivial.rounds
+    (Mst.same_edge_set trivial.mst kruskal)
+    trivial.edges_at_root;
+  Format.printf "@[<v2>FastMST rounds:@,%a@]@." Kdom.Ledger.pp fast.ledger
+
+let route_cmd family n k seed =
+  let g = make_graph ~family ~n ~seed in
+  describe g;
+  let scheme = Kdom_apps.Routing.build g ~k in
+  let report = Kdom_apps.Routing.evaluate ~rng:(Rng.create (seed + 1)) scheme ~pairs:500 in
+  Format.printf
+    "routing: clusters = %d, avg table = %.1f (full = %d), avg stretch = %.3f, max = %.2f@."
+    (List.length scheme.partition.clusters)
+    report.avg_table
+    (Kdom_apps.Routing.full_table_size g)
+    report.avg_stretch report.max_stretch
+
+let centers_cmd family n k seed =
+  let g = make_graph ~family ~n ~seed in
+  describe g;
+  let kdom = Kdom_apps.Centers.via_kdom g ~k in
+  let greedy = Kdom_apps.Centers.greedy_k_center g ~count:kdom.count in
+  Format.printf "k-dom servers: %d, max distance %d, avg %.2f@." kdom.count
+    kdom.max_distance kdom.avg_distance;
+  Format.printf "greedy (same count): max distance %d, avg %.2f@." greedy.max_distance
+    greedy.avg_distance;
+  let d = Kdom_apps.Directory.place g ~k in
+  let c = Kdom_apps.Directory.evaluate d in
+  Format.printf "directory: %d copies, max lookup %d, update cost %d@." c.copies
+    c.max_lookup c.update_cost
+
+(* ------------------------------------------------------------------ *)
+
+let dom_t =
+  Cmd.v
+    (Cmd.info "dom" ~doc:"Compute a small k-dominating set (FastDOM_T / FastDOM_G).")
+    Term.(const dom_cmd $ family_arg $ n_arg $ k_arg $ seed_arg)
+
+let elect_arg =
+  Arg.(value & flag & info [ "elect" ] ~doc:"Elect the root instead of assuming node 0.")
+
+let mst_t =
+  Cmd.v
+    (Cmd.info "mst" ~doc:"Distributed MST: FastMST vs GHS vs collect-all.")
+    Term.(const mst_cmd $ family_arg $ n_arg $ seed_arg $ elect_arg)
+
+let route_t =
+  Cmd.v
+    (Cmd.info "route" ~doc:"Cluster routing tables: size/stretch tradeoff.")
+    Term.(const route_cmd $ family_arg $ n_arg $ k_arg $ seed_arg)
+
+let hier_cmd family n seed =
+  let g = make_graph ~family ~n ~seed in
+  describe g;
+  List.iter
+    (fun ks ->
+      let h = Kdom_apps.Hierarchy.build g ~ks in
+      let report = Kdom_apps.Hierarchy.evaluate ~rng:(Rng.create (seed + 2)) h ~pairs:300 in
+      Format.printf "levels k=%-8s avg table = %6.1f  avg stretch = %5.3f  max = %5.2f@."
+        (String.concat "," (List.map string_of_int ks))
+        report.avg_table report.avg_stretch report.max_stretch)
+    [ [ 2 ]; [ 2; 4 ]; [ 2; 4; 8 ] ]
+
+let hier_t =
+  Cmd.v
+    (Cmd.info "hier" ~doc:"Nested multi-level routing hierarchy tradeoff.")
+    Term.(const hier_cmd $ family_arg $ n_arg $ seed_arg)
+
+let centers_t =
+  Cmd.v
+    (Cmd.info "centers" ~doc:"Server placement and directory replication.")
+    Term.(const centers_cmd $ family_arg $ n_arg $ k_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "kdom" ~version:"1.0.0"
+      ~doc:"Fast distributed construction of k-dominating sets and applications (PODC'95)."
+  in
+  exit (Cmd.eval (Cmd.group info [ dom_t; mst_t; route_t; hier_t; centers_t ]))

@@ -1,0 +1,40 @@
+(* Server placement and directory replication (the [BKP] and [P2]
+   applications): place servers on a k-dominating set, compare against
+   greedy k-center and random placement, then sweep the directory
+   replication tradeoff.
+
+     dune exec examples/centers_demo.exe
+*)
+
+open Kdom_graph
+open Kdom_apps
+
+let () =
+  let rng = Rng.create 23 in
+  let g = Generators.grid ~rng ~rows:15 ~cols:15 in
+  Format.printf "15x15 grid (n=%d), diameter %d@.@." (Graph.n g) (Traversal.diameter g);
+
+  Format.printf "-- server placement --@.";
+  Format.printf "%4s  %8s  %8s  %8s  %8s@." "k" "servers" "max-d" "avg-d" "greedy/rand";
+  List.iter
+    (fun k ->
+      let kdom = Centers.via_kdom g ~k in
+      let greedy = Centers.greedy_k_center g ~count:kdom.count in
+      let random = Centers.random_placement ~rng g ~count:kdom.count in
+      Format.printf "%4d  %8d  %8d  %8.2f  %d / %d@." k kdom.count kdom.max_distance
+        kdom.avg_distance greedy.max_distance random.max_distance)
+    [ 1; 2; 3; 5; 8 ];
+
+  Format.printf "@.-- distributed directory --@.";
+  Format.printf "%4s  %8s  %10s  %10s  %12s@." "k" "copies" "max lookup" "avg lookup"
+    "update cost";
+  List.iter
+    (fun k ->
+      let d = Directory.place g ~k in
+      let c = Directory.evaluate d in
+      Format.printf "%4d  %8d  %10d  %10.2f  %12d@." k c.copies c.max_lookup c.avg_lookup
+        c.update_cost)
+    [ 1; 2; 3; 5; 8 ];
+  Format.printf
+    "@.Reading: each row keeps every client within k hops of a copy (the paper's@.";
+  Format.printf "guarantee); larger k = fewer copies = cheaper updates, dearer reads.@."

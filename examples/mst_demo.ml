@@ -1,0 +1,48 @@
+(* FastMST demo: the paper's O(sqrt(n) log* n + Diam) MST algorithm versus
+   the GHS baseline and the trivial collect-everything algorithm, on a
+   low-diameter graph where the new algorithm shines.
+
+     dune exec examples/mst_demo.exe
+*)
+
+open Kdom_graph
+open Kdom
+
+let () =
+  let rng = Rng.create 7 in
+  let n = 600 in
+  let g = Generators.gnp_connected ~rng ~n ~p:0.02 in
+  let diam = Traversal.diameter g in
+  Format.printf "G(n=%d, m=%d), diameter %d@." n (Graph.m g) diam;
+
+  (* ground truth *)
+  let kruskal = Mst.kruskal g in
+  Format.printf "sequential MST weight: %d@." (Mst.weight kruskal);
+
+  (* the paper's algorithm *)
+  let fast = Fast_mst.run g in
+  Format.printf "@.FastMST (k = ceil sqrt n = %d):@." fast.k;
+  Format.printf "  fragments after FastDOM_G: %d@." (List.length fast.fragments);
+  Format.printf "  sqrt(n)-dominating set size: %d@." (List.length fast.dominating);
+  Format.printf "  pipeline stalls (Lemma 5.3 says 0): %d@." fast.pipeline.stalls;
+  Format.printf "  rounds: %d   bound sqrt(n)log*(n)+diam ~ %.0f@." fast.rounds
+    (Log_star.fast_mst_bound ~n ~diam);
+  Format.printf "  correct: %b@." (Mst.same_edge_set fast.mst kruskal);
+  Format.printf "  @[<v2>round breakdown:@,%a@]@." Ledger.pp fast.ledger;
+
+  (* baselines *)
+  let ghs = Ghs.run g in
+  Format.printf "@.GHS baseline: %d rounds over %d phases, correct: %b@." ghs.rounds
+    ghs.phases
+    (Mst.same_edge_set ghs.mst kruskal);
+
+  let trivial = Collect_all.run g in
+  Format.printf "Collect-all baseline: %d rounds, %d edge descriptions at root, correct: %b@."
+    trivial.rounds trivial.edges_at_root
+    (Mst.same_edge_set trivial.mst kruskal);
+
+  (* what the synchrony assumption costs in an asynchronous network *)
+  let sync = Kdom_congest.Synchronizer.simulate ~rng g ~rounds:fast.rounds in
+  Format.printf
+    "@.alpha-synchronizer translation: %d sync rounds -> %.0f async time units, +%d messages@."
+    sync.sync_rounds sync.async_time sync.extra_messages

@@ -1,0 +1,35 @@
+(* Quickstart: build a random tree, compute a small k-dominating set with
+   the paper's FastDOM_T, and check the guarantees.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Kdom_graph
+open Kdom
+
+let () =
+  let rng = Rng.create 42 in
+  let n = 1000 and k = 5 in
+  let tree = Generators.random_tree ~rng n in
+  Format.printf "Tree with %d nodes, diameter %d, k = %d@." n (Traversal.diameter tree) k;
+
+  (* The paper's Theorem 3.2 algorithm: partition into (k+1, 5k+2) clusters,
+     then the pipelined DiamDOM census inside every cluster. *)
+  let result = Fastdom_tree.run tree ~k in
+
+  Format.printf "k-dominating set of size %d (n/(k+1) = %d)@."
+    (List.length result.dominating)
+    (n / (k + 1));
+  Format.printf "valid: %b@." (Domination.is_k_dominating tree ~k result.dominating);
+  Format.printf "partition: %d clusters, max radius %d (<= k)@."
+    (List.length result.partition.clusters)
+    (Cluster.max_radius result.partition);
+  Format.printf "simulated CONGEST rounds: %d  (k * log* n = %d)@." result.rounds
+    (Log_star.k_log_star ~k ~n);
+  Format.printf "@[<v2>round breakdown:@,%a@]@." Ledger.pp result.ledger;
+
+  (* Compare against the centralized baselines. *)
+  let greedy = Domination.greedy tree ~k in
+  let levels = Domination.bfs_levels tree ~root:0 ~k in
+  Format.printf "baselines: greedy set-cover %d, BFS level classes %d@."
+    (List.length greedy) (List.length levels)

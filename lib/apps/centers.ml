@@ -1,0 +1,44 @@
+open Kdom_graph
+open Kdom
+
+type placement = {
+  servers : int list;
+  max_distance : int;
+  avg_distance : float;
+  count : int;
+}
+
+let of_servers g servers =
+  if servers = [] then invalid_arg "Centers.of_servers: empty server set";
+  let dist = (Traversal.bfs_multi g servers).dist in
+  let max_distance = Array.fold_left max 0 dist in
+  if max_distance = max_int then invalid_arg "Centers.of_servers: unreachable clients";
+  let avg_distance =
+    float_of_int (Array.fold_left ( + ) 0 dist) /. float_of_int (Graph.n g)
+  in
+  { servers; max_distance; avg_distance; count = List.length servers }
+
+let via_kdom g ~k =
+  let dom = Fastdom_graph.run g ~k in
+  of_servers g dom.dominating
+
+let greedy_k_center g ~count =
+  if count < 1 then invalid_arg "Centers.greedy_k_center: count must be >= 1";
+  (* Gonzalez: start anywhere, repeatedly add the farthest node. *)
+  let first = 0 in
+  let dist = ref (Traversal.distances_from g first) in
+  let servers = ref [ first ] in
+  for _i = 2 to min count (Graph.n g) do
+    let far = ref 0 in
+    Array.iteri (fun v d -> if d > (!dist).(!far) then far := v) !dist;
+    servers := !far :: !servers;
+    let d' = Traversal.distances_from g !far in
+    dist := Array.mapi (fun v d -> min d d'.(v)) !dist
+  done;
+  of_servers g !servers
+
+let random_placement ~rng g ~count =
+  let n = Graph.n g in
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  of_servers g (Array.to_list (Array.sub order 0 (min count n)))

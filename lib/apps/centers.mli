@@ -1,0 +1,29 @@
+(** Application: network center selection for server placement (after
+    [BKP]).
+
+    "It is desired to ensure that each node in the network is sufficiently
+    close to some server" (§1.1).  A k-dominating set is exactly such a
+    server set with worst-case client distance [k]; [FastDOM_G] produces
+    one of size [~n/(k+1)] fast.  For calibration the module also places
+    the {e same number} of servers with the classical greedy 2-approximate
+    k-center heuristic and uniformly at random. *)
+
+open Kdom_graph
+
+type placement = {
+  servers : int list;
+  max_distance : int;    (** worst client-to-nearest-server distance *)
+  avg_distance : float;
+  count : int;
+}
+
+val of_servers : Graph.t -> int list -> placement
+(** Evaluate an arbitrary server set. *)
+
+val via_kdom : Graph.t -> k:int -> placement
+(** Servers = the [FastDOM_G] k-dominating set; [max_distance <= k]. *)
+
+val greedy_k_center : Graph.t -> count:int -> placement
+(** Gonzalez' farthest-point heuristic with [count] servers. *)
+
+val random_placement : rng:Rng.t -> Graph.t -> count:int -> placement

@@ -1,0 +1,57 @@
+open Kdom_graph
+open Kdom
+
+type directory = {
+  graph : Graph.t;
+  k : int;
+  copies : int list;
+  nearest : int array;
+  lookup_dist : int array;
+}
+
+type costs = {
+  copies : int;
+  max_lookup : int;
+  avg_lookup : float;
+  update_cost : int;
+}
+
+let place g ~k =
+  let dom = Fastdom_graph.run g ~k in
+  let copies = dom.dominating in
+  let nearest = Domination.dominator_assignment g copies in
+  let lookup_dist = (Traversal.bfs_multi g copies).dist in
+  { graph = g; k; copies; nearest; lookup_dist }
+
+let lookup d v = (d.nearest.(v), d.lookup_dist.(v))
+
+(* Update dissemination cost: the number of edges of the smallest BFS-tree
+   prefix that spans all copies — the union of root-to-copy paths in a BFS
+   tree rooted at the first copy (a 2-approximate Steiner tree on hop
+   counts). *)
+let update_cost (d : directory) =
+  match d.copies with
+  | [] -> 0
+  | root :: _ ->
+    let b = Traversal.bfs d.graph root in
+    let marked = Hashtbl.create 64 in
+    let count = ref 0 in
+    List.iter
+      (fun copy ->
+        let v = ref copy in
+        while !v <> root && not (Hashtbl.mem marked !v) do
+          Hashtbl.replace marked !v ();
+          incr count;
+          v := b.parent.(!v)
+        done)
+      d.copies;
+    !count
+
+let evaluate d =
+  let n = Graph.n d.graph in
+  {
+    copies = List.length d.copies;
+    max_lookup = Array.fold_left max 0 d.lookup_dist;
+    avg_lookup = float_of_int (Array.fold_left ( + ) 0 d.lookup_dist) /. float_of_int n;
+    update_cost = update_cost d;
+  }

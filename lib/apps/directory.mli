@@ -1,0 +1,34 @@
+(** Application: distributed directory placement (after [P2]).
+
+    §1.1: "a set of k-dominating centers can be selected for locating
+    copies of a distributed directory."  Copies of a directory are placed
+    on a k-dominating set; a {e lookup} walks to the nearest copy
+    ([<= k] hops), while an {e update} must reach every copy, which costs
+    the weight of a Steiner-ish tree approximated here by the BFS tree
+    spanning the copies.  Varying [k] sweeps the classical
+    read-cost/write-cost replication tradeoff. *)
+
+open Kdom_graph
+
+type directory = {
+  graph : Graph.t;
+  k : int;
+  copies : int list;
+  nearest : int array;       (** node -> nearest copy *)
+  lookup_dist : int array;   (** node -> hops to nearest copy *)
+}
+
+type costs = {
+  copies : int;
+  max_lookup : int;          (** [<= k] by construction *)
+  avg_lookup : float;
+  update_cost : int;         (** edges of the BFS tree spanning the copies *)
+}
+
+val place : Graph.t -> k:int -> directory
+(** Copies on the [FastDOM_G] k-dominating set. *)
+
+val lookup : directory -> int -> int * int
+(** [lookup d v] = [(copy, hops)]. *)
+
+val evaluate : directory -> costs

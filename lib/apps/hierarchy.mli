@@ -1,0 +1,59 @@
+(** Nested cluster hierarchies — the multi-level [PU] routing scheme.
+
+    {!Routing} implements the flat, single-level tradeoff.  The scheme of
+    [PU] actually uses a {e hierarchy}: level-1 clusters from a
+    k₁-dominating set, level-2 clusters formed by clustering the {e
+    quotient} graph of level-1 clusters with k₂, and so on, so that every
+    level-[i] cluster is a union of level-[i-1] clusters.  A destination
+    is addressed by its chain of cluster centers; a message first climbs
+    towards the destination's top-level center (every node knows a next
+    hop for each of the few top-level centers), then descends the chain —
+    each center knows next hops for the sub-centers inside its own
+    cluster only.
+
+    Per-node table size is
+    [|C₁(v)| + Σ_i #subclusters(C_{i+1}(v)) + N_top], which telescopes far
+    below [n] for geometrically growing [k_i]; the price is additive
+    stretch [O(Σ_i k_i·…)] per level.  Experiment E9 reports the measured
+    tradeoff against the flat scheme. *)
+
+open Kdom_graph
+open Kdom
+
+type level = {
+  k : int;
+  partition : Cluster.partition;  (** over the host graph *)
+  cluster_of : int array;
+  centers : int array;            (** cluster index -> host center node *)
+}
+
+type t = {
+  graph : Graph.t;
+  levels : level array;           (** level 0 is the finest *)
+  address : int array array;      (** [address.(v)] = centers bottom-up *)
+  table_entries : int array;      (** per-node table size *)
+  towards : int array array array;
+    (** [towards.(i).(c).(v)] = next hop from [v] towards the center of
+        level-[i] cluster [c] (BFS parent) *)
+}
+
+type route = { path : int list; hops : int; shortest : int; stretch : float }
+
+val build : Graph.t -> ks:int list -> t
+(** [build g ~ks] builds one level per element of [ks] (finest first,
+    each [k >= 1]); levels above the first cluster the quotient graph, so
+    clusters nest. *)
+
+val route : t -> src:int -> dst:int -> route
+(** Climb to the destination's top-level center, then descend its address
+    chain, then deliver inside the finest cluster. *)
+
+type report = {
+  avg_stretch : float;
+  max_stretch : float;
+  avg_table : float;
+  max_table : int;
+  pairs : int;
+}
+
+val evaluate : rng:Rng.t -> t -> pairs:int -> report

@@ -1,0 +1,49 @@
+(** Application: routing with sparse routing tables (after [PU]).
+
+    The paper's first motivating application: the clusters of a
+    k-dominating set trade routing-table size against route stretch.  Every
+    node keeps (a) exact next hops towards the members of its own cluster
+    and (b) next hops towards every cluster center.  A message for a node
+    in another cluster travels to the destination's center first and is
+    then delivered inside the cluster, so its route is at most [2k] hops
+    longer than the shortest path, while tables shrink from [n] entries to
+    [|C| + N] entries ([N <= ~n/(k+1)] clusters).
+
+    [FastDOM_G] is exactly the preprocessing step [PU] lacked a fast
+    distributed construction for (§1.1). *)
+
+open Kdom_graph
+open Kdom
+
+type scheme = {
+  graph : Graph.t;
+  k : int;
+  partition : Cluster.partition;
+  cluster_of : int array;       (** node -> cluster index *)
+  centers : int array;          (** cluster index -> center node *)
+  table_entries : int array;    (** per-node routing-table size *)
+  towards : int array array;    (** [towards.(c).(v)] = next hop from [v]
+                                    towards center [c] (BFS parent) *)
+}
+
+type route = { path : int list; hops : int; shortest : int; stretch : float }
+
+val build : Graph.t -> k:int -> scheme
+(** Runs [FastDOM_G] and assembles the tables. *)
+
+val route : scheme -> src:int -> dst:int -> route
+(** Deliver hop by hop using only table information. *)
+
+type report = {
+  avg_stretch : float;
+  max_stretch : float;
+  avg_table : float;
+  max_table : int;
+  pairs : int;
+}
+
+val evaluate : rng:Rng.t -> scheme -> pairs:int -> report
+(** Stretch statistics over uniformly sampled source/destination pairs. *)
+
+val full_table_size : Graph.t -> int
+(** [n] — the per-node cost of shortest-path routing, the baseline. *)

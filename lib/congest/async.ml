@@ -1,0 +1,197 @@
+open Kdom_graph
+
+type report = {
+  async_time : float;
+  pulses : int;
+  alg_messages : int;
+  sync_messages : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* A minimal event queue: (time, sequence)-ordered binary heap. *)
+
+module Events = struct
+  type 'a t = { mutable data : (float * int * 'a) array; mutable len : int; mutable seq : int }
+
+  let create () = { data = [||]; len = 0; seq = 0 }
+  let is_empty q = q.len = 0
+  let before (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+  let swap q i j =
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(j);
+    q.data.(j) <- tmp
+
+  let push q time payload =
+    let item = (time, q.seq, payload) in
+    q.seq <- q.seq + 1;
+    if q.len = Array.length q.data then begin
+      let cap = max 16 (2 * q.len) in
+      let data = Array.make cap item in
+      Array.blit q.data 0 data 0 q.len;
+      q.data <- data
+    end;
+    q.data.(q.len) <- item;
+    let i = ref q.len in
+    q.len <- q.len + 1;
+    while !i > 0 && before q.data.(!i) q.data.((!i - 1) / 2) do
+      swap q !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop q =
+    if q.len = 0 then invalid_arg "Async.Events.pop: empty";
+    let top = q.data.(0) in
+    q.len <- q.len - 1;
+    q.data.(0) <- q.data.(q.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let best = ref !i in
+      if l < q.len && before q.data.(l) q.data.(!best) then best := l;
+      if r < q.len && before q.data.(r) q.data.(!best) then best := r;
+      if !best = !i then continue := false
+      else begin
+        swap q !i !best;
+        i := !best
+      end
+    done;
+    top
+end
+
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | Alg of int * int * Runtime.payload  (* source, source pulse, payload *)
+  | Ack of int                          (* pulse being acknowledged *)
+  | Safe of int * int                   (* source, pulse declared safe *)
+
+type 'st node = {
+  mutable state : 'st;
+  mutable next_pulse : int;
+  mutable is_halted : bool;
+  mutable awaiting_acks : int;
+  mutable safe_pulse : int;     (* highest pulse this node is safe for *)
+  buffers : (int, (int * Runtime.payload) list) Hashtbl.t;
+  safes : (int, int) Hashtbl.t; (* pulse -> SAFE announcements received *)
+  neighbors : int list;
+}
+
+let run ~rng ?(max_delay = 1.0) g algo =
+  let n = Graph.n g in
+  let nodes =
+    Array.init n (fun v ->
+        {
+          state = algo.Runtime.init g v;
+          next_pulse = 0;
+          is_halted = false;
+          awaiting_acks = 0;
+          safe_pulse = -1;
+          buffers = Hashtbl.create 8;
+          safes = Hashtbl.create 8;
+          neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
+        })
+  in
+  let queue = Events.create () in
+  let alg_messages = ref 0 in
+  let sync_messages = ref 0 in
+  let max_pulse = ref 0 in
+  let finish_time = ref 0.0 in
+  let halted_count = ref 0 in
+  let pulse_cap = 10_000 + (100 * n) in
+  let delay () = Float.max 1e-9 (Rng.float rng max_delay) in
+  let send now dst kind = Events.push queue (now +. delay ()) (dst, kind) in
+  let declare_safe now v pulse =
+    let nd = nodes.(v) in
+    nd.safe_pulse <- pulse;
+    List.iter
+      (fun u ->
+        incr sync_messages;
+        send now u (Safe (v, pulse)))
+      nd.neighbors
+  in
+  (* execute every pulse whose synchronizer precondition holds *)
+  let rec advance now v =
+    let nd = nodes.(v) in
+    let p = nd.next_pulse in
+    if p > pulse_cap then raise (Runtime.Round_limit_exceeded p);
+    let ready =
+      p = 0
+      || (nd.safe_pulse >= p - 1
+         && Option.value ~default:0 (Hashtbl.find_opt nd.safes (p - 1))
+            = List.length nd.neighbors)
+    in
+    if ready && not (!halted_count = n) then begin
+      nd.next_pulse <- p + 1;
+      max_pulse := max !max_pulse p;
+      let inbox =
+        Option.value ~default:[] (Hashtbl.find_opt nd.buffers p)
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      Hashtbl.remove nd.buffers p;
+      let outbox =
+        if nd.is_halted then begin
+          if inbox <> [] then
+            raise
+              (Runtime.Congestion_violation
+                 (Printf.sprintf "async pulse %d: halted node %d received a message" p v));
+          []
+        end
+        else begin
+          let st, outbox = algo.Runtime.step g ~round:p ~node:v nd.state inbox in
+          nd.state <- st;
+          if (not nd.is_halted) && algo.Runtime.halted st then begin
+            nd.is_halted <- true;
+            incr halted_count;
+            finish_time := Float.max !finish_time now
+          end;
+          outbox
+        end
+      in
+      List.iter
+        (fun (u, payload) ->
+          incr alg_messages;
+          send now u (Alg (v, p, payload)))
+        outbox;
+      nd.awaiting_acks <- List.length outbox;
+      if nd.awaiting_acks = 0 then begin
+        declare_safe now v p;
+        (* neighbors' safes for p may already be in; try to continue *)
+        advance now v
+      end
+    end
+  in
+  for v = 0 to n - 1 do
+    advance 0.0 v
+  done;
+  let all_halted () = !halted_count = n in
+  while (not (all_halted ())) && not (Events.is_empty queue) do
+    let time, _, (dst, kind) = Events.pop queue in
+    let nd = nodes.(dst) in
+    (match kind with
+    | Alg (src, src_pulse, payload) ->
+      let slot = src_pulse + 1 in
+      Hashtbl.replace nd.buffers slot
+        ((src, payload) :: Option.value ~default:[] (Hashtbl.find_opt nd.buffers slot));
+      incr sync_messages;
+      send time src (Ack src_pulse)
+    | Ack pulse ->
+      if pulse = nd.next_pulse - 1 then begin
+        nd.awaiting_acks <- nd.awaiting_acks - 1;
+        if nd.awaiting_acks = 0 then declare_safe time dst pulse
+      end
+    | Safe (_src, pulse) ->
+      Hashtbl.replace nd.safes pulse
+        (1 + Option.value ~default:0 (Hashtbl.find_opt nd.safes pulse)));
+    advance time dst
+  done;
+  if not (all_halted ()) then
+    invalid_arg "Async.run: event queue drained before quiescence";
+  ( Array.map (fun nd -> nd.state) nodes,
+    {
+      async_time = !finish_time;
+      pulses = !max_pulse + 1;
+      alg_messages = !alg_messages;
+      sync_messages = !sync_messages;
+    } )

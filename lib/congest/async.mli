@@ -1,0 +1,39 @@
+(** Asynchronous execution of synchronous algorithms via the
+    α-synchronizer [Al].
+
+    §1.2 of the paper argues the synchrony assumption is inessential: any
+    of its algorithms can run on an asynchronous network under the
+    α-synchronizer at a cost of one message over each edge per direction
+    per simulated round.  This module {e demonstrates} that claim: it is a
+    discrete-event simulator in which every message suffers an independent
+    random delay, wrapped by a faithful α-synchronizer —
+
+    + after executing pulse [r], a node awaits an acknowledgment for every
+      algorithm message it sent in that pulse; once all arrive it is
+      {e safe} for [r] and announces this to all neighbors;
+    + a node executes pulse [r+1] once it is safe for [r] and has heard
+      [SAFE(r)] from every neighbor.
+
+    Because a neighbor's safety certifies that its pulse-[r] messages were
+    delivered, every node's pulse-[r+1] inbox equals the synchronous one,
+    so the final states are {e identical} to {!Runtime.run}'s — the tests
+    check this bit for bit on the paper's algorithms. *)
+
+open Kdom_graph
+
+type report = {
+  async_time : float;      (** completion time in delay units *)
+  pulses : int;            (** synchronous rounds simulated *)
+  alg_messages : int;      (** algorithm messages delivered *)
+  sync_messages : int;     (** acknowledgments + safety announcements *)
+}
+
+val run :
+  rng:Rng.t ->
+  ?max_delay:float ->
+  Graph.t ->
+  'st Runtime.algorithm ->
+  'st array * report
+(** [run ~rng g algo] executes [algo] to quiescence under link delays
+    drawn uniformly from [(0, max_delay]] (default 1.0).  The returned
+    states must match [Runtime.run g algo] exactly. *)

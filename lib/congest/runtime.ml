@@ -1,0 +1,75 @@
+open Kdom_graph
+
+type payload = int array
+type inbox = (int * payload) list
+
+type 'st algorithm = {
+  init : Graph.t -> int -> 'st;
+  step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
+  halted : 'st -> bool;
+}
+
+type stats = { rounds : int; messages : int; max_inflight : int }
+
+exception Round_limit_exceeded of int
+exception Congestion_violation of string
+
+let run ?max_rounds ?(max_words = 4) g algo =
+  let n = Graph.n g in
+  let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
+  let states = Array.init n (fun v -> algo.init g v) in
+  (* in_flight.(v) = messages to deliver to v next round, accumulated in
+     reverse sender order. *)
+  let in_flight : (int * payload) list array = Array.make n [] in
+  let pending = ref 0 in
+  let messages = ref 0 in
+  let max_inflight = ref 0 in
+  let round = ref 0 in
+  let all_halted () =
+    Array.for_all algo.halted states && !pending = 0
+  in
+  let is_neighbor v u = Option.is_some (Graph.find_edge g v u) in
+  while not (all_halted ()) do
+    if !round > max_rounds then raise (Round_limit_exceeded !round);
+    let delivered = Array.map List.rev in_flight in
+    Array.fill in_flight 0 n [];
+    let this_round = !pending in
+    max_inflight := max !max_inflight this_round;
+    messages := !messages + this_round;
+    pending := 0;
+    for v = 0 to n - 1 do
+      let inbox = delivered.(v) in
+      if algo.halted states.(v) then begin
+        if inbox <> [] then
+          raise
+            (Congestion_violation
+               (Printf.sprintf "round %d: halted node %d received a message" !round v))
+      end
+      else begin
+        let st, outbox = algo.step g ~round:!round ~node:v states.(v) inbox in
+        states.(v) <- st;
+        let used = Hashtbl.create (List.length outbox) in
+        List.iter
+          (fun (u, p) ->
+            if not (is_neighbor v u) then
+              raise
+                (Congestion_violation
+                   (Printf.sprintf "round %d: node %d sent to non-neighbor %d" !round v u));
+            if Hashtbl.mem used u then
+              raise
+                (Congestion_violation
+                   (Printf.sprintf "round %d: node %d sent twice over edge to %d" !round v u));
+            Hashtbl.add used u ();
+            if Array.length p > max_words then
+              raise
+                (Congestion_violation
+                   (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
+                      !round v (Array.length p) max_words));
+            in_flight.(u) <- (v, p) :: in_flight.(u);
+            incr pending)
+          outbox
+      end
+    done;
+    incr round
+  done;
+  (states, { rounds = !round; messages = !messages; max_inflight = !max_inflight })

@@ -1,0 +1,54 @@
+(** Synchronous CONGEST-model message-passing simulator.
+
+    The paper's model (§1.2): a synchronous network where each message
+    carries [O(log n)] bits and a node may send at most one message over
+    each incident edge per time unit.  This runtime executes a per-node
+    algorithm under exactly those constraints and reports the quantities the
+    paper measures: the number of rounds and (for the message-complexity
+    ablation) the number of messages.
+
+    Timing convention: in round [t >= 0] every node receives the messages
+    sent in round [t-1], runs its [step], and emits at most one message per
+    incident edge.  The run stops when every node has halted and no message
+    is in flight, or when [max_rounds] is exceeded (an error — the caller
+    sets [max_rounds] from the bound it is trying to validate). *)
+
+open Kdom_graph
+
+type payload = int array
+(** Message contents, in words.  A word models [Theta(log n)] bits — enough
+    for a node id, a depth, or an edge weight (weights are polynomial in
+    [n], §1.2).  The runtime rejects payloads longer than
+    [max_words]. *)
+
+type inbox = (int * payload) list
+(** [(neighbor, payload)] messages delivered this round, ordered by sender
+    id. *)
+
+type 'st algorithm = {
+  init : Graph.t -> int -> 'st;
+    (** Initial state of each node. A node knows [n], its own id, its
+        incident edges and their weights — nothing else. *)
+  step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
+    (** One synchronous step: consume the inbox, return the new state and
+        the outbox as [(neighbor, payload)] pairs. *)
+  halted : 'st -> bool;
+    (** A halted node no longer steps; it is an error for a halted node to
+        receive a message. *)
+}
+
+type stats = {
+  rounds : int;         (** rounds executed until quiescence *)
+  messages : int;       (** total messages delivered *)
+  max_inflight : int;   (** peak messages in a single round *)
+}
+
+exception Round_limit_exceeded of int
+exception Congestion_violation of string
+(** Raised when a [step] tries to send two messages over one edge in one
+    round, sends to a non-neighbor, or exceeds [max_words]. *)
+
+val run :
+  ?max_rounds:int -> ?max_words:int -> Graph.t -> 'st algorithm -> 'st array * stats
+(** Execute to quiescence. [max_rounds] defaults to [10_000 + 100 * n];
+    [max_words] defaults to 4. *)

@@ -1,0 +1,26 @@
+(** α-synchronizer cost model.
+
+    The paper (§1.2) notes that its synchrony assumption is inessential:
+    running the α-synchronizer of Awerbuch [Al] costs one message over each
+    edge in each direction per simulated round, and the asynchronous
+    completion time of pulse [p] at a node is governed by the recurrence
+    [t(v, p) = max over neighbors u of (t(u, p-1) + delay(u, v, p))].
+
+    This module evaluates that recurrence under randomized link delays so
+    the examples can report what a synchronous round count translates to in
+    an asynchronous execution. *)
+
+open Kdom_graph
+
+type report = {
+  sync_rounds : int;       (** rounds of the synchronous algorithm *)
+  async_time : float;      (** asynchronous completion time of the last pulse *)
+  extra_messages : int;    (** synchronizer traffic: [2m] per simulated round *)
+  mean_delay : float;      (** mean link delay used *)
+}
+
+val simulate :
+  rng:Rng.t -> ?max_delay:float -> Graph.t -> rounds:int -> report
+(** [simulate ~rng g ~rounds] draws an independent delay uniform in
+    [(0, max_delay]] (default 1.0) for every directed edge and pulse, and
+    evaluates the α-synchronizer recurrence for [rounds] pulses. *)

@@ -1,0 +1,193 @@
+open Kdom_graph
+open Kdom_congest
+
+type info = {
+  root : int;
+  depth : int array;
+  parent : int array;
+  children : int list array;
+  height : int;
+  m_known : int array;
+}
+
+(* Message tags *)
+let tag_explore = 0 (* [tag; depth of sender] *)
+let tag_accept = 1 (* [tag] — sender adopted us as its parent *)
+let tag_echo = 2 (* [tag; max depth in sender's subtree] *)
+let tag_m = 3 (* [tag; M] — broadcast of the tree height *)
+
+type state = {
+  is_root : bool;
+  neighbors : int list;
+  depth : int;                  (* -1 until adopted *)
+  parent : int;
+  adopted_round : int;
+  unclassified : int list;      (* non-parent neighbors not yet child/non-child *)
+  children : int list;
+  echoes_missing : int list;    (* children whose echo is still awaited *)
+  subtree_max : int;            (* max depth seen among echoes and self *)
+  echo_sent : bool;
+  m : int;                      (* -1 until known *)
+  halted : bool;
+}
+
+let algorithm g ~root =
+  if not (Graph.is_connected g) then invalid_arg "Bfs_tree.run: graph must be connected";
+  let init _g v =
+    {
+      is_root = v = root;
+      neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
+      depth = -1;
+      parent = -1;
+      adopted_round = -1;
+      unclassified = [];
+      children = [];
+      echoes_missing = [];
+      subtree_max = 0;
+      echo_sent = false;
+      m = -1;
+      halted = false;
+    }
+  in
+  let remove x xs = List.filter (fun y -> y <> x) xs in
+  let step _g ~round ~node:_ st inbox =
+    let out = ref [] in
+    let send u payload = out := (u, payload) :: !out in
+    (* 1. Consume the inbox. *)
+    let explore_senders = ref [] in
+    let st =
+      List.fold_left
+        (fun st (u, payload) ->
+          match payload.(0) with
+          | t when t = tag_explore ->
+            if st.depth = -1 then begin
+              explore_senders := (u, payload.(1)) :: !explore_senders;
+              st
+            end
+            else
+              (* u explored on its own: it is not our child *)
+              { st with unclassified = remove u st.unclassified }
+          | t when t = tag_accept ->
+            {
+              st with
+              unclassified = remove u st.unclassified;
+              children = u :: st.children;
+              echoes_missing = u :: st.echoes_missing;
+            }
+          | t when t = tag_echo ->
+            {
+              st with
+              echoes_missing = remove u st.echoes_missing;
+              subtree_max = max st.subtree_max payload.(1);
+            }
+          | t when t = tag_m -> { st with m = payload.(1) }
+          | t -> invalid_arg (Printf.sprintf "Bfs_tree: unknown tag %d" t))
+        st inbox
+    in
+    (* 2. Adoption. *)
+    let st =
+      if st.is_root && round = 0 then begin
+        List.iter (fun u -> send u [| tag_explore; 0 |]) st.neighbors;
+        {
+          st with
+          depth = 0;
+          adopted_round = 0;
+          unclassified = st.neighbors;
+          subtree_max = 0;
+        }
+      end
+      else
+        match !explore_senders with
+        | [] -> st
+        | senders ->
+          let parent, pdepth =
+            List.fold_left
+              (fun (bu, bd) (u, d) -> if u < bu then (u, d) else (bu, bd))
+              (List.hd senders) (List.tl senders)
+          in
+          let depth = pdepth + 1 in
+          send parent [| tag_accept |];
+          let others = remove parent st.neighbors in
+          List.iter (fun u -> send u [| tag_explore; depth |]) others;
+          (* senders other than the chosen parent are adopted elsewhere *)
+          let unclassified =
+            List.filter (fun u -> not (List.mem_assoc u senders)) others
+          in
+          { st with depth; parent; adopted_round = round; unclassified; subtree_max = depth }
+    in
+    (* 3. Echo once the children are known and have all reported. *)
+    let children_known =
+      st.depth >= 0 && st.unclassified = [] && round >= st.adopted_round + 2
+    in
+    let st =
+      if children_known && st.echoes_missing = [] && not st.echo_sent then
+        if st.is_root then begin
+          let m = st.subtree_max in
+          List.iter (fun c -> send c [| tag_m; m |]) st.children;
+          { st with echo_sent = true; m; halted = true }
+        end
+        else begin
+          send st.parent [| tag_echo; st.subtree_max |];
+          { st with echo_sent = true }
+        end
+      else st
+    in
+    (* 4. Forward M downwards and halt. *)
+    let st =
+      if st.m >= 0 && not st.halted then begin
+        List.iter (fun c -> send c [| tag_m; st.m |]) st.children;
+        { st with halted = true }
+      end
+      else st
+    in
+    (st, !out)
+  in
+  let halted st = st.halted in
+  ({ init; step; halted } : state Runtime.algorithm)
+
+let info_of_states _g root states =
+  let info =
+    {
+      root;
+      depth = Array.map (fun st -> st.depth) states;
+      parent = Array.map (fun st -> st.parent) states;
+      children = Array.map (fun st -> List.sort compare st.children) states;
+      height = states.(root).m;
+      m_known = Array.map (fun st -> st.m) states;
+    }
+  in
+  info
+
+let info_of_states g ~root states = info_of_states g root states
+
+let run g ~root =
+  let states, stats = Runtime.run g (algorithm g ~root) in
+  (info_of_states g ~root states, stats)
+
+let round_bound ~diam = (4 * diam) + 5
+
+let of_parents g ~root ~parent ~depth =
+  let n = Graph.n g in
+  if Array.length parent <> n || Array.length depth <> n then
+    invalid_arg "Bfs_tree.of_parents: array size mismatch";
+  if parent.(root) <> -1 || depth.(root) <> 0 then
+    invalid_arg "Bfs_tree.of_parents: root must have parent -1 and depth 0";
+  let children = Array.make n [] in
+  Array.iteri
+    (fun v p ->
+      if v <> root then begin
+        if p < 0 || p >= n || depth.(v) <> depth.(p) + 1
+           || Option.is_none (Graph.find_edge g v p) then
+          invalid_arg "Bfs_tree.of_parents: inconsistent parent links";
+        children.(p) <- v :: children.(p)
+      end)
+    parent;
+  let height = Array.fold_left max 0 depth in
+  {
+    root;
+    depth = Array.copy depth;
+    parent = Array.copy parent;
+    children = Array.map (fun c -> List.sort compare c) children;
+    height;
+    m_known = Array.make n height;
+  }

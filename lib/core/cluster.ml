@@ -1,0 +1,106 @@
+open Kdom_graph
+
+type t = { center : int; members : int list }
+type partition = { host : Graph.t; clusters : t list }
+
+let size c = List.length c.members
+let singleton v = { center = v; members = [ v ] }
+
+let partition host clusters =
+  let n = Graph.n host in
+  let seen = Array.make n false in
+  List.iter
+    (fun c ->
+      if not (List.mem c.center c.members) then
+        invalid_arg "Cluster.partition: center not a member of its cluster";
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Cluster.partition: node out of range";
+          if seen.(v) then invalid_arg "Cluster.partition: clusters overlap";
+          seen.(v) <- true)
+        c.members)
+    clusters;
+  if not (Array.for_all Fun.id seen) then
+    invalid_arg "Cluster.partition: clusters do not cover all nodes";
+  { host; clusters }
+
+let cluster_of_array p =
+  let owner = Array.make (Graph.n p.host) (-1) in
+  List.iteri (fun i c -> List.iter (fun v -> owner.(v) <- i) c.members) p.clusters;
+  owner
+
+let centers p = List.map (fun c -> c.center) p.clusters
+
+(* BFS restricted to the member set. *)
+let restricted_distances host c =
+  let inside = Hashtbl.create (size c) in
+  List.iter (fun v -> Hashtbl.replace inside v ()) c.members;
+  let dist = Hashtbl.create (size c) in
+  Hashtbl.replace dist c.center 0;
+  let q = Queue.create () in
+  Queue.add c.center q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let dv = Hashtbl.find dist v in
+    Array.iter
+      (fun (u, _) ->
+        if Hashtbl.mem inside u && not (Hashtbl.mem dist u) then begin
+          Hashtbl.replace dist u (dv + 1);
+          Queue.add u q
+        end)
+      (Graph.neighbors host v)
+  done;
+  dist
+
+let radius host c =
+  let dist = restricted_distances host c in
+  List.fold_left
+    (fun acc v ->
+      match Hashtbl.find_opt dist v with
+      | Some d -> max acc d
+      | None -> invalid_arg "Cluster.radius: induced subgraph disconnected")
+    0 c.members
+
+let induced_connected host c =
+  let dist = restricted_distances host c in
+  List.for_all (fun v -> Hashtbl.mem dist v) c.members
+
+let max_radius p = List.fold_left (fun acc c -> max acc (radius p.host c)) 0 p.clusters
+
+let min_size p =
+  match p.clusters with
+  | [] -> 0
+  | cs -> List.fold_left (fun acc c -> min acc (size c)) max_int cs
+
+let induced g members =
+  let members = Array.of_list members in
+  let local = Hashtbl.create (Array.length members) in
+  Array.iteri (fun i v -> Hashtbl.replace local v i) members;
+  let edges = ref [] in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      match (Hashtbl.find_opt local e.u, Hashtbl.find_opt local e.v) with
+      | Some a, Some b -> edges := (a, b, e.w) :: !edges
+      | _ -> ())
+    (Graph.edges g);
+  (Graph.of_edges ~n:(Array.length members) (List.rev !edges), members)
+
+let quotient_graph p =
+  let owner = cluster_of_array p in
+  let k = List.length p.clusters in
+  let seen = Hashtbl.create 16 in
+  let pairs = ref [] in
+  let witnesses = ref [] in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let a = owner.(e.u) and b = owner.(e.v) in
+      if a <> b then begin
+        let key = if a < b then (a, b) else (b, a) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          pairs := (fst key, snd key, 1) :: !pairs;
+          witnesses := (e.u, e.v) :: !witnesses
+        end
+      end)
+    (Graph.edges p.host);
+  (Graph.of_edges ~n:k (List.rev !pairs), List.rev !witnesses)

@@ -1,0 +1,52 @@
+(** Clusters and partitions of a host graph.
+
+    A cluster is a set of nodes together with a designated {e center} (the
+    paper's dominator / fragment root).  A partition is a family of disjoint
+    clusters covering all nodes.  The paper's guarantees are stated on these
+    objects: cluster size lower bounds (Definition 3.1), cluster radius
+    upper bounds (Lemmas 3.4, 3.6, 3.7), and the dominating-set size bound
+    (Corollary 3.9).  All checkers here measure distance {e inside the
+    cluster's induced subgraph} of the host, matching the paper's notion of
+    a [(sigma, rho)] spanning forest built from tree edges. *)
+
+open Kdom_graph
+
+type t = { center : int; members : int list }
+
+type partition = { host : Graph.t; clusters : t list }
+
+val partition : Graph.t -> t list -> partition
+(** Checks disjointness, coverage, membership of each center in its own
+    cluster; raises [Invalid_argument] otherwise. *)
+
+val cluster_of_array : partition -> int array
+(** Node -> index of its cluster in [clusters]. *)
+
+val centers : partition -> int list
+
+val radius : Graph.t -> t -> int
+(** Eccentricity of the center inside the induced subgraph of the members.
+    Raises if the induced subgraph is disconnected. *)
+
+val max_radius : partition -> int
+
+val min_size : partition -> int
+
+val induced_connected : Graph.t -> t -> bool
+
+val singleton : int -> t
+
+val size : t -> int
+
+val induced : Graph.t -> int list -> Graph.t * int array
+(** [induced g members] extracts the subgraph induced by [members] with
+    nodes renumbered [0 .. |members|-1]; returns it with the
+    local-to-host index map.  Edge weights are preserved. *)
+
+val quotient_graph : partition -> Graph.t * (int * int) list
+(** [quotient_graph p] contracts every cluster to one node (numbered by the
+    position of the cluster in [p.clusters]) and keeps one edge between each
+    pair of adjacent clusters.  Returns the contracted graph (unit weights)
+    and, for bookkeeping, the list of host-edge endpoints
+    [(host_u, host_v)] chosen as the witness of each contracted edge, in
+    the same order as the contracted graph's edge array. *)

@@ -1,0 +1,136 @@
+open Kdom_graph
+open Kdom_congest
+
+type result = {
+  dominating : bool array;
+  level : int option;
+  init : Bfs_tree.info;
+  init_stats : Runtime.stats;
+  census_stats : Runtime.stats option;
+  rounds : int;
+}
+
+let tag_census = 0 (* [tag; l; counter] *)
+let tag_result = 1 (* [tag; selected level] *)
+
+type census_state = {
+  depth : int;
+  parent : int;
+  children : int list;
+  m : int;
+  k : int;
+  member : bool;
+  totals : int array;   (* root only: census totals per level *)
+  decided : int;        (* selected level, -1 until known *)
+  halted : bool;
+}
+
+(* Census schedule: a node at depth [i] upcasts its census(l) counter at
+   round [l + (M - i)]; the root owns totals at round [l + M]; the decision
+   broadcast of round [k + M + 1] reaches depth [i] at [k + M + 1 + i]. *)
+let census_run g (info : Bfs_tree.info) ~k =
+  let m = info.height in
+  let init _g v =
+    {
+      depth = info.depth.(v);
+      parent = info.parent.(v);
+      children = info.children.(v);
+      m;
+      k;
+      member = false;
+      totals = (if v = info.root then Array.make (k + 1) 0 else [||]);
+      decided = -1;
+      halted = false;
+    }
+  in
+  let step _g ~round ~node:_ st inbox =
+    let out = ref [] in
+    let below = ref 0 in
+    let result = ref (-1) in
+    List.iter
+      (fun (_u, payload) ->
+        match payload.(0) with
+        | t when t = tag_census -> below := !below + payload.(2)
+        | t when t = tag_result -> result := payload.(1)
+        | t -> invalid_arg (Printf.sprintf "Diam_dom: unknown tag %d" t))
+      inbox;
+    let l = round - (st.m - st.depth) in
+    let st =
+      if l >= 0 && l <= st.k then begin
+        let counter = !below + if st.depth mod (st.k + 1) = l then 1 else 0 in
+        if st.parent = -1 then begin
+          (* The root both counts itself and adds itself to classes l <> 0
+             (the augmentation that repairs the Lemma 2.1 gap). *)
+          st.totals.(l) <- counter + (if l = 0 then 0 else 1);
+          st
+        end
+        else begin
+          out := (st.parent, [| tag_census; l; counter |]) :: !out;
+          st
+        end
+      end
+      else st
+    in
+    let st =
+      if st.parent = -1 && round = st.k + st.m then begin
+        let best = ref 0 in
+        for l = 1 to st.k do
+          if st.totals.(l) < st.totals.(!best) then best := l
+        done;
+        let st = { st with decided = !best; member = true } in
+        List.iter (fun c -> out := (c, [| tag_result; !best |]) :: !out) st.children;
+        { st with halted = true }
+      end
+      else if !result >= 0 then begin
+        List.iter (fun c -> out := (c, [| tag_result; !result |]) :: !out) st.children;
+        {
+          st with
+          decided = !result;
+          member = st.depth mod (st.k + 1) = !result;
+          halted = true;
+        }
+      end
+      else st
+    in
+    (st, !out)
+  in
+  let halted st = st.halted in
+  Runtime.run g { init; step; halted }
+
+let run g ~root ~k =
+  if k < 1 then invalid_arg "Diam_dom.run: k must be >= 1";
+  if not (Tree.is_tree g) then invalid_arg "Diam_dom.run: graph must be a tree";
+  let info, init_stats = Bfs_tree.run g ~root in
+  if info.height <= k then begin
+    (* Every node knows M and k after Initialize, so the outcome D = {root}
+       is decided locally with no further communication. *)
+    let dominating = Array.make (Graph.n g) false in
+    dominating.(root) <- true;
+    {
+      dominating;
+      level = None;
+      init = info;
+      init_stats;
+      census_stats = None;
+      rounds = init_stats.rounds;
+    }
+  end
+  else begin
+    let states, census_stats = census_run g info ~k in
+    let dominating = Array.map (fun st -> st.member) states in
+    {
+      dominating;
+      level = Some states.(root).decided;
+      init = info;
+      init_stats;
+      census_stats = Some census_stats;
+      rounds = init_stats.rounds + census_stats.rounds;
+    }
+  end
+
+let round_bound ~diam ~k = (5 * diam) + k + 10
+
+let dominating_list r =
+  let acc = ref [] in
+  Array.iteri (fun v b -> if b then acc := v :: !acc) r.dominating;
+  List.rev !acc

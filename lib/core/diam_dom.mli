@@ -1,0 +1,37 @@
+(** Algorithm [DiamDOM] — small k-dominating set on a tree in diameter time
+    (§2.2, Figs. 1–3).
+
+    Message-level CONGEST implementation.  After Procedure [Initialize]
+    ({!Bfs_tree}), the [k+1] census convergecasts run fully pipelined: the
+    [census(l)] counter of a node at depth [i] travels at round
+    [l + (M - i)], so consecutive censuses never collide on an edge (the
+    crucial observation of Lemma 2.3).  The root compares the census totals
+    and broadcasts the index of the smallest class.
+
+    Faithfulness note: the level class [D_l] alone is not k-dominating for
+    [l] larger than the depth of some branch (see the [lemma-2.1 gap] test
+    in [test_graph.ml]); as in {!Kdom_graph.Domination.bfs_levels} the root
+    is added to the selected class, so the output size is bounded by
+    [ceil(n/(k+1))] rather than the paper's floor.  When the tree height
+    [M <= k] no census runs and the output is the root alone. *)
+
+open Kdom_graph
+open Kdom_congest
+
+type result = {
+  dominating : bool array;   (** membership in the output set D *)
+  level : int option;        (** selected class; [None] when [M <= k] *)
+  init : Bfs_tree.info;
+  init_stats : Runtime.stats;
+  census_stats : Runtime.stats option;  (** [None] when no census ran *)
+  rounds : int;              (** total rounds across both stages *)
+}
+
+val run : Graph.t -> root:int -> k:int -> result
+(** Requires a tree ([m = n-1], connected) and [k >= 1]. *)
+
+val round_bound : diam:int -> k:int -> int
+(** [5 * diam + k + 10] — the Lemma 2.3 shape with a small additive
+    constant for the handshakes; every measured run must stay below it. *)
+
+val dominating_list : result -> int list

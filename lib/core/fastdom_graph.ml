@@ -1,0 +1,54 @@
+open Kdom_graph
+
+type result = {
+  dominating : int list;
+  partition : Cluster.partition;
+  fragments : Simple_mst.fragment list;
+  forest : Simple_mst.result;
+  ledger : Ledger.t;
+  rounds : int;
+}
+
+let run ?small ?variant ?stage g ~k =
+  let forest = Simple_mst.run g ~k in
+  let ledger = Ledger.create () in
+  Ledger.charge ledger "SimpleMST forest" forest.rounds;
+  let dominating = ref [] in
+  let clusters = ref [] in
+  let tree_stage = ref [] in
+  List.iter
+    (fun (f : Simple_mst.fragment) ->
+      (* materialize the fragment tree with local numbering *)
+      let members = Array.of_list f.members in
+      let local = Hashtbl.create (Array.length members) in
+      Array.iteri (fun i v -> Hashtbl.replace local v i) members;
+      let edges =
+        List.map
+          (fun (e : Graph.edge) ->
+            (Hashtbl.find local e.u, Hashtbl.find local e.v, e.w))
+          f.tree_edges
+      in
+      let sub = Graph.of_edges ~n:(Array.length members) edges in
+      let fd = Fastdom_tree.run ?small ?variant ?stage sub ~k in
+      tree_stage := fd.rounds :: !tree_stage;
+      List.iter (fun v -> dominating := members.(v) :: !dominating) fd.dominating;
+      List.iter
+        (fun (c : Cluster.t) ->
+          clusters :=
+            ({ center = members.(c.center); members = List.map (fun v -> members.(v)) c.members }
+              : Cluster.t)
+            :: !clusters)
+        fd.partition.clusters)
+    forest.fragments;
+  Ledger.charge ledger "FastDOM_T within fragments"
+    (List.fold_left max 0 !tree_stage);
+  {
+    dominating = List.sort compare !dominating;
+    partition = Cluster.partition g !clusters;
+    fragments = forest.fragments;
+    forest;
+    ledger;
+    rounds = Ledger.total ledger;
+  }
+
+let round_bound ~n ~k = Simple_mst.round_bound ~k + Fastdom_tree.round_bound ~n ~k

@@ -1,0 +1,33 @@
+(** Algorithm [FastDOM_G] (§4.5, Theorem 4.4): a small k-dominating set on a
+    general graph in [O(k log* n)] rounds.
+
+    Composition of {!Simple_mst} — a [(k+1, n)] spanning forest whose trees
+    are MST fragments, built in [O(k)] rounds — and {!Fastdom_tree} run on
+    every fragment tree in parallel.
+
+    The returned partition refines the fragment forest: every cluster lies
+    inside one fragment and has radius [<= k] around its dominator
+    {e measured in the fragment tree} (so also in [G]). *)
+
+open Kdom_graph
+
+type result = {
+  dominating : int list;
+  partition : Cluster.partition;
+  fragments : Simple_mst.fragment list;
+  forest : Simple_mst.result;
+  ledger : Ledger.t;
+  rounds : int;
+}
+
+val run :
+  ?small:(Tree.t -> Small_dom_set.t) ->
+  ?variant:Fastdom_tree.variant ->
+  ?stage:Fastdom_tree.stage ->
+  Graph.t ->
+  k:int ->
+  result
+(** Requires a connected graph with distinct weights and [k >= 1]. *)
+
+val round_bound : n:int -> k:int -> int
+(** [SimpleMST charge + FastDOM_T bound] — the Theorem 4.4 shape. *)

@@ -1,0 +1,79 @@
+open Kdom_graph
+
+type variant = Fast | Capped | Quadratic
+type stage = Census | Optimal_dp
+
+type result = {
+  dominating : int list;
+  partition : Cluster.partition;
+  cluster_forest : Forest.cluster list;
+  ledger : Ledger.t;
+  rounds : int;
+}
+
+let run ?small ?(variant = Fast) ?(stage = Census) g ~k =
+  if k < 1 then invalid_arg "Fastdom_tree.run: k must be >= 1";
+  if not (Tree.is_tree g) then invalid_arg "Fastdom_tree.run: graph must be a tree";
+  let n = Graph.n g in
+  let cluster_forest, ledger =
+    if n < max 2 (k + 1) then
+      (* the whole tree is one cluster; DiamDOM alone suffices *)
+      ([ Forest.make g ~center:0 (List.init n Fun.id) ], Ledger.create ())
+    else begin
+      let stage =
+        match variant with
+        | Fast -> Dom_partition.run ?small
+        | Capped -> Dom_partition.run_2 ?small
+        | Quadratic -> Dom_partition.run_1 ?small
+      in
+      let r = stage g ~k in
+      (r.clusters, r.ledger)
+    end
+  in
+  (* Run DiamDOM inside every cluster; the clusters are disjoint so the
+     executions are parallel and the stage costs the maximum round count. *)
+  let dominating = ref [] in
+  let final_clusters = ref [] in
+  let diamdom_rounds = ref 0 in
+  List.iter
+    (fun (c : Forest.cluster) ->
+      let sub, to_host = Cluster.induced g c.members in
+      let root =
+        let r = ref (-1) in
+        Array.iteri (fun i v -> if v = c.center then r := i) to_host;
+        !r
+      in
+      let local_doms, stage_rounds =
+        match stage with
+        | Census ->
+          let dd = Diam_dom.run sub ~root ~k in
+          (Diam_dom.dominating_list dd, dd.rounds)
+        | Optimal_dp -> Tree_dp.run (Tree.root_at sub root) ~k
+      in
+      diamdom_rounds := max !diamdom_rounds stage_rounds;
+      List.iter (fun v -> dominating := to_host.(v) :: !dominating) local_doms;
+      (* Corollary 3.9's partition: each node joins its closest dominator
+         inside the cluster. *)
+      let owner = Domination.dominator_assignment sub local_doms in
+      let groups = Hashtbl.create 8 in
+      Array.iteri
+        (fun v o ->
+          Hashtbl.replace groups o
+            (to_host.(v) :: Option.value ~default:[] (Hashtbl.find_opt groups o)))
+        owner;
+      Hashtbl.iter
+        (fun o members ->
+          final_clusters :=
+            ({ center = to_host.(o); members } : Cluster.t) :: !final_clusters)
+        groups)
+    cluster_forest;
+  Ledger.charge ledger "DiamDOM within clusters" !diamdom_rounds;
+  {
+    dominating = List.sort compare !dominating;
+    partition = Cluster.partition g !final_clusters;
+    cluster_forest;
+    ledger;
+    rounds = Ledger.total ledger;
+  }
+
+let round_bound ~n ~k = 64 * (k + 1) * (max 1 (Log_star.log_star n) + 20)

@@ -1,0 +1,49 @@
+(** Algorithm [FastDOM_T] (§3.3, Theorem 3.2): a small k-dominating set on a
+    tree in [O(k log* n)] rounds.
+
+    Composition of {!Dom_partition} (a [(k+1, 5k+2)] spanning forest) and
+    {!Diam_dom} run inside every cluster in parallel (each cluster has
+    diameter [O(k)], so the [DiamDOM] stage costs [O(k)] rounds).
+
+    The output partition is Corollary 3.9's [P]: every node is assigned to
+    its closest dominator {e within its cluster}, hence [Rad(P) <= k].  The
+    size bound is [sum over clusters of ceil(|C|/(k+1))] (see the
+    root-augmentation note in {!Diam_dom}); with every [|C| >= k+1] this is
+    at most [2n/(k+1)], and in the benchmarks it tracks the paper's
+    [n/(k+1)] closely. *)
+
+open Kdom_graph
+
+type variant = Fast | Capped | Quadratic
+(** Which partition stage to use: [Fast] = [DOM_Partition(k)] (the paper's
+    choice, Fig. 7), [Capped] = [DOM_Partition_2(k)] (Fig. 6),
+    [Quadratic] = [DOM_Partition_1(k)] (Fig. 5). *)
+
+type stage = Census | Optimal_dp
+(** In-cluster dominating-set stage: [Census] is the paper's [DiamDOM]
+    (size [ceil(|C|/(k+1))] per cluster after the Lemma 2.1 repair);
+    [Optimal_dp] is the {!Tree_dp} convergecast, which restores the exact
+    [floor(|C|/(k+1))] budget at the same [O(Diam(C))] round cost. *)
+
+type result = {
+  dominating : int list;
+  partition : Cluster.partition;   (** radius <= k clusters around dominators *)
+  cluster_forest : Forest.cluster list; (** the partition-stage clusters *)
+  ledger : Ledger.t;
+  rounds : int;
+}
+
+val run :
+  ?small:(Tree.t -> Small_dom_set.t) ->
+  ?variant:variant ->
+  ?stage:stage ->
+  Graph.t ->
+  k:int ->
+  result
+(** Requires a tree and [k >= 1].  Trees with fewer than [k+1] nodes skip
+    the partition stage (the whole tree is one cluster and the root
+    dominates it). *)
+
+val round_bound : n:int -> k:int -> int
+(** [c * k * max 1 (log* n)] with a generous constant — the Theorem 3.2
+    shape checked by the tests. *)

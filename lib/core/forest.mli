@@ -1,0 +1,59 @@
+(** Cluster forests over a host tree — the shared machinery of the
+    [DOM_Partition] algorithms (§3.2).
+
+    The partition algorithms maintain a set of disjoint connected clusters
+    of the host tree and repeatedly (i) build the {e contracted} graph whose
+    vertices are clusters, (ii) run [BalancedDOM] on each tree of that
+    contracted forest, and (iii) merge each resulting star of clusters into
+    one cluster.  This module provides those three operations together with
+    the radius bookkeeping.
+
+    Round accounting: the contracted-graph computation is charged by the
+    caller at the rate the paper uses — one contracted round costs
+    [2 * r + 1] host rounds when [r] bounds the radius of the clusters
+    being simulated ({!simulation_factor}). *)
+
+open Kdom_graph
+
+type cluster = {
+  center : int;        (** host node acting as the cluster root *)
+  members : int list;
+  radius : int;        (** eccentricity of [center] in the induced host subgraph *)
+}
+
+val make : Graph.t -> center:int -> int list -> cluster
+(** Computes the radius; raises if the members do not induce a connected
+    subgraph containing [center]. *)
+
+val singletons : Graph.t -> cluster list
+
+val size : cluster -> int
+
+val quotient : Graph.t -> cluster array -> Graph.t
+(** Contracted graph on cluster positions (unit weights): one edge between
+    two clusters when some host edge joins them.  Clusters not in the array
+    simply do not appear; host nodes they own are ignored. *)
+
+val isolated : Graph.t -> int list
+(** Vertices of degree 0 — the "lone cluster" trees of Figs. 6 and 7. *)
+
+val merge_into : Graph.t -> target:cluster -> cluster -> cluster
+(** Absorb a cluster into [target], keeping [target]'s center. *)
+
+val balanced_contraction :
+  ?small:(Tree.t -> Small_dom_set.t) ->
+  Graph.t ->
+  cluster array ->
+  cluster array * int
+(** One iteration of the Fig. 5 loop: run [BalancedDOM] on every tree of
+    the contracted forest and merge each star into a single cluster whose
+    center is the center of the star's dominator cluster.  Components that
+    consist of a single cluster pass through unchanged.  Returns the new
+    clusters and the number of {e contracted-level} rounds (the maximum
+    [BalancedDOM] cost over the trees, which run in parallel). *)
+
+val simulation_factor : radius_bound:int -> int
+(** [2 * radius_bound + 1] — host rounds per contracted round. *)
+
+val to_clusters : cluster list -> Cluster.t list
+(** Forget radii, for building a {!Cluster.partition}. *)

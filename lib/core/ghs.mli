@@ -1,0 +1,24 @@
+(** Baseline: synchronous GHS/Borůvka-style distributed MST [GHS, A2].
+
+    The classical fragment-merging algorithm without the paper's depth
+    control: every fragment stays active in every phase, so fragments can
+    become arbitrarily deep early and each phase costs rounds proportional
+    to the deepest fragment — [O(n log n)] in the worst case (e.g. on a
+    path).  This is the comparison point for Theorem 5.6's improvement.
+
+    Phase-level simulation with the same accounting style as
+    {!Simple_mst}: phase [p] is charged [2 * depth_max + 4] rounds
+    (broadcast, convergecast, merge coordination over the fragment
+    trees). *)
+
+open Kdom_graph
+
+type result = {
+  mst : Graph.edge list;
+  phases : int;
+  rounds : int;
+  ledger : Ledger.t;
+}
+
+val run : Graph.t -> result
+(** Requires a connected graph with distinct weights. *)

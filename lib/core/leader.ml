@@ -1,0 +1,150 @@
+open Kdom_graph
+open Kdom_congest
+
+type result = {
+  leader : int;
+  parent : int array;
+  depth : int array;
+  stats : Runtime.stats;
+}
+
+let tag_offer = 0 (* [tag; wave id; depth of sender] *)
+let tag_accept = 1 (* [tag; wave id] — sender adopted us as its parent *)
+let tag_echo = 2 (* [tag; wave id] *)
+let tag_leader = 3 (* [tag; leader id] *)
+
+type state = {
+  neighbors : int list;
+  best : int;                (* id of the wave this node belongs to *)
+  depth : int;
+  parent : int;              (* -1 when this node originated the wave *)
+  same_wave : int list;      (* non-child neighbors known to be in the wave *)
+  pending : int list;        (* children that accepted but did not echo yet *)
+  done_children : int list;  (* children whose echo arrived *)
+  echoed : bool;
+  just_adopted : bool;       (* suppresses same-round echo after an accept *)
+  leader : int;              (* -1 until the final broadcast *)
+  halted : bool;
+}
+
+let elect g =
+  if not (Graph.is_connected g) then invalid_arg "Leader.elect: graph must be connected";
+  let init _g v =
+    {
+      neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
+      best = v;
+      depth = 0;
+      parent = -1;
+      same_wave = [];
+      pending = [];
+      done_children = [];
+      echoed = false;
+      just_adopted = false;
+      leader = -1;
+      halted = false;
+    }
+  in
+  let step _g ~round ~node st inbox =
+    let out = ref [] in
+    let send u payload = out := (u, payload) :: !out in
+    if round = 0 then begin
+      List.iter (fun u -> send u [| tag_offer; node; 0 |]) st.neighbors;
+      (st, !out)
+    end
+    else begin
+      (* the strongest wave offered this round, if it beats the current *)
+      let upgrade = ref None in
+      List.iter
+        (fun (u, payload) ->
+          if payload.(0) = tag_offer && payload.(1) > st.best then
+            match !upgrade with
+            | Some (w, d, _) when (w, -d) >= (payload.(1), -payload.(2)) -> ()
+            | _ -> upgrade := Some (payload.(1), payload.(2), u))
+        inbox;
+      let st =
+        match !upgrade with
+        | Some (w, d, via) ->
+          send via [| tag_accept; w |];
+          List.iter
+            (fun u -> if u <> via then send u [| tag_offer; w; d + 1 |])
+            st.neighbors;
+          {
+            st with
+            best = w;
+            depth = d + 1;
+            parent = via;
+            same_wave = [];
+            pending = [];
+            done_children = [];
+            echoed = false;
+            just_adopted = true;
+          }
+        | None -> { st with just_adopted = false }
+      in
+      (* bookkeeping for the (possibly new) current wave *)
+      let st =
+        List.fold_left
+          (fun st (u, payload) ->
+            match payload.(0) with
+            | t when t = tag_offer ->
+              if payload.(1) = st.best && not (List.mem u st.same_wave) then
+                { st with same_wave = u :: st.same_wave }
+              else st (* weaker or already-counted offers need no reply *)
+            | t when t = tag_accept ->
+              if payload.(1) = st.best then { st with pending = u :: st.pending } else st
+            | t when t = tag_echo ->
+              if payload.(1) = st.best then
+                {
+                  st with
+                  pending = List.filter (fun x -> x <> u) st.pending;
+                  done_children = u :: st.done_children;
+                }
+              else st
+            | t when t = tag_leader ->
+              { st with leader = payload.(1) }
+            | t -> invalid_arg (Printf.sprintf "Leader: unknown tag %d" t))
+          st inbox
+      in
+      (* forward the final broadcast and halt *)
+      if st.leader >= 0 then begin
+        List.iter (fun c -> send c [| tag_leader; st.leader |]) st.done_children;
+        ({ st with halted = true }, !out)
+      end
+      else begin
+        let settled =
+          (not st.just_adopted)
+          && List.for_all
+               (fun u ->
+                 u = st.parent || List.mem u st.same_wave || List.mem u st.done_children)
+               st.neighbors
+          && st.pending = []
+        in
+        if settled && st.parent = -1 && st.best = node then begin
+          (* complete echo of our own wave: we are the leader *)
+          List.iter (fun c -> send c [| tag_leader; node |]) st.done_children;
+          ({ st with leader = node; halted = true }, !out)
+        end
+        else if settled && st.parent <> -1 && not st.echoed then begin
+          send st.parent [| tag_echo; st.best |];
+          ({ st with echoed = true }, !out)
+        end
+        else (st, !out)
+      end
+    end
+  in
+  let halted st = st.halted in
+  let states, stats = Runtime.run g { init; step; halted } in
+  let leader_id = states.(0).leader in
+  Array.iteri
+    (fun v st ->
+      if st.leader <> leader_id || st.best <> leader_id then
+        invalid_arg (Printf.sprintf "Leader.elect: node %d disagrees on the leader" v))
+    states;
+  {
+    leader = leader_id;
+    parent = Array.map (fun st -> st.parent) states;
+    depth = Array.map (fun st -> st.depth) states;
+    stats;
+  }
+
+let round_bound ~diam = (5 * diam) + 10

@@ -1,0 +1,32 @@
+(** Time-optimal leader election (after [P], cited in §5.2's root
+    assumption).
+
+    All nodes start simultaneously; every node floods a BFS wave carrying
+    its identifier, waves carrying smaller identifiers die whenever they
+    meet a node that has already heard a larger one, and each wave performs
+    a BFS echo.  Only the globally maximal identifier's wave can cover the
+    whole graph, so only its originator collects a complete echo; it then
+    declares itself leader and broadcasts the outcome over its BFS tree.
+
+    Runs in [O(Diam)] rounds at full message level ([O(log n)]-bit
+    messages, one per edge per round).  Message complexity is not optimized
+    ([P] discusses the tradeoffs); the paper's [FastMST] assumes a
+    designated root, and this module discharges that assumption:
+    {!Fast_mst.run} can be pointed at {!elect}'s winner for a fully
+    self-contained execution. *)
+
+open Kdom_graph
+open Kdom_congest
+
+type result = {
+  leader : int;            (** the maximum node id *)
+  parent : int array;      (** BFS tree rooted at the leader; [-1] at the leader *)
+  depth : int array;       (** distance from the leader *)
+  stats : Runtime.stats;
+}
+
+val elect : Graph.t -> result
+(** Requires a connected graph. *)
+
+val round_bound : diam:int -> int
+(** [5 * diam + 10] — the O(Diam) shape checked by the tests. *)

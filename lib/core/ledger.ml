@@ -1,0 +1,28 @@
+type t = { mutable entries : (string * int) list (* reversed *) }
+
+let create () = { entries = [] }
+
+let charge t label rounds =
+  if rounds < 0 then invalid_arg "Ledger.charge: negative rounds";
+  t.entries <- (label, rounds) :: t.entries
+
+let total t = List.fold_left (fun acc (_, r) -> acc + r) 0 t.entries
+
+let entries t =
+  let merged = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (label, r) ->
+      if not (Hashtbl.mem merged label) then order := label :: !order;
+      Hashtbl.replace merged label (r + Option.value ~default:0 (Hashtbl.find_opt merged label)))
+    (List.rev t.entries);
+  List.rev_map (fun label -> (label, Hashtbl.find merged label)) !order
+
+let merge_max t ts label =
+  let m = List.fold_left (fun acc l -> max acc (total l)) 0 ts in
+  charge t label m
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (label, r) -> Format.fprintf ppf "%-28s %6d@," label r) (entries t);
+  Format.fprintf ppf "%-28s %6d@]" "total" (total t)

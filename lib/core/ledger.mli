@@ -1,0 +1,27 @@
+(** Round-accounting ledger for phase-level simulations.
+
+    The fragment-merging algorithms ([DOM_Partition*], [SimpleMST], [GHS])
+    are simulated at the granularity the paper uses for its time analysis:
+    explicit phases with a known round cost (e.g. phase [i] of [SimpleMST]
+    lasts exactly [5*2^i + 2] rounds).  A ledger accumulates those charges
+    under named components so that end-to-end algorithms can both report a
+    total round count and show where the rounds went. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> string -> int -> unit
+(** [charge t label rounds] adds [rounds] (>= 0) under [label]. *)
+
+val total : t -> int
+
+val entries : t -> (string * int) list
+(** Charges in insertion order, same-label charges merged. *)
+
+val merge_max : t -> t list -> string -> unit
+(** [merge_max t ts label] charges [t] the {e maximum} total of the ledgers
+    [ts] under [label] — the cost of running independent sub-computations
+    in parallel (e.g. [DiamDOM] inside every cluster at once). *)
+
+val pp : Format.formatter -> t -> unit

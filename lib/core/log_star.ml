@@ -1,0 +1,18 @@
+let log2 n =
+  if n < 1 then invalid_arg "Log_star.log2";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Log_star.ceil_log2";
+  let rec go c pow = if pow >= n then c else go (c + 1) (2 * pow) in
+  go 0 1
+
+let log_star n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (log2 n) in
+  go 0 n
+
+let k_log_star ~k ~n = k * max 1 (log_star n)
+
+let fast_mst_bound ~n ~diam =
+  (sqrt (float_of_int n) *. float_of_int (max 1 (log_star n))) +. float_of_int diam

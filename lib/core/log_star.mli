@@ -1,0 +1,21 @@
+(** Iterated logarithm and the bound expressions of the paper.
+
+    The complexity claims are stated in terms of [log* n] — the number of
+    times [log2] must be applied to reach a value [<= 1].  The benchmark
+    harness divides measured round counts by these expressions to exhibit
+    the claimed shapes. *)
+
+val log2 : int -> int
+(** [log2 n] = floor of base-2 logarithm; requires [n >= 1]. *)
+
+val ceil_log2 : int -> int
+(** Smallest [c] with [2^c >= n]; requires [n >= 1]. *)
+
+val log_star : int -> int
+(** Iterated logarithm (base 2); [log_star n = 0] for [n <= 1]. *)
+
+val k_log_star : k:int -> n:int -> int
+(** [k * max 1 (log* n)] — the Theorem 3.2 / 4.4 bound shape. *)
+
+val fast_mst_bound : n:int -> diam:int -> float
+(** [sqrt n * log* n + diam] — the Theorem 5.6 bound shape. *)

@@ -1,0 +1,50 @@
+(** Procedure [SimpleMST] (§4.1–4.4): a [(k+1, n)] spanning forest whose
+    trees are fragments of the MST, in [O(k)] rounds.
+
+    A controlled Borůvka/GHS process: fragments grow by merging along
+    minimum-weight outgoing edges (MWOE) for [ceil(log2(k+1))] phases, where
+    phase [i] lasts exactly [5 * 2^i + 2] rounds (§4.3).  A fragment whose
+    tree depth exceeds [2^i] halts for phase [i] (it may resume later) but
+    still accepts merges from active neighbors; a fragment is guaranteed
+    size [> 2^i] whenever it halts, which gives the Lemma 4.2 size bound.
+
+    Simulation granularity: phase-level with the paper's exact round
+    charges (see DESIGN.md).  Merges are resolved the classical way — the
+    MWOE "wish pointers" of the fragments in a merge group form a tree,
+    rooted either at the unique mutually-chosen minimum edge (whose
+    higher-id endpoint becomes the new root, §4.3) or at a halted fragment
+    that was merged onto. *)
+
+open Kdom_graph
+
+type fragment = {
+  root : int;                   (** host node acting as fragment root *)
+  members : int list;
+  tree_edges : Graph.edge list; (** MST edges internal to the fragment *)
+  depth : int;                  (** depth of the fragment tree from [root] *)
+}
+
+type result = {
+  fragments : fragment list;
+  rounds : int;       (** sum of the exact per-phase charges *)
+  phases : int;
+  ledger : Ledger.t;
+}
+
+val tree_depth : int -> int list -> Graph.edge list -> int
+(** [tree_depth root members edges] — eccentricity of [root] in the tree
+    on [members] with the given edges; raises when the edges do not span
+    the members.  Shared with the {!Ghs} baseline. *)
+
+val run : Graph.t -> k:int -> result
+(** Requires a connected graph with distinct edge weights and [k >= 1]. *)
+
+val spanning_forest_edges : result -> Graph.edge list
+(** All fragment tree edges. *)
+
+val fragment_of_array : Graph.t -> result -> int array
+(** Node -> index of its fragment in [fragments]. *)
+
+val round_bound : k:int -> int
+(** [Sum over phases i of (5 * 2^i + 2)] — what {!run} charges, closed
+    form; [O(k)] (Lemma 4.1). *)

@@ -1,0 +1,331 @@
+open Kdom_graph
+open Kdom_congest
+
+type result = {
+  fragments : Simple_mst.fragment list;
+  stats : Runtime.stats;
+  phases : int;
+}
+
+(* Message tags *)
+let tag_probe = 0 (* [tag; hop; root id] *)
+let tag_echo = 1 (* [tag; deep?] *)
+let tag_verdict = 2 (* [tag; active?; hop] *)
+let tag_fragid = 3 (* [tag; fragment id] *)
+let tag_cand = 4 (* [tag; weight (-1 = none)] *)
+let tag_rootship = 5 (* [tag] *)
+let tag_connect = 6 (* [tag; sender id] *)
+
+let phases_for k = max 1 (Log_star.ceil_log2 (k + 1))
+let phase_len i = (5 * (1 lsl i)) + 10
+
+let schedule_length ~k =
+  let p = phases_for k in
+  let rec go i acc = if i > p then acc else go (i + 1) (acc + phase_len i) in
+  go 1 0
+
+(* Locate the current phase and the offset inside it. *)
+let locate round =
+  let rec go i start =
+    if round < start + phase_len i then (i, round - start) else go (i + 1) (start + phase_len i)
+  in
+  go 1 0
+
+type state = {
+  tree : int list;             (* fragment tree neighbors *)
+  parent : int;                (* -1 at the fragment root *)
+  frag_id : int;               (* latest root identity heard (may be stale) *)
+  (* per-phase scratch, reset at every phase start *)
+  active : bool;
+  probe_seen : bool;
+  echo_pending : int list;
+  echo_deep : bool;
+  echo_sent : bool;
+  verdict_sent : bool;
+  fragids : (int * int) list;  (* (neighbor, fragment id) heard this phase *)
+  classified : bool;
+  own_min : (int * int) option;     (* weight, neighbor over own best outgoing edge *)
+  cand_pending : int list;
+  cand_sent : bool;
+  best_w : int;                (* lightest candidate weight, max_int = none *)
+  best_owner : int;            (* -2 = own edge, else the child that sent it *)
+  rootship_here : bool;
+  connect_to : int;            (* neighbor the connect was sent to, -1 *)
+  halted : bool;
+}
+
+let children st = List.filter (fun u -> u <> st.parent) st.tree
+
+let fresh_phase st =
+  {
+    st with
+    active = false;
+    probe_seen = false;
+    echo_pending = [];
+    echo_deep = false;
+    echo_sent = false;
+    verdict_sent = false;
+    fragids = [];
+    classified = false;
+    own_min = None;
+    cand_pending = [];
+    cand_sent = false;
+    best_w = max_int;
+    best_owner = -2;
+    rootship_here = false;
+    connect_to = -1;
+  }
+
+let run g ~k =
+  if k < 1 then invalid_arg "Simple_mst_congest.run: k must be >= 1";
+  if not (Graph.is_connected g) then
+    invalid_arg "Simple_mst_congest.run: graph must be connected";
+  if not (Graph.has_distinct_weights g) then
+    invalid_arg "Simple_mst_congest.run: edge weights must be distinct";
+  let total = schedule_length ~k in
+  let phases = phases_for k in
+  let init _g v =
+    fresh_phase
+      {
+        tree = [];
+        parent = -1;
+        frag_id = v;
+        active = false;
+        probe_seen = false;
+        echo_pending = [];
+        echo_deep = false;
+        echo_sent = false;
+        verdict_sent = false;
+        fragids = [];
+        classified = false;
+        own_min = None;
+        cand_pending = [];
+        cand_sent = false;
+        best_w = max_int;
+        best_owner = -2;
+        rootship_here = false;
+        connect_to = -1;
+        halted = false;
+      }
+  in
+  let step _g ~round ~node st inbox =
+    let out = ref [] in
+    let send u payload = out := (u, payload) :: !out in
+    let i, r = locate round in
+    let cap = 1 lsl i in
+    let verdict_at = (2 * cap) + 2 in
+    let fragid_at = (3 * cap) + 4 in
+    let rootship_at = (4 * cap) + 6 in
+    let connect_at = (5 * cap) + 7 in
+    (* phase start: reset scratch; the root fires the depth probe *)
+    let st = if r = 0 then fresh_phase st else st in
+    let st =
+      if r = 0 && st.parent = -1 then begin
+        let kids = children st in
+        List.iter (fun c -> send c [| tag_probe; cap - 1; node |]) kids;
+        { st with echo_pending = kids; frag_id = node; probe_seen = true }
+      end
+      else st
+    in
+    (* consume the inbox *)
+    let st =
+      List.fold_left
+        (fun st (u, payload) ->
+          match payload.(0) with
+          | t when t = tag_probe ->
+            let hop = payload.(1) and id = payload.(2) in
+            assert (u = st.parent);
+            let st = { st with frag_id = id; probe_seen = true } in
+            let kids = children st in
+            if kids = [] then begin
+              send st.parent [| tag_echo; 0 |];
+              { st with echo_sent = true }
+            end
+            else if hop = 0 then begin
+              (* the tree continues below the probe's reach: too deep *)
+              send st.parent [| tag_echo; 1 |];
+              { st with echo_sent = true }
+            end
+            else begin
+              List.iter (fun c -> send c [| tag_probe; hop - 1; id |]) kids;
+              { st with echo_pending = kids }
+            end
+          | t when t = tag_echo ->
+            {
+              st with
+              echo_pending = List.filter (fun x -> x <> u) st.echo_pending;
+              echo_deep = st.echo_deep || payload.(1) = 1;
+            }
+          | t when t = tag_verdict ->
+            let active = payload.(1) = 1 and hop = payload.(2) in
+            if hop > 0 then
+              List.iter (fun c -> send c [| tag_verdict; payload.(1); hop - 1 |]) (children st);
+            { st with active }
+          | t when t = tag_fragid -> { st with fragids = (u, payload.(1)) :: st.fragids }
+          | t when t = tag_cand ->
+            let st =
+              if payload.(1) >= 0 && payload.(1) < st.best_w then
+                { st with best_w = payload.(1); best_owner = u }
+              else st
+            in
+            { st with cand_pending = List.filter (fun x -> x <> u) st.cand_pending }
+          | t when t = tag_rootship ->
+            (* walk on towards the winning edge, flipping orientation *)
+            if st.best_owner = -2 then { st with parent = -1; rootship_here = true }
+            else begin
+              send st.best_owner [| tag_rootship |];
+              { st with parent = st.best_owner }
+            end
+          | t when t = tag_connect ->
+            let st =
+              if List.mem u st.tree then st else { st with tree = u :: st.tree }
+            in
+            if st.connect_to = u then
+              (* mutual connect over the same edge: the higher id roots *)
+              if payload.(1) > node then { st with parent = u } else st
+            else st
+          | t -> invalid_arg (Printf.sprintf "Simple_mst_congest: unknown tag %d" t))
+        st inbox
+    in
+    (* echo aggregation towards the root *)
+    let st =
+      if st.probe_seen && st.echo_pending = [] && (not st.echo_sent)
+         && children st <> [] && r > 0 && r < verdict_at
+      then
+        if st.parent = -1 then st (* the root just waits for the verdict slot *)
+        else begin
+          send st.parent [| tag_echo; (if st.echo_deep then 1 else 0) |];
+          { st with echo_sent = true }
+        end
+      else st
+    in
+    (* the root announces the verdict *)
+    let st =
+      if r = verdict_at && st.parent = -1 && not st.verdict_sent then begin
+        let active = st.echo_pending = [] && not st.echo_deep in
+        List.iter
+          (fun c -> send c [| tag_verdict; (if active then 1 else 0); cap - 1 |])
+          (children st);
+        { st with active; verdict_sent = true }
+      end
+      else st
+    in
+    (* active nodes exchange fragment identities over every edge *)
+    let st =
+      if r = fragid_at && st.active then begin
+        Array.iter (fun (u, _) -> send u [| tag_fragid; st.frag_id |]) (Graph.neighbors g node);
+        st
+      end
+      else st
+    in
+    (* classification: edges that did not confirm our fragment id are outgoing *)
+    let st =
+      if r = fragid_at + 1 && st.active && not st.classified then begin
+        let own_min = ref None in
+        Array.iter
+          (fun (u, (e : Graph.edge)) ->
+            let same =
+              match List.assoc_opt u st.fragids with
+              | Some id -> id = st.frag_id
+              | None -> false
+            in
+            if not same then
+              match !own_min with
+              | Some (w, _) when w <= e.w -> ()
+              | _ -> own_min := Some (e.w, u))
+          (Graph.neighbors g node);
+        let best_w, best_owner =
+          match !own_min with Some (w, _) -> (w, -2) | None -> (max_int, -2)
+        in
+        { st with classified = true; own_min = !own_min; cand_pending = children st;
+          best_w; best_owner }
+      end
+      else st
+    in
+    (* minimum-weight-outgoing-edge convergecast *)
+    let st =
+      if st.active && st.classified && st.cand_pending = [] && (not st.cand_sent)
+         && st.parent <> -1 && r >= fragid_at + 1 && r < rootship_at
+      then begin
+        send st.parent [| tag_cand; (if st.best_w = max_int then -1 else st.best_w) |];
+        { st with cand_sent = true }
+      end
+      else st
+    in
+    (* the root launches the rootship transfer *)
+    let st =
+      if r = rootship_at && st.active && st.parent = -1 && st.best_w < max_int then
+        if st.best_owner = -2 then { st with rootship_here = true }
+        else begin
+          send st.best_owner [| tag_rootship |];
+          { st with parent = st.best_owner }
+        end
+      else st
+    in
+    (* the new root connects over the chosen edge *)
+    let st =
+      if r = connect_at && st.rootship_here then begin
+        match st.own_min with
+        | Some (_, u) ->
+          send u [| tag_connect; node |];
+          { st with connect_to = u; tree = u :: st.tree; parent = -1 }
+        | None -> invalid_arg "Simple_mst_congest: rootship without a winning edge"
+      end
+      else st
+    in
+    (* silence on the connect edge means absorption into the other side *)
+    let st =
+      if r = connect_at + 1 && st.connect_to >= 0 && st.parent = -1 then begin
+        let mutual = List.exists (fun (u, _) -> u = st.connect_to) inbox in
+        if mutual then st (* resolved while consuming the inbox *)
+        else { st with parent = st.connect_to }
+      end
+      else st
+    in
+    let st = if round = total - 1 then { st with halted = true } else st in
+    (st, !out)
+  in
+  let halted st = st.halted in
+  let states, stats = Runtime.run g { init; step; halted } in
+  (* reconstruct the fragment forest from the final tree edges *)
+  let n = Graph.n g in
+  let uf = Union_find.create n in
+  Array.iteri
+    (fun v st -> List.iter (fun u -> ignore (Union_find.union uf v u)) st.tree)
+    states;
+  let groups = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    let r = Union_find.find uf v in
+    Hashtbl.replace groups r (v :: Option.value ~default:[] (Hashtbl.find_opt groups r))
+  done;
+  let fragments =
+    Hashtbl.fold
+      (fun _r members acc ->
+        let roots = List.filter (fun v -> states.(v).parent = -1) members in
+        let root =
+          match roots with
+          | [ r ] -> r
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Simple_mst_congest: fragment with %d roots"
+                 (List.length roots))
+        in
+        let tree_edges =
+          List.concat_map
+            (fun v ->
+              List.filter_map
+                (fun u ->
+                  if v < u then
+                    match Graph.find_edge g v u with
+                    | Some e -> Some e
+                    | None -> invalid_arg "Simple_mst_congest: tree edge not in graph"
+                  else None)
+                states.(v).tree)
+            members
+          |> List.sort_uniq (fun (a : Graph.edge) b -> compare a.id b.id)
+        in
+        let depth = Simple_mst.tree_depth root members tree_edges in
+        ({ root; members; tree_edges; depth } : Simple_mst.fragment) :: acc)
+      groups []
+  in
+  { fragments; stats; phases }

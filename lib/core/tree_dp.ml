@@ -1,0 +1,48 @@
+open Kdom_graph
+
+let infinity_dist = max_int / 2
+
+let run (t : Tree.t) ~k =
+  if k < 1 then invalid_arg "Tree_dp.run: k must be >= 1";
+  let n = Graph.n t.graph in
+  (* low.(v): distance from v to the nearest chosen dominator in v's
+     subtree (infinity_dist if none). high.(v): distance from v to the
+     farthest still-uncovered node in v's subtree (-1 if none). *)
+  let low = Array.make n infinity_dist in
+  let high = Array.make n (-1) in
+  let chosen = Array.make n false in
+  let order = Tree.bottom_up t in
+  Array.iter
+    (fun v ->
+      let clow =
+        Array.fold_left (fun acc c -> min acc (low.(c) + 1)) infinity_dist t.children.(v)
+      in
+      let chigh =
+        Array.fold_left (fun acc c -> max acc (high.(c) + 1)) (-1) t.children.(v)
+      in
+      (* v itself is uncovered unless a subtree dominator reaches it *)
+      let chigh = if clow > k then max chigh 0 else chigh in
+      if chigh = k then begin
+        (* last moment: the deep uncovered node can only be served here *)
+        chosen.(v) <- true;
+        low.(v) <- 0;
+        high.(v) <- -1
+      end
+      else if chigh >= 0 && chigh + clow <= k then begin
+        (* every uncovered node is within k of the subtree dominator *)
+        low.(v) <- clow;
+        high.(v) <- -1
+      end
+      else begin
+        low.(v) <- clow;
+        high.(v) <- chigh
+      end)
+    order;
+  if high.(t.root) >= 0 then chosen.(t.root) <- true;
+  let dominators = ref [] in
+  List.iter (fun v -> if chosen.(v) then dominators := v :: !dominators) (Tree.nodes t);
+  (List.rev !dominators, (2 * t.height) + 2)
+
+let optimal_size g ~root ~k =
+  let t = Tree.root_at g root in
+  List.length (fst (run t ~k))

@@ -1,0 +1,26 @@
+(** Optimal k-dominating sets on trees by one bottom-up convergecast.
+
+    The classical last-moment greedy (Kariv–Hakimi style): processing nodes
+    bottom-up, a node whose subtree contains an uncovered node at distance
+    exactly [k] must enter the dominating set; uncovered nodes within
+    [k - d] of a dominator at distance [d] below are discharged.  One
+    convergecast suffices, so the distributed cost is [2 * height + O(1)]
+    rounds — no worse than the census stage of [DiamDOM].
+
+    This is {e not} the paper's algorithm; it is provided because the
+    paper's Lemma 2.1 level-class construction does not actually dominate
+    without a root repair that costs the ceiling (see {!Diam_dom}), whereas
+    this stage restores the exact [floor(n/(k+1))] budget of Theorem 3.2
+    (Meir–Moon: trees with [n >= k+1] nodes have k-dominating sets that
+    small, and this greedy finds a minimum one).  [Fastdom_tree] can use
+    either stage; the benches compare them (experiment E4). *)
+
+open Kdom_graph
+
+val run : Tree.t -> k:int -> int list * int
+(** [(dominators, rounds)] on the rooted component; [rounds] is the
+    convergecast cost [2 * height + 2].  Requires [k >= 1]. *)
+
+val optimal_size : Graph.t -> root:int -> k:int -> int
+(** Convenience: size of the set computed by {!run} on the tree rooted at
+    [root]. *)

@@ -1,0 +1,164 @@
+let size_bound ~n ~k = max 1 (n / (k + 1))
+let size_bound_ceil ~n ~k = max 1 ((n + k) / (k + 1))
+
+let distances_to_set g d =
+  match d with
+  | [] -> Array.make (Graph.n g) max_int
+  | _ -> (Traversal.bfs_multi g d).dist
+
+let is_k_dominating g ~k d =
+  let dist = distances_to_set g d in
+  Array.for_all (fun x -> x <= k) dist
+
+let dominator_assignment g d =
+  let n = Graph.n g in
+  let owner = Array.make n (-1) in
+  List.iter (fun v -> owner.(v) <- v) d;
+  let b = Traversal.bfs_multi g d in
+  Array.iter (fun v -> if owner.(v) = -1 && b.parent.(v) >= 0 then owner.(v) <- owner.(b.parent.(v))) b.order;
+  owner
+
+let coverage_radius g d =
+  let dist = distances_to_set g d in
+  Array.fold_left
+    (fun acc x ->
+      if x = max_int then invalid_arg "Domination.coverage_radius: uncovered node"
+      else max acc x)
+    0 dist
+
+let bfs_levels g ~root ~k =
+  if k < 1 then invalid_arg "Domination.bfs_levels: k must be >= 1";
+  if not (Graph.is_connected g) then
+    invalid_arg "Domination.bfs_levels: graph must be connected";
+  let b = Traversal.bfs g root in
+  let h = Array.fold_left max 0 b.dist in
+  if k >= h then [ root ]
+  else begin
+    (* Count each level class, charging the root to every class (the root
+       must be added to classes l > 0 to dominate vertices of depth < l). *)
+    let counts = Array.make (k + 1) 0 in
+    Array.iter (fun d -> counts.(d mod (k + 1)) <- counts.(d mod (k + 1)) + 1) b.dist;
+    for l = 1 to k do
+      counts.(l) <- counts.(l) + 1
+    done;
+    let best = ref 0 in
+    for l = 1 to k do
+      if counts.(l) < counts.(!best) then best := l
+    done;
+    let acc = ref (if !best = 0 then [] else [ root ]) in
+    Array.iteri (fun v d -> if d mod (k + 1) = !best then acc := v :: !acc) b.dist;
+    !acc
+  end
+
+let deepest_first g ~root ~k =
+  if k < 1 then invalid_arg "Domination.deepest_first: k must be >= 1";
+  if not (Graph.is_connected g) then
+    invalid_arg "Domination.deepest_first: graph must be connected";
+  let n = Graph.n g in
+  let b = Traversal.bfs g root in
+  let children = Array.make n [] in
+  for v = 0 to n - 1 do
+    if b.parent.(v) >= 0 then children.(b.parent.(v)) <- v :: children.(b.parent.(v))
+  done;
+  let by_depth_desc =
+    List.sort (fun u v -> compare b.dist.(v) b.dist.(u)) (List.init n Fun.id)
+  in
+  let removed = Array.make n false in
+  let remove_subtree u =
+    let stack = Stack.create () in
+    Stack.push u stack;
+    while not (Stack.is_empty stack) do
+      let x = Stack.pop stack in
+      if not removed.(x) then begin
+        removed.(x) <- true;
+        List.iter (fun c -> Stack.push c stack) children.(x)
+      end
+    done
+  in
+  let chosen = ref [] in
+  let finished = ref false in
+  List.iter
+    (fun v ->
+      if (not !finished) && not removed.(v) then
+        if b.dist.(v) <= k then begin
+          (* everything left is within k of the root *)
+          chosen := root :: !chosen;
+          finished := true
+        end
+        else begin
+          let u = ref v in
+          for _step = 1 to k do
+            u := b.parent.(!u)
+          done;
+          chosen := !u :: !chosen;
+          remove_subtree !u
+        end)
+    by_depth_desc;
+  List.rev !chosen
+
+let greedy g ~k =
+  let n = Graph.n g in
+  if n = 0 then []
+  else begin
+    let ball = Array.init n (fun v ->
+        let dist = Traversal.distances_from g v in
+        let acc = ref [] in
+        Array.iteri (fun u d -> if d <= k then acc := u :: !acc) dist;
+        !acc)
+    in
+    let covered = Array.make n false in
+    let remaining = ref n in
+    let chosen = ref [] in
+    while !remaining > 0 do
+      let best = ref (-1) and best_gain = ref (-1) in
+      for v = 0 to n - 1 do
+        let gain = List.fold_left (fun acc u -> if covered.(u) then acc else acc + 1) 0 ball.(v) in
+        if gain > !best_gain then begin
+          best_gain := gain;
+          best := v
+        end
+      done;
+      if !best_gain <= 0 then invalid_arg "Domination.greedy: internal: no progress";
+      chosen := !best :: !chosen;
+      List.iter
+        (fun u ->
+          if not covered.(u) then begin
+            covered.(u) <- true;
+            decr remaining
+          end)
+        ball.(!best)
+    done;
+    List.rev !chosen
+  end
+
+let brute_force_optimum g ~k =
+  let n = Graph.n g in
+  if n = 0 then []
+  else if n > 22 then invalid_arg "Domination.brute_force_optimum: graph too large"
+  else begin
+    let balls = Array.init n (fun v ->
+        let dist = Traversal.distances_from g v in
+        let mask = ref 0 in
+        Array.iteri (fun u d -> if d <= k then mask := !mask lor (1 lsl u)) dist;
+        !mask)
+    in
+    let full = (1 lsl n) - 1 in
+    let best = ref None in
+    (* Depth-first branch and bound over subsets in increasing size. *)
+    let rec search idx picked mask count limit =
+      if count > limit then ()
+      else if mask = full then best := Some picked
+      else if idx >= n then ()
+      else begin
+        search (idx + 1) (idx :: picked) (mask lor balls.(idx)) (count + 1) limit;
+        match !best with
+        | Some _ -> ()
+        | None -> search (idx + 1) picked mask count limit
+      end
+    in
+    let rec grow limit =
+      search 0 [] 0 0 limit;
+      match !best with Some s -> List.rev s | None -> grow (limit + 1)
+    in
+    grow 1
+  end

@@ -1,0 +1,59 @@
+(** Sequential k-domination: definitions, checkers and baselines.
+
+    A set [D] is {e k-dominating} in [G] when every node is within hop
+    distance [k] of some member of [D].  The paper's target size is
+    [max 1 (n / (k+1))] (floor).  This module provides the centralized
+    checker used by every test, the sequential construction from the proof
+    of Lemma 2.1 (BFS levels mod (k+1)), and greedy/brute-force baselines
+    for quality comparison. *)
+
+val size_bound : n:int -> k:int -> int
+(** [max 1 (n / (k+1))] — the paper's "small" threshold (Lemma 2.1). *)
+
+val size_bound_ceil : n:int -> k:int -> int
+(** [max 1 (ceil (n / (k+1)))] — the bound actually achieved by the
+    root-augmented level construction ({!bfs_levels}); see the note
+    there. *)
+
+val is_k_dominating : Graph.t -> k:int -> int list -> bool
+(** Whether the set k-dominates the whole (connected or not) graph; for a
+    disconnected graph every component must contain a dominator within
+    range. An empty set only dominates the empty graph. *)
+
+val dominator_assignment : Graph.t -> int list -> int array
+(** [dominator_assignment g d] maps every node to its closest member of
+    [d] (ties broken by BFS order); [-1] if unreachable. This is the
+    partition [P] the paper associates with [D]. *)
+
+val coverage_radius : Graph.t -> int list -> int
+(** Maximum distance from any node to the set — the smallest [k] for which
+    the set is k-dominating. Raises on uncovered components. *)
+
+val bfs_levels : Graph.t -> root:int -> k:int -> int list
+(** The Lemma 2.1 construction, with a necessary repair.  Take a BFS tree
+    from [root] and group depth levels mod [k+1].  The paper claims every
+    group [D_i] is k-dominating; this is false as stated — a vertex at
+    depth [d < i] with no deep descendants can be farther than [k] from
+    every class-[i] vertex (see the [lemma-2.1 gap] regression test).  The
+    repair is classical: since every such vertex is within [k] of the
+    root, [D_i ∪ {root}] {e is} k-dominating.  This function therefore
+    returns the smallest augmented group, of size
+    [<= size_bound_ceil n k] (the root costs the ceiling), or [{root}]
+    alone when the BFS tree is shallower than [k+1].  Requires a
+    connected graph. *)
+
+val deepest_first : Graph.t -> root:int -> k:int -> int list
+(** Meir–Moon style sequential greedy on a BFS tree: repeatedly take the
+    k-th ancestor of a deepest remaining vertex (whose residual subtree has
+    height [<= k] and [>= k+1] vertices) until the residue has height
+    [<= k], then add the root.  Size [<= size_bound_ceil n k];
+    k-dominating.  The centralized quality baseline for the benches. *)
+
+val greedy : Graph.t -> k:int -> int list
+(** Classical greedy set-cover baseline: repeatedly pick the node whose
+    k-ball covers the most uncovered nodes. Better quality, much more
+    expensive, not distributed — used only for comparison tables. *)
+
+val brute_force_optimum : Graph.t -> k:int -> int list
+(** Exact minimum k-dominating set by subset enumeration.  Exponential;
+    only for graphs of ~20 nodes or fewer in tests. *)

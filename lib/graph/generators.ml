@@ -1,0 +1,277 @@
+(* All generators build an unweighted edge list first, then attach random
+   pairwise-distinct weights: a shuffled slice of [1 .. 4m], keeping weights
+   polynomial in n as the paper assumes. *)
+
+let distinct_weights ~rng m =
+  if m = 0 then [||]
+  else begin
+    let pool = Array.init (4 * m) (fun i -> i + 1) in
+    Rng.shuffle rng pool;
+    Array.sub pool 0 m
+  end
+
+let build ~rng ~n pairs =
+  let pairs = Array.of_list pairs in
+  let ws = distinct_weights ~rng (Array.length pairs) in
+  Graph.of_edge_array ~n (Array.mapi (fun i (u, v) -> (u, v, ws.(i))) pairs)
+
+let hidden_path ~rng ~n ~shortcuts =
+  if n < 2 then invalid_arg "Generators.hidden_path";
+  (* the path gets the n-1 smallest weights (shuffled) => it is the MST *)
+  let light = Array.init (n - 1) (fun i -> i + 1) in
+  Rng.shuffle rng light;
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    edges := (order.(i), order.(i + 1), light.(i)) :: !edges
+  done;
+  let seen = Hashtbl.create shortcuts in
+  for i = 0 to n - 2 do
+    let a, b = (order.(i), order.(i + 1)) in
+    Hashtbl.replace seen (min a b, max a b) ()
+  done;
+  let heavy = ref n in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < shortcuts && !attempts < 20 * shortcuts do
+    incr attempts;
+    let a = Rng.int rng n and b = Rng.int rng n in
+    let key = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      edges := (a, b, !heavy + Rng.int rng (16 * n)) :: !edges;
+      (* keep weights distinct by spacing the base *)
+      heavy := !heavy + (16 * n);
+      incr added
+    end
+  done;
+  Graph.of_edges ~n !edges
+
+let reweight ~rng g =
+  let ws = distinct_weights ~rng (Graph.m g) in
+  Graph.of_edge_array ~n:(Graph.n g)
+    (Array.mapi (fun i (e : Graph.edge) -> (e.u, e.v, ws.(i))) (Graph.edges g))
+
+let path ~rng n =
+  if n < 1 then invalid_arg "Generators.path";
+  build ~rng ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star ~rng n =
+  if n < 1 then invalid_arg "Generators.star";
+  build ~rng ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let binary_tree ~rng n =
+  if n < 1 then invalid_arg "Generators.binary_tree";
+  build ~rng ~n (List.init (n - 1) (fun i -> ((i + 1 - 1) / 2, i + 1)))
+
+let caterpillar ~rng ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Generators.caterpillar";
+  let n = spine * (legs + 1) in
+  let spine_edges = List.init (spine - 1) (fun i -> (i, i + 1)) in
+  let leg_edges =
+    List.concat_map
+      (fun s -> List.init legs (fun j -> (s, spine + (s * legs) + j)))
+      (List.init spine Fun.id)
+  in
+  build ~rng ~n (spine_edges @ leg_edges)
+
+let broom ~rng ~handle ~bristles =
+  if handle < 1 || bristles < 0 then invalid_arg "Generators.broom";
+  let n = handle + bristles in
+  let handle_edges = List.init (handle - 1) (fun i -> (i, i + 1)) in
+  let bristle_edges = List.init bristles (fun j -> (handle - 1, handle + j)) in
+  build ~rng ~n (handle_edges @ bristle_edges)
+
+let random_tree ~rng n =
+  if n < 1 then invalid_arg "Generators.random_tree";
+  if n = 1 then build ~rng ~n []
+  else if n = 2 then build ~rng ~n [ (0, 1) ]
+  else begin
+    (* Decode a uniformly random Prüfer sequence. *)
+    let seq = Array.init (n - 2) (fun _ -> Rng.int rng n) in
+    let degree = Array.make n 1 in
+    Array.iter (fun v -> degree.(v) <- degree.(v) + 1) seq;
+    let module IntSet = Set.Make (Int) in
+    let leaves = ref IntSet.empty in
+    for v = 0 to n - 1 do
+      if degree.(v) = 1 then leaves := IntSet.add v !leaves
+    done;
+    let edges = ref [] in
+    Array.iter
+      (fun v ->
+        let leaf = IntSet.min_elt !leaves in
+        leaves := IntSet.remove leaf !leaves;
+        edges := (leaf, v) :: !edges;
+        degree.(v) <- degree.(v) - 1;
+        if degree.(v) = 1 then leaves := IntSet.add v !leaves)
+      seq;
+    let a = IntSet.min_elt !leaves in
+    let b = IntSet.max_elt !leaves in
+    build ~rng ~n ((a, b) :: !edges)
+  end
+
+let random_attachment_tree ~rng n =
+  if n < 1 then invalid_arg "Generators.random_attachment_tree";
+  build ~rng ~n (List.init (n - 1) (fun i -> (Rng.int rng (i + 1), i + 1)))
+
+let cycle ~rng n =
+  if n < 3 then invalid_arg "Generators.cycle";
+  build ~rng ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete ~rng n =
+  if n < 1 then invalid_arg "Generators.complete";
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      pairs := (u, v) :: !pairs
+    done
+  done;
+  build ~rng ~n !pairs
+
+let grid_pairs ~rows ~cols ~wrap =
+  let id r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then pairs := (id r c, id r (c + 1)) :: !pairs
+      else if wrap && cols > 2 then pairs := (id r 0, id r (cols - 1)) :: !pairs;
+      if r + 1 < rows then pairs := (id r c, id (r + 1) c) :: !pairs
+      else if wrap && rows > 2 then pairs := (id 0 c, id (rows - 1) c) :: !pairs
+    done
+  done;
+  !pairs
+
+let grid ~rng ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  build ~rng ~n:(rows * cols) (grid_pairs ~rows ~cols ~wrap:false)
+
+let torus ~rng ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus";
+  build ~rng ~n:(rows * cols) (grid_pairs ~rows ~cols ~wrap:true)
+
+let ladder ~rng len = grid ~rng ~rows:2 ~cols:len
+
+let gnp_connected ~rng ~n ~p =
+  if n < 1 then invalid_arg "Generators.gnp_connected";
+  let seen = Hashtbl.create 16 in
+  let pairs = ref [] in
+  let add u v =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      pairs := key :: !pairs
+    end
+  in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then add u v
+    done
+  done;
+  (* Connect stragglers through a random spanning skeleton over components. *)
+  let g0 =
+    Graph.of_edge_array ~n (Array.of_list (List.map (fun (u, v) -> (u, v, 1)) !pairs))
+  in
+  let label, ncomp = Traversal.components g0 in
+  if ncomp > 1 then begin
+    let rep = Array.make ncomp (-1) in
+    for v = 0 to n - 1 do
+      if rep.(label.(v)) = -1 then rep.(label.(v)) <- v
+    done;
+    let order = Array.init ncomp Fun.id in
+    Rng.shuffle rng order;
+    for i = 1 to ncomp - 1 do
+      add rep.(order.(i - 1)) rep.(order.(i))
+    done
+  end;
+  build ~rng ~n !pairs
+
+let lollipop ~rng ~clique ~tail =
+  if clique < 1 || tail < 0 then invalid_arg "Generators.lollipop";
+  let n = clique + tail in
+  let pairs = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      pairs := (u, v) :: !pairs
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let prev = if i = 0 then clique - 1 else clique + i - 1 in
+    pairs := (prev, clique + i) :: !pairs
+  done;
+  build ~rng ~n !pairs
+
+let barbell ~rng ~clique ~bridge =
+  if clique < 1 || bridge < 0 then invalid_arg "Generators.barbell";
+  let n = (2 * clique) + bridge in
+  let pairs = ref [] in
+  let add_clique base =
+    for u = 0 to clique - 1 do
+      for v = u + 1 to clique - 1 do
+        pairs := (base + u, base + v) :: !pairs
+      done
+    done
+  in
+  add_clique 0;
+  add_clique (clique + bridge);
+  (* bridge path: clique-1 -> bridge nodes -> clique+bridge *)
+  let left_anchor = clique - 1 and right_anchor = clique + bridge in
+  if bridge = 0 then pairs := (left_anchor, right_anchor) :: !pairs
+  else begin
+    pairs := (left_anchor, clique) :: !pairs;
+    for i = 0 to bridge - 2 do
+      pairs := (clique + i, clique + i + 1) :: !pairs
+    done;
+    pairs := (clique + bridge - 1, right_anchor) :: !pairs
+  end;
+  build ~rng ~n !pairs
+
+(* Union of [d/2] uniformly random Hamiltonian cycles (plus, for odd d, a
+   random perfect matching).  Unlike the pairing model this never creates
+   self-loops and collides only when two cycles share an edge, so the
+   rejection rate stays tiny even for small n. *)
+let random_regular ~rng ~n ~d =
+  if n * d mod 2 <> 0 || d >= n || d < 1 then invalid_arg "Generators.random_regular";
+  if d >= 2 && n < 3 then invalid_arg "Generators.random_regular: n too small";
+  let max_attempts = 1000 in
+  let attempt () =
+    let seen = Hashtbl.create (n * d) in
+    let pairs = ref [] in
+    let ok = ref true in
+    let add u v =
+      let key = if u < v then (u, v) else (v, u) in
+      if u = v || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        pairs := key :: !pairs
+      end
+    in
+    for _c = 1 to d / 2 do
+      let perm = Array.init n Fun.id in
+      Rng.shuffle rng perm;
+      for i = 0 to n - 1 do
+        add perm.(i) perm.((i + 1) mod n)
+      done
+    done;
+    if d mod 2 = 1 then begin
+      let perm = Array.init n Fun.id in
+      Rng.shuffle rng perm;
+      let i = ref 0 in
+      while !i + 1 < n do
+        add perm.(!i) perm.(!i + 1);
+        i := !i + 2
+      done
+    end;
+    if !ok then Some !pairs else None
+  in
+  let rec try_build remaining =
+    if remaining = 0 then
+      invalid_arg "Generators.random_regular: too many rejections; lower d"
+    else
+      match attempt () with
+      | Some pairs ->
+        let g = build ~rng ~n pairs in
+        if Graph.is_connected g then g else try_build (remaining - 1)
+      | None -> try_build (remaining - 1)
+  in
+  try_build max_attempts

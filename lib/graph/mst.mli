@@ -1,0 +1,37 @@
+(** Sequential minimum-spanning-tree algorithms and verification.
+
+    These centralized algorithms serve two purposes: (1) ground truth to
+    verify the distributed MST algorithms ({!Kdom.Fast_mst}, {!Kdom.Ghs});
+    (2) the local computation the paper's Pipeline root performs when it
+    builds the inter-fragment MST from the upcast edges. With distinct edge
+    weights the MST is unique, so verification can compare edge sets. *)
+
+val kruskal : Graph.t -> Graph.edge list
+(** MST (or minimum spanning forest when disconnected) by Kruskal's
+    algorithm; edges in nondecreasing weight order. *)
+
+val prim : Graph.t -> Graph.edge list
+(** MST of a connected graph by Prim's algorithm (binary heap). *)
+
+val boruvka : Graph.t -> Graph.edge list
+(** MST by Borůvka phases — the sequential skeleton of GHS-style
+    distributed MST algorithms. *)
+
+val weight : Graph.edge list -> int
+
+val is_spanning_tree : Graph.t -> Graph.edge list -> bool
+(** The edges form a spanning tree of the (connected) graph. *)
+
+val is_mst : Graph.t -> Graph.edge list -> bool
+(** The edges form a spanning tree of minimum total weight. *)
+
+val same_edge_set : Graph.edge list -> Graph.edge list -> bool
+(** Equality of edge sets by id. *)
+
+val mst_of_multigraph :
+  n:int -> (int * int * int * 'a) list -> 'a list
+(** [mst_of_multigraph ~n edges] runs Kruskal over labelled parallel edges
+    [(u, v, w, label)] (as arise in fragment graphs, where several graph
+    edges can join the same fragment pair) and returns the labels of the
+    chosen spanning-forest edges.  Ties are broken by the order of the input
+    list. *)

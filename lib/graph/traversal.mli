@@ -1,0 +1,37 @@
+(** Sequential graph traversals and distance computations.
+
+    These are the centralized reference algorithms used to verify the
+    distributed ones, and to compute workload statistics (diameter, radius)
+    reported by the benchmark harness. *)
+
+type bfs = {
+  source : int;
+  dist : int array;     (** hop distance; [max_int] when unreachable *)
+  parent : int array;   (** BFS-tree parent; [-1] for source/unreachable *)
+  parent_edge : int array; (** edge id towards parent; [-1] when none *)
+  order : int array;    (** vertices in visit order (reachable only) *)
+}
+
+val bfs : Graph.t -> int -> bfs
+(** Breadth-first search from a source. *)
+
+val bfs_multi : Graph.t -> int list -> bfs
+(** BFS from a set of sources simultaneously; [source] is [-1] and [dist]
+    is the distance to the nearest source. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Largest finite distance from the node. Raises if the graph is
+    disconnected from that node. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter by all-pairs BFS. Requires a connected graph. *)
+
+val radius_and_center : Graph.t -> int * int
+(** [(rad, center)] minimizing eccentricity; all-pairs BFS. *)
+
+val components : Graph.t -> int array * int
+(** [components g] labels every node with a component id and returns the
+    number of components. *)
+
+val distances_from : Graph.t -> int -> int array
+(** Just the distance array of {!bfs}. *)

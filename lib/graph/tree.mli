@@ -1,0 +1,52 @@
+(** Rooted-tree views of tree-shaped graphs.
+
+    The k-dominating-set algorithms of the paper operate on (spanning) trees
+    and forests.  This module turns an unrooted tree/forest {!Graph.t} into
+    rooted form — parent pointers, children lists, depths — and provides the
+    structural queries (height, subtree size, leaves) that the distributed
+    algorithms need for their bookkeeping and the tests need for their
+    invariant checks. *)
+
+type t = {
+  graph : Graph.t;
+  root : int;
+  parent : int array;       (** [-1] at the root *)
+  parent_edge : int array;  (** edge id to parent; [-1] at the root *)
+  children : int array array;
+  depth : int array;        (** hop distance from the root *)
+  height : int;             (** max depth *)
+}
+
+val is_tree : Graph.t -> bool
+(** Connected and [m = n - 1]. *)
+
+val is_forest : Graph.t -> bool
+(** Acyclic (not necessarily connected). *)
+
+val root_at : Graph.t -> int -> t
+(** [root_at g r] roots the tree [g] at [r]. Raises [Invalid_argument] if
+    [g] is not a tree. *)
+
+val root_component_at : Graph.t -> int -> t
+(** Roots the connected component of [r] inside a forest [g]; nodes outside
+    the component have [parent = -1] and [depth = -1], and are absent from
+    [children]. *)
+
+val nodes : t -> int list
+(** Nodes of the rooted component, in BFS order from the root. *)
+
+val size : t -> int
+(** Number of nodes in the rooted component. *)
+
+val subtree_sizes : t -> int array
+(** [sizes.(v)] = number of nodes in the subtree rooted at [v]
+    (0 for nodes outside the component). *)
+
+val leaves : t -> int list
+
+val bottom_up : t -> int array
+(** Nodes of the component ordered so that every node appears after all of
+    its children (reverse BFS order). *)
+
+val path_to_root : t -> int -> int list
+(** The node itself, its parent, ... up to the root. *)

@@ -1,0 +1,21 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the sequential Kruskal verifier and by the fragment bookkeeping
+    of the phase-level distributed simulations. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]; returns [false] when they
+    were already the same set. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets currently alive. *)

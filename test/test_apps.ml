@@ -1,0 +1,187 @@
+(* Tests for the application layer: routing [PU], center selection [BKP],
+   directory placement [P2], and the synchronizer cost model. *)
+
+open Kdom_graph
+open Kdom_apps
+
+let rng () = Rng.create 0xA995
+
+let graphs seed =
+  let r = Rng.create seed in
+  [
+    ("gnp80", Generators.gnp_connected ~rng:r ~n:80 ~p:0.06);
+    ("grid7x7", Generators.grid ~rng:r ~rows:7 ~cols:7);
+    ("lollipop", Generators.lollipop ~rng:r ~clique:10 ~tail:20);
+    ("tree60", Generators.random_tree ~rng:r 60);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+let test_routing_delivers () =
+  List.iter
+    (fun (name, g) ->
+      let scheme = Routing.build g ~k:3 in
+      let r = rng () in
+      for _i = 1 to 50 do
+        let src = Rng.int r (Graph.n g) and dst = Rng.int r (Graph.n g) in
+        if src <> dst then begin
+          let route = Routing.route scheme ~src ~dst in
+          (match route.path with
+          | first :: _ -> Alcotest.(check int) (name ^ " starts at src") src first
+          | [] -> Alcotest.fail "empty path");
+          Alcotest.(check int)
+            (name ^ " ends at dst")
+            dst
+            (List.nth route.path (List.length route.path - 1));
+          (* consecutive hops are edges *)
+          let rec check_hops = function
+            | a :: (b :: _ as rest) ->
+              Alcotest.(check bool) (name ^ " hop is edge") true
+                (Option.is_some (Graph.find_edge g a b));
+              check_hops rest
+            | _ -> ()
+          in
+          check_hops route.path
+        end
+      done)
+    (graphs 1)
+
+let test_routing_stretch_bound () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let scheme = Routing.build g ~k in
+          let r = rng () in
+          for _i = 1 to 40 do
+            let src = Rng.int r (Graph.n g) and dst = Rng.int r (Graph.n g) in
+            if src <> dst then begin
+              let route = Routing.route scheme ~src ~dst in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s k=%d additive stretch %d <= %d + 2k" name k route.hops
+                   route.shortest)
+                true
+                (route.hops <= route.shortest + (2 * k))
+            end
+          done)
+        [ 1; 2; 4 ])
+    (graphs 2)
+
+let test_routing_tables_shrink () =
+  let g = Generators.gnp_connected ~rng:(rng ()) ~n:150 ~p:0.04 in
+  let scheme = Routing.build g ~k:5 in
+  let report = Routing.evaluate ~rng:(rng ()) scheme ~pairs:100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg table %.1f < full %d" report.avg_table
+       (Routing.full_table_size g))
+    true
+    (report.avg_table < float_of_int (Routing.full_table_size g));
+  Alcotest.(check bool) "stretch sane" true (report.max_stretch < 20.0)
+
+(* ------------------------------------------------------------------ *)
+(* Centers *)
+
+let test_centers_kdom () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let p = Centers.via_kdom g ~k in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d max distance %d <= k" name k p.max_distance)
+            true
+            (p.max_distance <= k);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d count" name k)
+            true
+            (p.count <= max 1 (2 * Graph.n g / (k + 1))))
+        [ 1; 2; 4 ])
+    (graphs 3)
+
+let test_centers_greedy_and_random () =
+  let g = Generators.gnp_connected ~rng:(rng ()) ~n:100 ~p:0.05 in
+  let kdom = Centers.via_kdom g ~k:3 in
+  let greedy = Centers.greedy_k_center g ~count:kdom.count in
+  let random = Centers.random_placement ~rng:(rng ()) g ~count:kdom.count in
+  Alcotest.(check int) "same count greedy" kdom.count greedy.count;
+  Alcotest.(check int) "same count random" kdom.count random.count;
+  (* greedy with the same budget cannot be drastically worse than the
+     k-dominating placement (2-approximation of the optimum) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy %d <= 2 * kdom %d" greedy.max_distance kdom.max_distance)
+    true
+    (greedy.max_distance <= 2 * kdom.max_distance)
+
+(* ------------------------------------------------------------------ *)
+(* Directory *)
+
+let test_directory () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let d = Directory.place g ~k in
+          let c = Directory.evaluate d in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d lookup %d <= k" name k c.max_lookup)
+            true
+            (c.max_lookup <= k);
+          (* lookups return an actual copy at the measured distance *)
+          for v = 0 to Graph.n g - 1 do
+            let copy, hops = Directory.lookup d v in
+            Alcotest.(check bool) (name ^ " copy is a copy") true (List.mem copy d.copies);
+            Alcotest.(check int)
+              (name ^ " lookup distance")
+              (Traversal.bfs g v).dist.(copy)
+              hops
+          done)
+        [ 2; 4 ])
+    (graphs 4)
+
+let test_directory_tradeoff () =
+  (* larger k => fewer copies => cheaper updates, costlier lookups *)
+  let g = Generators.grid ~rng:(rng ()) ~rows:10 ~cols:10 in
+  let c2 = Directory.evaluate (Directory.place g ~k:1) in
+  let c8 = Directory.evaluate (Directory.place g ~k:8) in
+  Alcotest.(check bool)
+    (Printf.sprintf "copies shrink %d > %d" c2.copies c8.copies)
+    true (c2.copies > c8.copies);
+  Alcotest.(check bool) "lookup grows" true (c8.avg_lookup >= c2.avg_lookup)
+
+(* ------------------------------------------------------------------ *)
+(* Synchronizer cost model *)
+
+let test_synchronizer () =
+  let g = Generators.gnp_connected ~rng:(rng ()) ~n:50 ~p:0.1 in
+  let report = Kdom_congest.Synchronizer.simulate ~rng:(rng ()) g ~rounds:20 in
+  Alcotest.(check int) "sync rounds" 20 report.sync_rounds;
+  Alcotest.(check int) "alpha traffic" (2 * Graph.m g * 20) report.extra_messages;
+  Alcotest.(check bool) "async time positive" true (report.async_time > 0.0);
+  (* async completion is at most rounds * max_delay *)
+  Alcotest.(check bool) "async bounded" true (report.async_time <= 20.0);
+  Alcotest.(check bool) "mean delay in (0, 1)" true
+    (report.mean_delay > 0.0 && report.mean_delay < 1.0)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "delivers along edges" `Quick test_routing_delivers;
+          Alcotest.test_case "additive 2k stretch" `Quick test_routing_stretch_bound;
+          Alcotest.test_case "tables shrink" `Quick test_routing_tables_shrink;
+        ] );
+      ( "centers",
+        [
+          Alcotest.test_case "k-dominating placement" `Quick test_centers_kdom;
+          Alcotest.test_case "greedy and random baselines" `Quick
+            test_centers_greedy_and_random;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "lookup within k" `Quick test_directory;
+          Alcotest.test_case "replication tradeoff" `Quick test_directory_tradeoff;
+        ] );
+      ("synchronizer", [ Alcotest.test_case "alpha cost model" `Quick test_synchronizer ]);
+    ]

@@ -1,0 +1,262 @@
+(* Tests for the CONGEST runtime itself: delivery semantics, constraint
+   enforcement (one message per edge per round, bounded payloads, no
+   messages to halted nodes), statistics, and the supporting Ledger and
+   Cluster utilities. *)
+
+open Kdom_graph
+open Kdom_congest
+
+let path3 () = Graph.of_edges ~n:3 [ (0, 1, 1); (1, 2, 2) ]
+
+(* A trivial token-passing algorithm: node 0 sends a token that walks to
+   the end of the path; every node halts after seeing it. *)
+type token_state = { pos : int; neighbors : int list; seen : bool; halted : bool }
+
+let token_algorithm : token_state Runtime.algorithm =
+  {
+    init =
+      (fun g v ->
+        {
+          pos = v;
+          neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
+          seen = false;
+          halted = false;
+        });
+    halted = (fun st -> st.halted);
+    step =
+      (fun g ~round ~node st inbox ->
+        ignore g;
+        if node = 0 && round = 0 then
+          ({ st with seen = true; halted = true }, [ (1, [| 42 |]) ])
+        else
+          match inbox with
+          | [ (from, payload) ] ->
+            let next = List.filter (fun u -> u > node) st.neighbors in
+            ignore from;
+            assert (payload.(0) = 42);
+            let out = List.map (fun u -> (u, [| 42 |])) next in
+            ({ st with seen = true; halted = true }, out)
+          | [] -> (st, [])
+          | _ -> assert false);
+  }
+
+let test_delivery_and_stats () =
+  let g = path3 () in
+  let states, stats = Runtime.run g token_algorithm in
+  Array.iter (fun st -> Alcotest.(check bool) "token seen" true st.seen) states;
+  Alcotest.(check int) "two messages" 2 stats.messages;
+  Alcotest.(check int) "three rounds" 3 stats.rounds;
+  Alcotest.(check int) "one in flight at peak" 1 stats.max_inflight
+
+let fixed_step out_of step =
+  {
+    Runtime.init = (fun _ _ -> 0);
+    halted = (fun r -> r >= out_of);
+    step;
+  }
+
+let test_rejects_double_send () =
+  let g = path3 () in
+  let algo =
+    fixed_step 1 (fun _g ~round:_ ~node st _inbox ->
+        if node = 0 then (1, [ (1, [| 1 |]); (1, [| 2 |]) ]) else (max st 1, []))
+  in
+  Alcotest.check_raises "double send"
+    (Runtime.Congestion_violation "round 0: node 0 sent twice over edge to 1")
+    (fun () -> ignore (Runtime.run g algo))
+
+let test_rejects_non_neighbor () =
+  let g = path3 () in
+  let algo =
+    fixed_step 1 (fun _g ~round:_ ~node st _inbox ->
+        if node = 0 then (1, [ (2, [| 1 |]) ]) else (max st 1, []))
+  in
+  Alcotest.check_raises "non neighbor"
+    (Runtime.Congestion_violation "round 0: node 0 sent to non-neighbor 2")
+    (fun () -> ignore (Runtime.run g algo))
+
+let test_rejects_oversized_payload () =
+  let g = path3 () in
+  let algo =
+    fixed_step 1 (fun _g ~round:_ ~node st _inbox ->
+        if node = 0 then (1, [ (1, Array.make 9 0) ]) else (max st 1, []))
+  in
+  Alcotest.check_raises "payload too big"
+    (Runtime.Congestion_violation "round 0: node 0 payload of 9 words exceeds 4")
+    (fun () -> ignore (Runtime.run g algo))
+
+let test_rejects_message_to_halted () =
+  let g = path3 () in
+  (* node 2 halts immediately; node 1 sends to it on round 1 *)
+  let algo =
+    {
+      Runtime.init = (fun _ v -> if v = 2 then 2 else 0);
+      halted = (fun st -> st >= 2);
+      step =
+        (fun _g ~round ~node st _inbox ->
+          if node = 1 && round = 1 then (2, [ (2, [| 7 |]) ])
+          else if round >= 3 then (2, [])
+          else (st, []));
+    }
+  in
+  Alcotest.check_raises "halted receiver"
+    (Runtime.Congestion_violation "round 2: halted node 2 received a message")
+    (fun () -> ignore (Runtime.run g algo))
+
+let test_round_limit () =
+  let g = path3 () in
+  (* never halts *)
+  let algo =
+    {
+      Runtime.init = (fun _ _ -> 0);
+      halted = (fun _ -> false);
+      step = (fun _g ~round:_ ~node:_ st _ -> (st, []));
+    }
+  in
+  Alcotest.check_raises "round limit" (Runtime.Round_limit_exceeded 11) (fun () ->
+      ignore (Runtime.run ~max_rounds:10 g algo))
+
+let test_inbox_sender_order () =
+  (* a star where all leaves message the hub in one round; inbox must be
+     ordered by sender id *)
+  let g = Graph.of_edges ~n:5 [ (0, 1, 1); (0, 2, 2); (0, 3, 3); (0, 4, 4) ] in
+  let received = ref [] in
+  let algo =
+    {
+      Runtime.init = (fun _ _ -> 0);
+      halted = (fun st -> st >= 1);
+      step =
+        (fun _g ~round ~node st inbox ->
+          if round = 0 && node > 0 then (1, [ (0, [| node |]) ])
+          else if node = 0 && round = 1 then begin
+            received := List.map fst inbox;
+            (1, [])
+          end
+          else if round >= 1 then (1, [])
+          else (st, []));
+    }
+  in
+  ignore (Runtime.run g algo);
+  Alcotest.(check (list int)) "sender order" [ 1; 2; 3; 4 ] !received
+
+(* ------------------------------------------------------------------ *)
+(* Ledger *)
+
+let test_ledger () =
+  let l = Kdom.Ledger.create () in
+  Kdom.Ledger.charge l "a" 5;
+  Kdom.Ledger.charge l "b" 3;
+  Kdom.Ledger.charge l "a" 2;
+  Alcotest.(check int) "total" 10 (Kdom.Ledger.total l);
+  Alcotest.(check (list (pair string int))) "entries merged in order"
+    [ ("a", 7); ("b", 3) ]
+    (Kdom.Ledger.entries l);
+  let l2 = Kdom.Ledger.create () in
+  Kdom.Ledger.charge l2 "x" 4;
+  let l3 = Kdom.Ledger.create () in
+  Kdom.Ledger.charge l3 "y" 9;
+  Kdom.Ledger.merge_max l [ l2; l3 ] "parallel";
+  Alcotest.(check int) "merge max" 19 (Kdom.Ledger.total l);
+  Alcotest.check_raises "negative" (Invalid_argument "Ledger.charge: negative rounds")
+    (fun () -> Kdom.Ledger.charge l "z" (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Cluster *)
+
+let test_cluster_checks () =
+  let g = Generators.path ~rng:(Rng.create 1) 6 in
+  let ok : Kdom.Cluster.t list =
+    [ { center = 1; members = [ 0; 1; 2 ] }; { center = 4; members = [ 3; 4; 5 ] } ]
+  in
+  let p = Kdom.Cluster.partition g ok in
+  Alcotest.(check int) "max radius" 1 (Kdom.Cluster.max_radius p);
+  Alcotest.(check int) "min size" 3 (Kdom.Cluster.min_size p);
+  Alcotest.(check (list int)) "centers" [ 1; 4 ] (Kdom.Cluster.centers p);
+  let q, witnesses = Kdom.Cluster.quotient_graph p in
+  Alcotest.(check int) "quotient nodes" 2 (Graph.n q);
+  Alcotest.(check int) "quotient edges" 1 (Graph.m q);
+  Alcotest.(check (list (pair int int))) "witness" [ (2, 3) ] witnesses;
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Cluster.partition: clusters overlap") (fun () ->
+      ignore
+        (Kdom.Cluster.partition g
+           [
+             { center = 1; members = [ 0; 1; 2 ] };
+             { center = 4; members = [ 2; 3; 4; 5 ] };
+           ]));
+  Alcotest.check_raises "coverage"
+    (Invalid_argument "Cluster.partition: clusters do not cover all nodes") (fun () ->
+      ignore (Kdom.Cluster.partition g [ { center = 1; members = [ 0; 1; 2 ] } ]));
+  (* disconnected cluster radius *)
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Cluster.radius: induced subgraph disconnected") (fun () ->
+      ignore (Kdom.Cluster.radius g { center = 0; members = [ 0; 1; 4 ] }))
+
+let test_cluster_induced () =
+  let g = Generators.cycle ~rng:(Rng.create 2) 6 in
+  let sub, to_host = Kdom.Cluster.induced g [ 1; 2; 3 ] in
+  Alcotest.(check int) "induced n" 3 (Graph.n sub);
+  Alcotest.(check int) "induced m" 2 (Graph.m sub);
+  Alcotest.(check (array int)) "mapping" [| 1; 2; 3 |] to_host;
+  (* weights preserved *)
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let hu = to_host.(e.u) and hv = to_host.(e.v) in
+      match Graph.find_edge g hu hv with
+      | Some host_e -> Alcotest.(check int) "weight kept" host_e.w e.w
+      | None -> Alcotest.fail "edge not in host")
+    (Graph.edges sub)
+
+(* ------------------------------------------------------------------ *)
+(* Forest helpers *)
+
+let test_forest_quotient () =
+  let g = Generators.path ~rng:(Rng.create 3) 6 in
+  let clusters =
+    [|
+      Kdom.Forest.make g ~center:0 [ 0; 1 ];
+      Kdom.Forest.make g ~center:2 [ 2; 3 ];
+      Kdom.Forest.make g ~center:5 [ 5 ];
+    |]
+  in
+  (* node 4 deliberately unowned: 2-3 and 5 are then non-adjacent *)
+  let q = Kdom.Forest.quotient g clusters in
+  Alcotest.(check int) "quotient size" 3 (Graph.n q);
+  Alcotest.(check int) "quotient edges" 1 (Graph.m q);
+  Alcotest.(check (list int)) "isolated" [ 2 ] (Kdom.Forest.isolated q)
+
+let test_forest_merge () =
+  let g = Generators.path ~rng:(Rng.create 4) 5 in
+  let a = Kdom.Forest.make g ~center:1 [ 0; 1; 2 ] in
+  let b = Kdom.Forest.make g ~center:3 [ 3; 4 ] in
+  let m = Kdom.Forest.merge_into g ~target:a b in
+  Alcotest.(check int) "center kept" 1 m.center;
+  Alcotest.(check int) "size" 5 (Kdom.Forest.size m);
+  Alcotest.(check int) "radius from center" 3 m.radius
+
+let () =
+  Alcotest.run "congest runtime"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "delivery and stats" `Quick test_delivery_and_stats;
+          Alcotest.test_case "rejects double send" `Quick test_rejects_double_send;
+          Alcotest.test_case "rejects non-neighbor send" `Quick test_rejects_non_neighbor;
+          Alcotest.test_case "rejects oversized payload" `Quick test_rejects_oversized_payload;
+          Alcotest.test_case "rejects message to halted node" `Quick
+            test_rejects_message_to_halted;
+          Alcotest.test_case "round limit" `Quick test_round_limit;
+          Alcotest.test_case "inbox sender order" `Quick test_inbox_sender_order;
+        ] );
+      ("ledger", [ Alcotest.test_case "charges and merges" `Quick test_ledger ]);
+      ( "cluster",
+        [
+          Alcotest.test_case "partition checks" `Quick test_cluster_checks;
+          Alcotest.test_case "induced subgraph" `Quick test_cluster_induced;
+        ] );
+      ( "forest",
+        [
+          Alcotest.test_case "quotient and isolated" `Quick test_forest_quotient;
+          Alcotest.test_case "merge_into" `Quick test_forest_merge;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Tests for the message-level Procedure Initialize (Bfs_tree) and
+   Algorithm DiamDOM (Lemma 2.3). *)
+
+open Kdom_graph
+open Kdom
+
+let rng () = Rng.create 0xD1A
+
+let tree_cases seed =
+  let r = Rng.create seed in
+  [
+    ("path40", Generators.path ~rng:r 40, 0);
+    ("path40-mid", Generators.path ~rng:r 40, 20);
+    ("star25", Generators.star ~rng:r 25, 0);
+    ("star25-leaf", Generators.star ~rng:r 25, 7);
+    ("binary63", Generators.binary_tree ~rng:r 63, 0);
+    ("caterpillar", Generators.caterpillar ~rng:r ~spine:12 ~legs:2, 3);
+    ("broom", Generators.broom ~rng:r ~handle:10 ~bristles:8, 0);
+    ("random100", Generators.random_tree ~rng:r 100, 0);
+    ("random100b", Generators.random_tree ~rng:r 100, 99);
+    ("two", Generators.path ~rng:r 2, 0);
+    ("single", Generators.path ~rng:r 1, 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bfs_tree *)
+
+let test_bfs_tree_matches_sequential () =
+  List.iter
+    (fun (name, g, root) ->
+      let info, _stats = Bfs_tree.run g ~root in
+      let reference = Traversal.bfs g root in
+      Alcotest.(check (array int)) (name ^ " depths") reference.dist info.depth;
+      let height = Array.fold_left max 0 reference.dist in
+      Alcotest.(check int) (name ^ " height") height info.height;
+      (* parents induce the same depths even if tie-breaking differs *)
+      Array.iteri
+        (fun v p ->
+          if v <> root then begin
+            Alcotest.(check bool) (name ^ " has parent") true (p >= 0);
+            Alcotest.(check int)
+              (name ^ " parent depth")
+              (info.depth.(v) - 1)
+              info.depth.(p)
+          end)
+        info.parent)
+    (tree_cases 1)
+
+let test_bfs_tree_children_consistent () =
+  List.iter
+    (fun (name, g, root) ->
+      let info, _ = Bfs_tree.run g ~root in
+      (* children lists are exactly the inverse of the parent array *)
+      Array.iteri
+        (fun v kids ->
+          List.iter
+            (fun c -> Alcotest.(check int) (name ^ " child link") v info.parent.(c))
+            kids)
+        info.children;
+      let total_children =
+        Array.fold_left (fun acc kids -> acc + List.length kids) 0 info.children
+      in
+      Alcotest.(check int) (name ^ " n-1 child links") (Graph.n g - 1) total_children)
+    (tree_cases 2)
+
+let test_bfs_tree_m_broadcast () =
+  List.iter
+    (fun (name, g, root) ->
+      let info, _ = Bfs_tree.run g ~root in
+      Array.iter
+        (fun m -> Alcotest.(check int) (name ^ " M known everywhere") info.height m)
+        info.m_known)
+    (tree_cases 3)
+
+let test_bfs_tree_round_bound () =
+  List.iter
+    (fun (name, g, root) ->
+      let info, stats = Bfs_tree.run g ~root in
+      ignore info;
+      let diam = Traversal.diameter g in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rounds %d <= bound %d" name stats.rounds
+           (Bfs_tree.round_bound ~diam))
+        true
+        (stats.rounds <= Bfs_tree.round_bound ~diam))
+    (tree_cases 4)
+
+let test_bfs_tree_on_general_graph () =
+  (* Initialize is defined on any connected graph, not just trees. *)
+  let g = Generators.gnp_connected ~rng:(rng ()) ~n:60 ~p:0.08 in
+  let info, _ = Bfs_tree.run g ~root:0 in
+  let reference = Traversal.bfs g 0 in
+  Alcotest.(check (array int)) "bfs depths on general graph" reference.dist info.depth
+
+(* ------------------------------------------------------------------ *)
+(* Diam_dom *)
+
+let check_diamdom name g root k =
+  let r = Diam_dom.run g ~root ~k in
+  let d = Diam_dom.dominating_list r in
+  let n = Graph.n g in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s k=%d dominates" name k)
+    true
+    (Domination.is_k_dominating g ~k d);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s k=%d size %d <= ceil bound %d" name k (List.length d)
+       (Domination.size_bound_ceil ~n ~k))
+    true
+    (List.length d <= Domination.size_bound_ceil ~n ~k);
+  let diam = Traversal.diameter g in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s k=%d rounds %d <= 5diam+k bound %d" name k r.rounds
+       (Diam_dom.round_bound ~diam ~k))
+    true
+    (r.rounds <= Diam_dom.round_bound ~diam ~k)
+
+let test_diamdom_families () =
+  List.iter
+    (fun (name, g, root) ->
+      List.iter (fun k -> check_diamdom name g root k) [ 1; 2; 3; 7 ])
+    (tree_cases 5)
+
+let test_diamdom_shallow () =
+  let g = Generators.star ~rng:(rng ()) 30 in
+  let r = Diam_dom.run g ~root:0 ~k:2 in
+  Alcotest.(check (list int)) "root alone" [ 0 ] (Diam_dom.dominating_list r);
+  Alcotest.(check bool) "no census ran" true (r.census_stats = None);
+  Alcotest.(check bool) "level is None" true (r.level = None)
+
+let test_diamdom_census_totals () =
+  (* On a path of 30 rooted at an end with k=2, classes mod 3 have sizes
+     10/10/10; the census must pick class 0 (no root augmentation cost). *)
+  let g = Generators.path ~rng:(rng ()) 30 in
+  let r = Diam_dom.run g ~root:0 ~k:2 in
+  Alcotest.(check (option int)) "class 0 selected" (Some 0) r.level;
+  Alcotest.(check int) "ten dominators" 10 (List.length (Diam_dom.dominating_list r))
+
+let test_diamdom_pipelining_no_extra_rounds () =
+  (* The k+1 censuses must cost k + O(Diam) rounds total, not k * Diam:
+     doubling k adds ~delta-k rounds only. *)
+  let g = Generators.path ~rng:(rng ()) 200 in
+  let r4 = Diam_dom.run g ~root:0 ~k:4 in
+  let r24 = Diam_dom.run g ~root:0 ~k:24 in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined: %d -> %d rounds" r4.rounds r24.rounds)
+    true
+    (r24.rounds - r4.rounds <= 25)
+
+let test_diamdom_gap_tree () =
+  (* The lemma-2.1 gap tree from test_graph.ml: the raw smallest class is
+     not dominating; DiamDOM's root augmentation must still produce a valid
+     set. *)
+  let deep = List.init 10 (fun i -> ((if i = 0 then 0 else i + 1), i + 2, 20 + i)) in
+  let short = [ (0, 12, 40); (12, 13, 41); (13, 14, 42) ] in
+  let g = Graph.of_edges ~n:15 (((0, 1, 10) :: deep) @ short) in
+  let r = Diam_dom.run g ~root:0 ~k:4 in
+  let d = Diam_dom.dominating_list r in
+  Alcotest.(check bool) "dominates despite the gap" true
+    (Domination.is_k_dominating g ~k:4 d);
+  Alcotest.(check bool) "root included" true r.dominating.(0)
+
+let prop_diamdom =
+  QCheck2.Test.make ~name:"DiamDOM valid on random trees" ~count:60
+    QCheck2.Gen.(triple (int_bound 10_000) (int_bound 80) (int_range 1 6))
+    (fun (seed, n, k) ->
+      let n = n + 2 in
+      let g = Generators.random_tree ~rng:(Rng.create seed) n in
+      let root = seed mod n in
+      let r = Diam_dom.run g ~root ~k in
+      let d = Diam_dom.dominating_list r in
+      Domination.is_k_dominating g ~k d
+      && List.length d <= Domination.size_bound_ceil ~n ~k
+      && r.rounds <= Diam_dom.round_bound ~diam:(Traversal.diameter g) ~k)
+
+let () =
+  Alcotest.run "diam_dom"
+    [
+      ( "bfs_tree",
+        [
+          Alcotest.test_case "matches sequential BFS" `Quick test_bfs_tree_matches_sequential;
+          Alcotest.test_case "children consistent" `Quick test_bfs_tree_children_consistent;
+          Alcotest.test_case "M broadcast everywhere" `Quick test_bfs_tree_m_broadcast;
+          Alcotest.test_case "4*diam round bound" `Quick test_bfs_tree_round_bound;
+          Alcotest.test_case "general graphs" `Quick test_bfs_tree_on_general_graph;
+        ] );
+      ( "diamdom",
+        [
+          Alcotest.test_case "tree families" `Quick test_diamdom_families;
+          Alcotest.test_case "shallow tree root only" `Quick test_diamdom_shallow;
+          Alcotest.test_case "census totals on path" `Quick test_diamdom_census_totals;
+          Alcotest.test_case "census pipelining" `Quick test_diamdom_pipelining_no_extra_rounds;
+          Alcotest.test_case "gap tree regression" `Quick test_diamdom_gap_tree;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_diamdom ]);
+    ]

@@ -1,0 +1,123 @@
+(* Tests for the nested [PU]-style routing hierarchy. *)
+
+open Kdom_graph
+open Kdom_apps
+
+let rng () = Rng.create 0x41E2
+
+let graphs seed =
+  let r = Rng.create seed in
+  [
+    ("gnp150", Generators.gnp_connected ~rng:r ~n:150 ~p:0.04);
+    ("grid10x10", Generators.grid ~rng:r ~rows:10 ~cols:10);
+    ("tree120", Generators.random_tree ~rng:r 120);
+  ]
+
+let test_nesting () =
+  List.iter
+    (fun (name, g) ->
+      let h = Hierarchy.build g ~ks:[ 2; 4; 8 ] in
+      Alcotest.(check int) (name ^ " three levels") 3 (Array.length h.levels);
+      (* clusters nest: same level-i cluster implies same level-(i+1) one
+         is NOT required; nesting means each level-(i-1) cluster maps into
+         exactly one level-i cluster *)
+      for i = 1 to 2 do
+        let mapping = Hashtbl.create 64 in
+        Array.iteri
+          (fun v _ ->
+            let sub = h.levels.(i - 1).cluster_of.(v) in
+            let sup = h.levels.(i).cluster_of.(v) in
+            match Hashtbl.find_opt mapping sub with
+            | None -> Hashtbl.add mapping sub sup
+            | Some s -> Alcotest.(check int) (name ^ " nested") s sup)
+          h.levels.(i).cluster_of
+      done;
+      (* level sizes shrink *)
+      let sizes =
+        Array.map (fun (l : Hierarchy.level) -> Array.length l.centers) h.levels
+      in
+      Alcotest.(check bool) (name ^ " coarsening") true
+        (sizes.(0) >= sizes.(1) && sizes.(1) >= sizes.(2)))
+    (graphs 1)
+
+let test_routes_deliver () =
+  List.iter
+    (fun (name, g) ->
+      let h = Hierarchy.build g ~ks:[ 2; 5 ] in
+      let r = rng () in
+      for _i = 1 to 60 do
+        let src = Rng.int r (Graph.n g) and dst = Rng.int r (Graph.n g) in
+        if src <> dst then begin
+          let route = Hierarchy.route h ~src ~dst in
+          (match route.path with
+          | first :: _ -> Alcotest.(check int) (name ^ " starts") src first
+          | [] -> Alcotest.fail "empty");
+          Alcotest.(check int) (name ^ " ends") dst
+            (List.nth route.path (List.length route.path - 1));
+          let rec hops = function
+            | a :: (b :: _ as rest) ->
+              Alcotest.(check bool) (name ^ " edge") true
+                (Option.is_some (Graph.find_edge g a b));
+              hops rest
+            | _ -> ()
+          in
+          hops route.path
+        end
+      done)
+    (graphs 2)
+
+let test_tables_shrink_with_levels () =
+  let g = Generators.gnp_connected ~rng:(rng ()) ~n:300 ~p:0.025 in
+  let flat = Routing.build g ~k:2 in
+  let flat_report = Routing.evaluate ~rng:(rng ()) flat ~pairs:150 in
+  let h = Hierarchy.build g ~ks:[ 2; 4; 8 ] in
+  let h_report = Hierarchy.evaluate ~rng:(rng ()) h ~pairs:150 in
+  Alcotest.(check bool)
+    (Printf.sprintf "hierarchy tables %.1f < flat %.1f" h_report.avg_table
+       flat_report.avg_table)
+    true
+    (h_report.avg_table < flat_report.avg_table);
+  Alcotest.(check bool) "stretch still bounded" true (h_report.max_stretch < 30.0)
+
+let test_single_level_matches_flat_shape () =
+  let g = Generators.grid ~rng:(rng ()) ~rows:8 ~cols:8 in
+  let h = Hierarchy.build g ~ks:[ 3 ] in
+  let r = rng () in
+  for _i = 1 to 40 do
+    let src = Rng.int r 64 and dst = Rng.int r 64 in
+    if src <> dst then begin
+      let route = Hierarchy.route h ~src ~dst in
+      (* single level: climb to the destination's center then deliver,
+         which is the flat scheme's stretch shape (additive 2k) *)
+      Alcotest.(check bool) "additive bound" true
+        (route.hops <= route.shortest + (2 * 3))
+    end
+  done
+
+let prop_hierarchy_delivers =
+  QCheck2.Test.make ~name:"hierarchy delivers on random graphs" ~count:25
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 20 80))
+    (fun (seed, n) ->
+      let g = Generators.gnp_connected ~rng:(Rng.create seed) ~n ~p:0.1 in
+      let h = Hierarchy.build g ~ks:[ 2; 4 ] in
+      let src = seed mod n and dst = (seed / 7) mod n in
+      src = dst
+      ||
+      let r = Hierarchy.route h ~src ~dst in
+      List.hd r.path = src
+      && List.nth r.path (List.length r.path - 1) = dst)
+
+let () =
+  Alcotest.run "hierarchy"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "levels nest" `Quick test_nesting;
+          Alcotest.test_case "routes deliver" `Quick test_routes_deliver;
+          Alcotest.test_case "tables shrink with levels" `Quick
+            test_tables_shrink_with_levels;
+          Alcotest.test_case "single level additive stretch" `Quick
+            test_single_level_matches_flat_shape;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_hierarchy_delivers ]);
+    ]

@@ -1,0 +1,101 @@
+(* Tests for the message-level leader election (the [P] citation that
+   discharges FastMST's designated-root assumption). *)
+
+open Kdom_graph
+open Kdom
+
+let graphs seed =
+  let r = Rng.create seed in
+  [
+    ("path30", Generators.path ~rng:r 30);
+    ("star20", Generators.star ~rng:r 20);
+    ("cycle25", Generators.cycle ~rng:r 25);
+    ("grid6x6", Generators.grid ~rng:r ~rows:6 ~cols:6);
+    ("gnp80", Generators.gnp_connected ~rng:r ~n:80 ~p:0.06);
+    ("tree100", Generators.random_tree ~rng:r 100);
+    ("complete15", Generators.complete ~rng:r 15);
+    ("lollipop", Generators.lollipop ~rng:r ~clique:8 ~tail:12);
+    ("two", Generators.path ~rng:r 2);
+    ("single", Generators.path ~rng:r 1);
+  ]
+
+let test_elects_max_id () =
+  List.iter
+    (fun (name, g) ->
+      let r = Leader.elect g in
+      Alcotest.(check int) (name ^ " leader is max id") (Graph.n g - 1) r.leader)
+    (graphs 1)
+
+let test_tree_is_bfs () =
+  List.iter
+    (fun (name, g) ->
+      let r = Leader.elect g in
+      let reference = Traversal.bfs g r.leader in
+      Alcotest.(check (array int)) (name ^ " BFS depths from leader") reference.dist
+        r.depth;
+      Array.iteri
+        (fun v p ->
+          if v = r.leader then Alcotest.(check int) (name ^ " leader parent") (-1) p
+          else begin
+            Alcotest.(check bool) (name ^ " parent adjacent") true
+              (Option.is_some (Graph.find_edge g v p));
+            Alcotest.(check int) (name ^ " parent one closer") (r.depth.(v) - 1)
+              r.depth.(p)
+          end)
+        r.parent)
+    (graphs 2)
+
+let test_round_bound () =
+  List.iter
+    (fun (name, g) ->
+      let r = Leader.elect g in
+      let diam = Traversal.diameter g in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rounds %d <= %d" name r.stats.rounds
+           (Leader.round_bound ~diam))
+        true
+        (r.stats.rounds <= Leader.round_bound ~diam))
+    (graphs 3)
+
+let test_feeds_fast_mst () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 4) ~n:120 ~p:0.05 in
+  let elected = Leader.elect g in
+  let mst = Fast_mst.run ~root:elected.leader g in
+  Alcotest.(check bool) "MST correct with elected root" true
+    (Mst.same_edge_set mst.mst (Mst.kruskal g))
+
+let test_run_elected () =
+  List.iter
+    (fun seed ->
+      let g = Generators.gnp_connected ~rng:(Rng.create seed) ~n:100 ~p:0.06 in
+      let r = Fast_mst.run_elected g in
+      Alcotest.(check bool) "self-contained FastMST correct" true
+        (Mst.same_edge_set r.mst (Mst.kruskal g));
+      Alcotest.(check int) "no stalls" 0 r.pipeline.stalls;
+      (* the election charge appears in the ledger *)
+      Alcotest.(check bool) "election charged" true
+        (List.mem_assoc "Leader election + BFS tree" (Ledger.entries r.ledger)))
+    [ 5; 6; 7 ]
+
+let prop_leader =
+  QCheck2.Test.make ~name:"leader election on random graphs" ~count:50
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 2 60))
+    (fun (seed, n) ->
+      let g = Generators.gnp_connected ~rng:(Rng.create seed) ~n ~p:0.15 in
+      let r = Leader.elect g in
+      r.leader = n - 1
+      && r.stats.rounds <= Leader.round_bound ~diam:(Traversal.diameter g))
+
+let () =
+  Alcotest.run "leader"
+    [
+      ( "election",
+        [
+          Alcotest.test_case "elects the maximum id" `Quick test_elects_max_id;
+          Alcotest.test_case "produces a BFS tree" `Quick test_tree_is_bfs;
+          Alcotest.test_case "O(Diam) rounds" `Quick test_round_bound;
+          Alcotest.test_case "feeds FastMST" `Quick test_feeds_fast_mst;
+          Alcotest.test_case "self-contained run_elected" `Quick test_run_elected;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_leader ]);
+    ]

@@ -1,0 +1,284 @@
+(* Tests for §4/§5: SimpleMST, FastDOM_G, Pipeline, FastMST and the GHS and
+   Collect_all baselines. *)
+
+open Kdom_graph
+open Kdom
+
+let graph_cases seed =
+  let r = Rng.create seed in
+  [
+    ("gnp60", Generators.gnp_connected ~rng:r ~n:60 ~p:0.08);
+    ("gnp120", Generators.gnp_connected ~rng:r ~n:120 ~p:0.05);
+    ("grid8x8", Generators.grid ~rng:r ~rows:8 ~cols:8);
+    ("torus6x6", Generators.torus ~rng:r ~rows:6 ~cols:6);
+    ("cycle50", Generators.cycle ~rng:r 50);
+    ("complete20", Generators.complete ~rng:r 20);
+    ("lollipop", Generators.lollipop ~rng:r ~clique:12 ~tail:30);
+    ("barbell", Generators.barbell ~rng:r ~clique:10 ~bridge:15);
+    ("ladder40", Generators.ladder ~rng:r 40);
+    ("regular", Generators.random_regular ~rng:r ~n:60 ~d:4);
+    ("tree80", Generators.random_tree ~rng:r 80);
+    ("path2", Generators.path ~rng:r 2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Simple_mst *)
+
+let test_simple_mst_forest () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let r = Simple_mst.run g ~k in
+          let n = Graph.n g in
+          let mst = Mst.kruskal g in
+          let mst_ids = List.map (fun (e : Graph.edge) -> e.id) mst in
+          (* every fragment tree edge belongs to the MST (Lemma 4.2) *)
+          List.iter
+            (fun (e : Graph.edge) ->
+              Alcotest.(check bool) (name ^ " edge in MST") true (List.mem e.id mst_ids))
+            (Simple_mst.spanning_forest_edges r);
+          (* fragments partition the node set *)
+          let owner = Simple_mst.fragment_of_array g r in
+          Array.iter
+            (fun o -> Alcotest.(check bool) (name ^ " covered") true (o >= 0))
+            owner;
+          (* size >= min(k+1, n) *)
+          List.iter
+            (fun (f : Simple_mst.fragment) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s k=%d fragment size %d" name k (List.length f.members))
+                true
+                (List.length f.members >= min (k + 1) n))
+            r.fragments;
+          (* O(k) rounds, exactly the charged schedule *)
+          Alcotest.(check int) (name ^ " charged rounds") (Simple_mst.round_bound ~k) r.rounds)
+        [ 1; 3; 8 ])
+    (graph_cases 1)
+
+let test_simple_mst_depth_consistent () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 2) ~n:100 ~p:0.06 in
+  let r = Simple_mst.run g ~k:7 in
+  List.iter
+    (fun (f : Simple_mst.fragment) ->
+      Alcotest.(check int) "recomputed depth" f.depth
+        (Simple_mst.tree_depth f.root f.members f.tree_edges);
+      Alcotest.(check int) "tree edge count" (List.length f.members - 1)
+        (List.length f.tree_edges))
+    r.fragments
+
+(* ------------------------------------------------------------------ *)
+(* Fastdom_graph *)
+
+let test_fastdom_graph () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let r = Fastdom_graph.run g ~k in
+          let n = Graph.n g in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d dominates" name k)
+            true
+            (Domination.is_k_dominating g ~k r.dominating);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d size" name k)
+            true
+            (List.length r.dominating <= max 1 (2 * n / (k + 1)));
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d partition radius" name k)
+            true
+            (Cluster.max_radius r.partition <= k);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d rounds %d" name k r.rounds)
+            true
+            (r.rounds <= Fastdom_graph.round_bound ~n ~k))
+        [ 1; 2; 5 ])
+    (graph_cases 3)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline *)
+
+let pipeline_setup g k =
+  let dom = Fastdom_graph.run g ~k in
+  let fragment_of = Simple_mst.fragment_of_array g dom.forest in
+  let bfs, _ = Bfs_tree.run g ~root:0 in
+  (dom, bfs, fragment_of)
+
+let test_pipeline_selects_mst () =
+  List.iter
+    (fun (name, g) ->
+      let dom, bfs, fragment_of = pipeline_setup g 3 in
+      let pipe = Pipeline.run g ~bfs ~fragment_of in
+      let full = Simple_mst.spanning_forest_edges dom.forest @ pipe.selected in
+      Alcotest.(check bool) (name ^ " full MST") true (Mst.is_mst g full);
+      Alcotest.(check bool) (name ^ " no stalls (Lemma 5.3)") true (pipe.stalls = 0))
+    (graph_cases 4)
+
+let test_pipeline_round_bound () =
+  List.iter
+    (fun (name, g) ->
+      let dom, bfs, fragment_of = pipeline_setup g 4 in
+      ignore dom;
+      let pipe = Pipeline.run g ~bfs ~fragment_of in
+      let diam = Traversal.diameter g in
+      let fragments = 1 + Array.fold_left max 0 fragment_of in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s upcast %d <= %d" name pipe.upcast_stats.rounds
+           (Pipeline.round_bound ~diam ~fragments))
+        true
+        (pipe.upcast_stats.rounds <= Pipeline.round_bound ~diam ~fragments))
+    (graph_cases 5)
+
+let test_pipeline_congestion_metrics () =
+  (* at most one message per edge per round is enforced by the runtime;
+     also check the root receives at most a forest per child subtree *)
+  let g = Generators.gnp_connected ~rng:(Rng.create 6) ~n:150 ~p:0.05 in
+  let _dom, bfs, fragment_of = pipeline_setup g 5 in
+  let pipe = Pipeline.run g ~bfs ~fragment_of in
+  let fragments = 1 + Array.fold_left max 0 fragment_of in
+  let root_children = List.length bfs.children.(0) in
+  Alcotest.(check bool) "root receives <= children * (N-1) + own degree" true
+    (pipe.root_received <= (root_children * (fragments - 1)) + Graph.degree g 0)
+
+let test_collect_all () =
+  List.iter
+    (fun (name, g) ->
+      let r = Collect_all.run g in
+      Alcotest.(check bool) (name ^ " collect-all MST") true (Mst.is_mst g r.mst);
+      (* without cycle elimination every edge reaches the root *)
+      Alcotest.(check int) (name ^ " all edges at root") (Graph.m g) r.edges_at_root)
+    (graph_cases 7)
+
+let test_cycle_elimination_reduces_traffic () =
+  let g = Generators.complete ~rng:(Rng.create 8) 24 in
+  let ca = Collect_all.run g in
+  let _dom, bfs, fragment_of = pipeline_setup g 4 in
+  let pipe = Pipeline.run g ~bfs ~fragment_of in
+  Alcotest.(check bool)
+    (Printf.sprintf "red rule cuts root load: %d < %d" pipe.root_received ca.edges_at_root)
+    true
+    (pipe.root_received < ca.edges_at_root)
+
+(* ------------------------------------------------------------------ *)
+(* Fast_mst and Ghs *)
+
+let test_fast_mst_correct () =
+  List.iter
+    (fun (name, g) ->
+      let r = Fast_mst.run g in
+      Alcotest.(check bool) (name ^ " is MST") true (Mst.is_mst g r.mst);
+      let kruskal = Mst.kruskal g in
+      Alcotest.(check bool) (name ^ " same edges as Kruskal") true
+        (Mst.same_edge_set r.mst kruskal))
+    (graph_cases 9)
+
+let test_fast_mst_round_bound () =
+  List.iter
+    (fun (name, g) ->
+      let r = Fast_mst.run g in
+      let n = Graph.n g in
+      let diam = Traversal.diameter g in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rounds %d <= %d" name r.rounds
+           (Fast_mst.round_bound ~n ~diam))
+        true
+        (r.rounds <= Fast_mst.round_bound ~n ~diam))
+    (graph_cases 10)
+
+let test_fast_mst_on_tree () =
+  (* degenerate input: the graph IS a tree, so the MST is everything and
+     the pipeline has no inter-fragment candidates after full merging *)
+  let g = Generators.random_tree ~rng:(Rng.create 21) 120 in
+  let r = Fast_mst.run g in
+  Alcotest.(check int) "whole tree" 119 (List.length r.mst);
+  Alcotest.(check bool) "correct" true (Mst.is_mst g r.mst)
+
+let test_fast_mst_two_nodes () =
+  let g = Generators.path ~rng:(Rng.create 22) 2 in
+  let r = Fast_mst.run g in
+  Alcotest.(check int) "single edge" 1 (List.length r.mst)
+
+let test_fast_mst_hidden_family () =
+  let g = Generators.hidden_path ~rng:(Rng.create 23) ~n:256 ~shortcuts:512 in
+  let fast = Fast_mst.run g in
+  let ghs = Ghs.run g in
+  Alcotest.(check bool) "fast correct" true (Mst.same_edge_set fast.mst (Mst.kruskal g));
+  Alcotest.(check bool) "ghs correct" true (Mst.same_edge_set ghs.mst (Mst.kruskal g));
+  Alcotest.(check int) "no stalls" 0 fast.pipeline.stalls
+
+let test_ghs_correct () =
+  List.iter
+    (fun (name, g) ->
+      let r = Ghs.run g in
+      Alcotest.(check bool) (name ^ " GHS MST") true (Mst.is_mst g r.mst))
+    (graph_cases 11)
+
+let test_ghs_slow_on_path_fast_mst_not () =
+  (* the headline comparison: on a long path GHS pays ~n rounds while
+     FastMST pays ~sqrt(n)log*(n) + n (BFS dominates); on a low-diameter
+     graph FastMST wins outright *)
+  let g = Generators.gnp_connected ~rng:(Rng.create 12) ~n:400 ~p:0.03 in
+  let ghs = Ghs.run g in
+  let fast = Fast_mst.run g in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast %d vs ghs %d on low-diameter graph" fast.rounds ghs.rounds)
+    true
+    (fast.rounds < 20 * ghs.rounds)
+  (* no strict winner asserted here; the crossover is explored in bench E8 *)
+
+let prop_fast_mst =
+  QCheck2.Test.make ~name:"FastMST = Kruskal on random graphs" ~count:30
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 5 80))
+    (fun (seed, n) ->
+      let g = Generators.gnp_connected ~rng:(Rng.create seed) ~n ~p:0.1 in
+      let r = Fast_mst.run g in
+      Mst.same_edge_set r.mst (Mst.kruskal g) && r.pipeline.stalls = 0)
+
+let prop_simple_mst_fragments =
+  QCheck2.Test.make ~name:"SimpleMST fragments are MST subtrees" ~count:40
+    QCheck2.Gen.(triple (int_bound 10_000) (int_range 5 60) (int_range 1 6))
+    (fun (seed, n, k) ->
+      let g = Generators.gnp_connected ~rng:(Rng.create seed) ~n ~p:0.12 in
+      let r = Simple_mst.run g ~k in
+      let mst_ids =
+        List.map (fun (e : Graph.edge) -> e.id) (Mst.kruskal g)
+      in
+      List.for_all
+        (fun (f : Simple_mst.fragment) ->
+          List.for_all (fun (e : Graph.edge) -> List.mem e.id mst_ids) f.tree_edges
+          && List.length f.members >= min (k + 1) (Graph.n g))
+        r.fragments)
+
+let () =
+  Alcotest.run "mst"
+    [
+      ( "simple_mst",
+        [
+          Alcotest.test_case "forest properties (Lemma 4.3)" `Quick test_simple_mst_forest;
+          Alcotest.test_case "depth bookkeeping" `Quick test_simple_mst_depth_consistent;
+        ] );
+      ( "fastdom_graph",
+        [ Alcotest.test_case "families (Theorem 4.4)" `Quick test_fastdom_graph ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "selects the MST (Lemma 5.5)" `Quick test_pipeline_selects_mst;
+          Alcotest.test_case "O(N + Diam) rounds" `Quick test_pipeline_round_bound;
+          Alcotest.test_case "congestion metrics" `Quick test_pipeline_congestion_metrics;
+          Alcotest.test_case "collect-all baseline" `Quick test_collect_all;
+          Alcotest.test_case "red rule reduces traffic" `Quick
+            test_cycle_elimination_reduces_traffic;
+        ] );
+      ( "fast_mst",
+        [
+          Alcotest.test_case "matches Kruskal (Theorem 5.6)" `Quick test_fast_mst_correct;
+          Alcotest.test_case "round bound" `Quick test_fast_mst_round_bound;
+          Alcotest.test_case "degenerate tree input" `Quick test_fast_mst_on_tree;
+          Alcotest.test_case "two nodes" `Quick test_fast_mst_two_nodes;
+          Alcotest.test_case "hidden-path family" `Quick test_fast_mst_hidden_family;
+          Alcotest.test_case "GHS baseline correct" `Quick test_ghs_correct;
+          Alcotest.test_case "comparison sanity" `Quick test_ghs_slow_on_path_fast_mst_not;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_fast_mst; prop_simple_mst_fragments ] );
+    ]

@@ -1,0 +1,104 @@
+(* Tests for the message-level SimpleMST (§4.3's exact synchronous
+   schedule), cross-validated against the phase-level simulation. *)
+
+open Kdom_graph
+open Kdom
+
+let graphs seed =
+  let r = Rng.create seed in
+  [
+    ("gnp100", Generators.gnp_connected ~rng:r ~n:100 ~p:0.06);
+    ("grid8x8", Generators.grid ~rng:r ~rows:8 ~cols:8);
+    ("cycle40", Generators.cycle ~rng:r 40);
+    ("tree70", Generators.random_tree ~rng:r 70);
+    ("complete16", Generators.complete ~rng:r 16);
+    ("lollipop", Generators.lollipop ~rng:r ~clique:8 ~tail:16);
+    ("ladder30", Generators.ladder ~rng:r 30);
+    ("path2", Generators.path ~rng:r 2);
+    ("single", Generators.path ~rng:r 1);
+  ]
+
+let sorted_partition fragments =
+  List.map
+    (fun (f : Simple_mst.fragment) -> List.sort compare f.members)
+    fragments
+  |> List.sort compare
+
+let test_matches_phase_level () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let message_level = Simple_mst_congest.run g ~k in
+          let phase_level = Simple_mst.run g ~k in
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "%s k=%d identical fragments" name k)
+            (sorted_partition phase_level.fragments)
+            (sorted_partition message_level.fragments))
+        [ 1; 2; 5 ])
+    (graphs 1)
+
+let test_forest_properties () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let r = Simple_mst_congest.run g ~k in
+          let n = Graph.n g in
+          let mst_ids = List.map (fun (e : Graph.edge) -> e.id) (Mst.kruskal g) in
+          List.iter
+            (fun (f : Simple_mst.fragment) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s k=%d size" name k)
+                true
+                (List.length f.members >= min (k + 1) n);
+              List.iter
+                (fun (e : Graph.edge) ->
+                  Alcotest.(check bool) (name ^ " edge in MST") true
+                    (List.mem e.id mst_ids))
+                f.tree_edges;
+              Alcotest.(check int) (name ^ " tree size")
+                (List.length f.members - 1)
+                (List.length f.tree_edges))
+            r.fragments)
+        [ 2; 4 ])
+    (graphs 2)
+
+let test_exact_schedule_rounds () =
+  (* the run lasts exactly the fixed schedule, which is O(k) *)
+  List.iter
+    (fun k ->
+      let g = Generators.gnp_connected ~rng:(Rng.create k) ~n:80 ~p:0.08 in
+      let r = Simple_mst_congest.run g ~k in
+      let expected = Simple_mst_congest.schedule_length ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d rounds %d ~ schedule %d" k r.stats.rounds expected)
+        true
+        (abs (r.stats.rounds - expected) <= 1);
+      (* the paper's charge differs only by the constant slack per phase *)
+      Alcotest.(check int) "charge vs schedule"
+        (Simple_mst.round_bound ~k + (8 * r.phases))
+        expected)
+    [ 1; 2; 4; 8; 16 ]
+
+let prop_congest_simple_mst =
+  QCheck2.Test.make ~name:"message-level = phase-level on random graphs" ~count:40
+    QCheck2.Gen.(triple (int_bound 10_000) (int_range 4 60) (int_range 1 5))
+    (fun (seed, n, k) ->
+      let g = Generators.gnp_connected ~rng:(Rng.create seed) ~n ~p:0.15 in
+      let a = Simple_mst_congest.run g ~k in
+      let b = Simple_mst.run g ~k in
+      sorted_partition a.fragments = sorted_partition b.fragments)
+
+let () =
+  Alcotest.run "simple_mst_congest"
+    [
+      ( "message-level",
+        [
+          Alcotest.test_case "matches phase-level fragments" `Quick
+            test_matches_phase_level;
+          Alcotest.test_case "forest properties" `Quick test_forest_properties;
+          Alcotest.test_case "exact schedule" `Quick test_exact_schedule_rounds;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_congest_simple_mst ]);
+    ]

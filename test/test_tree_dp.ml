@@ -1,0 +1,132 @@
+(* Tests for the bottom-up optimal k-domination DP on trees (Tree_dp) and
+   its use as the in-cluster stage of FastDOM_T. *)
+
+open Kdom_graph
+open Kdom
+
+let test_dp_valid_on_families () =
+  let r = Rng.create 0x7D9 in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let t = Tree.root_at g 0 in
+          let d, rounds = Tree_dp.run t ~k in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d dominates" name k)
+            true
+            (Domination.is_k_dominating g ~k d);
+          let n = Graph.n g in
+          if n >= k + 1 then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s k=%d floor bound: %d <= %d" name k (List.length d)
+                 (Domination.size_bound ~n ~k))
+              true
+              (List.length d <= Domination.size_bound ~n ~k);
+          Alcotest.(check bool) "round charge" true (rounds <= (2 * t.height) + 2))
+        [ 1; 2; 3; 6 ])
+    [
+      ("path40", Generators.path ~rng:r 40);
+      ("star25", Generators.star ~rng:r 25);
+      ("binary63", Generators.binary_tree ~rng:r 63);
+      ("caterpillar", Generators.caterpillar ~rng:r ~spine:10 ~legs:3);
+      ("broom", Generators.broom ~rng:r ~handle:15 ~bristles:10);
+      ("random150", Generators.random_tree ~rng:r 150);
+      ("single", Generators.path ~rng:r 1);
+    ]
+
+let test_dp_matches_brute_force () =
+  (* exhaustive optimality check on every random tree small enough *)
+  let checked = ref 0 in
+  for seed = 1 to 60 do
+    let n = 4 + (seed mod 12) in
+    let g = Generators.random_tree ~rng:(Rng.create seed) n in
+    List.iter
+      (fun k ->
+        let opt = List.length (Domination.brute_force_optimum g ~k) in
+        let dp = Tree_dp.optimal_size g ~root:(seed mod n) ~k in
+        incr checked;
+        Alcotest.(check int)
+          (Printf.sprintf "seed=%d n=%d k=%d optimal" seed n k)
+          opt dp)
+      [ 1; 2; 3 ]
+  done;
+  Alcotest.(check bool) "enough cases" true (!checked >= 150)
+
+let test_dp_path_formula () =
+  (* gamma_k(P_n) = ceil(n / (2k+1)) *)
+  let r = Rng.create 5 in
+  List.iter
+    (fun (n, k) ->
+      let g = Generators.path ~rng:r n in
+      Alcotest.(check int)
+        (Printf.sprintf "path n=%d k=%d" n k)
+        ((n + (2 * k)) / ((2 * k) + 1))
+        (Tree_dp.optimal_size g ~root:0 ~k))
+    [ (10, 1); (10, 2); (21, 2); (30, 3); (100, 4); (7, 3) ]
+
+let test_fastdom_dp_stage_floor_bound () =
+  (* with the DP stage, FastDOM_T meets the paper's exact n/(k+1) target *)
+  let r = Rng.create 99 in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let res = Fastdom_tree.run ~stage:Fastdom_tree.Optimal_dp g ~k in
+          let n = Graph.n g in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d dominates" name k)
+            true
+            (Domination.is_k_dominating g ~k res.dominating);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d floor: %d <= %d" name k
+               (List.length res.dominating)
+               (Domination.size_bound ~n ~k))
+            true
+            (List.length res.dominating <= Domination.size_bound ~n ~k);
+          Alcotest.(check bool)
+            (name ^ " partition radius <= k")
+            true
+            (Cluster.max_radius res.partition <= k))
+        [ 1; 2; 4; 8 ])
+    [
+      ("path300", Generators.path ~rng:r 300);
+      ("random500", Generators.random_tree ~rng:r 500);
+      ("binary511", Generators.binary_tree ~rng:r 511);
+      ("caterpillar", Generators.caterpillar ~rng:r ~spine:40 ~legs:4);
+    ]
+
+let prop_dp_optimal =
+  QCheck2.Test.make ~name:"DP matches brute force on random trees" ~count:80
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 3 14) (int_range 1 4))
+    (fun (seed, n, k) ->
+      let g = Generators.random_tree ~rng:(Rng.create seed) n in
+      let opt = List.length (Domination.brute_force_optimum g ~k) in
+      Tree_dp.optimal_size g ~root:0 ~k = opt)
+
+let prop_dp_floor =
+  QCheck2.Test.make ~name:"DP meets floor(n/(k+1)) when n >= k+1" ~count:150
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 2 200) (int_range 1 8))
+    (fun (seed, n, k) ->
+      if n < k + 1 then true
+      else begin
+        let g = Generators.random_tree ~rng:(Rng.create seed) n in
+        let d, _ = Tree_dp.run (Tree.root_at g (seed mod n)) ~k in
+        Domination.is_k_dominating g ~k d
+        && List.length d <= Domination.size_bound ~n ~k
+      end)
+
+let () =
+  Alcotest.run "tree_dp"
+    [
+      ( "dp",
+        [
+          Alcotest.test_case "valid on families" `Quick test_dp_valid_on_families;
+          Alcotest.test_case "matches brute force" `Quick test_dp_matches_brute_force;
+          Alcotest.test_case "path closed form" `Quick test_dp_path_formula;
+          Alcotest.test_case "FastDOM_T DP stage floor bound" `Quick
+            test_fastdom_dp_stage_floor_bound;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_dp_optimal; prop_dp_floor ] );
+    ]
