@@ -63,7 +63,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 type kind =
-  | Alg of int * int * Runtime.payload  (* source, source pulse, payload *)
+  | Alg of int * int * Engine.payload   (* source, source pulse, payload *)
   | Ack of int                          (* pulse being acknowledged *)
   | Safe of int * int                   (* source, pulse declared safe *)
 
@@ -73,26 +73,35 @@ type 'st node = {
   mutable is_halted : bool;
   mutable awaiting_acks : int;
   mutable safe_pulse : int;     (* highest pulse this node is safe for *)
-  buffers : (int, (int * Runtime.payload) list) Hashtbl.t;
+  buffers : (int, (int * Engine.payload) list) Hashtbl.t;
   safes : (int, int) Hashtbl.t; (* pulse -> SAFE announcements received *)
-  neighbors : int list;
+  degree : int;
 }
 
-let run ~rng ?(max_delay = 1.0) g algo =
+let run ~rng ?(max_delay = 1.0) ?max_words g algo =
   let n = Graph.n g in
+  (* the engine's CSR port map provides O(1) neighbor validation and
+     allocation-free neighbor iteration for the synchronizer traffic *)
+  let eng = Engine.create g in
+  let max_words =
+    match max_words with Some w -> w | None -> Engine.default_max_words n
+  in
   let nodes =
     Array.init n (fun v ->
         {
-          state = algo.Runtime.init g v;
+          state = algo.Engine.init g v;
           next_pulse = 0;
           is_halted = false;
           awaiting_acks = 0;
           safe_pulse = -1;
           buffers = Hashtbl.create 8;
           safes = Hashtbl.create 8;
-          neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
+          degree = Engine.degree eng v;
         })
   in
+  (* used_at.(slot) = last pulse in which the slot carried an algorithm
+     message; detects two sends over one edge within a pulse in O(1) *)
+  let used_at = Array.make (max 1 (Engine.port_count eng)) (-1) in
   let queue = Events.create () in
   let alg_messages = ref 0 in
   let sync_messages = ref 0 in
@@ -105,22 +114,19 @@ let run ~rng ?(max_delay = 1.0) g algo =
   let declare_safe now v pulse =
     let nd = nodes.(v) in
     nd.safe_pulse <- pulse;
-    List.iter
-      (fun u ->
+    Engine.iter_neighbors eng v (fun u ->
         incr sync_messages;
         send now u (Safe (v, pulse)))
-      nd.neighbors
   in
   (* execute every pulse whose synchronizer precondition holds *)
   let rec advance now v =
     let nd = nodes.(v) in
     let p = nd.next_pulse in
-    if p > pulse_cap then raise (Runtime.Round_limit_exceeded p);
+    if p > pulse_cap then raise (Engine.Round_limit_exceeded p);
     let ready =
       p = 0
       || (nd.safe_pulse >= p - 1
-         && Option.value ~default:0 (Hashtbl.find_opt nd.safes (p - 1))
-            = List.length nd.neighbors)
+         && Option.value ~default:0 (Hashtbl.find_opt nd.safes (p - 1)) = nd.degree)
     in
     if ready && not (!halted_count = n) then begin
       nd.next_pulse <- p + 1;
@@ -134,14 +140,14 @@ let run ~rng ?(max_delay = 1.0) g algo =
         if nd.is_halted then begin
           if inbox <> [] then
             raise
-              (Runtime.Congestion_violation
+              (Engine.Congestion_violation
                  (Printf.sprintf "async pulse %d: halted node %d received a message" p v));
           []
         end
         else begin
-          let st, outbox = algo.Runtime.step g ~round:p ~node:v nd.state inbox in
+          let st, outbox = algo.Engine.step g ~round:p ~node:v nd.state inbox in
           nd.state <- st;
-          if (not nd.is_halted) && algo.Runtime.halted st then begin
+          if (not nd.is_halted) && algo.Engine.halted st then begin
             nd.is_halted <- true;
             incr halted_count;
             finish_time := Float.max !finish_time now
@@ -151,6 +157,24 @@ let run ~rng ?(max_delay = 1.0) g algo =
       in
       List.iter
         (fun (u, payload) ->
+          (* the same congestion discipline the synchronous engine
+             enforces, via the same port map *)
+          let slot = Engine.find_port eng ~src:v ~dst:u in
+          if slot < 0 then
+            raise
+              (Engine.Congestion_violation
+                 (Printf.sprintf "async pulse %d: node %d sent to non-neighbor %d" p v u));
+          if used_at.(slot) = p then
+            raise
+              (Engine.Congestion_violation
+                 (Printf.sprintf "async pulse %d: node %d sent twice over edge to %d" p v u));
+          used_at.(slot) <- p;
+          let w = Array.length payload in
+          if w > max_words then
+            raise
+              (Engine.Congestion_violation
+                 (Printf.sprintf "async pulse %d: node %d payload of %d words exceeds %d"
+                    p v w max_words));
           incr alg_messages;
           send now u (Alg (v, p, payload)))
         outbox;

@@ -31,9 +31,16 @@ type report = {
 val run :
   rng:Rng.t ->
   ?max_delay:float ->
+  ?max_words:int ->
   Graph.t ->
   'st Runtime.algorithm ->
   'st array * report
 (** [run ~rng g algo] executes [algo] to quiescence under link delays
     drawn uniformly from [(0, max_delay]] (default 1.0).  The returned
-    states must match [Runtime.run g algo] exactly. *)
+    states must match [Runtime.run g algo] exactly.
+
+    The executor shares the {!Engine} port map: per-pulse sends are
+    subject to the same congestion discipline as the synchronous engine —
+    non-neighbor sends, two messages over one edge within a pulse, and
+    payloads wider than [max_words] (default [Engine.default_max_words n])
+    raise [Engine.Congestion_violation]. *)

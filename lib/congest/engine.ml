@@ -1,0 +1,380 @@
+open Kdom_graph
+
+type payload = int array
+type inbox = (int * payload) list
+
+type 'st algorithm = {
+  init : Graph.t -> int -> 'st;
+  step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
+  halted : 'st -> bool;
+}
+
+type stats = { rounds : int; messages : int; max_inflight : int }
+
+exception Round_limit_exceeded of int
+exception Congestion_violation of string
+
+(* The model's word is 16 bits; a message of O(log n) bits is a constant
+   number of words for any practical n (= the historical default of 4) and
+   grows logarithmically beyond 2^32 nodes. *)
+let word_bits = 16
+
+let bits_needed n =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x lsr 1) in
+  go 0 (max 1 n)
+
+let default_max_words n = max 4 (2 + ((bits_needed n + word_bits - 1) / word_bits))
+
+(* Empty slots hold this sentinel.  It must be physically distinct from any
+   payload an algorithm can produce: zero-length OCaml arrays are a shared
+   atom, so the sentinel is a private 1-element array instead. *)
+let none : payload = Array.make 1 min_int
+
+module Sink = struct
+  type round_info = {
+    round : int;
+    delivered : int;
+    delivered_words : int;
+    receivers : int;
+    stepped : int;
+    sent : int;
+  }
+
+  type t = {
+    on_message : round:int -> src:int -> dst:int -> words:int -> unit;
+    on_round : round_info -> unit;
+  }
+
+  let null =
+    { on_message = (fun ~round:_ ~src:_ ~dst:_ ~words:_ -> ()); on_round = ignore }
+
+  let tee a b =
+    {
+      on_message =
+        (fun ~round ~src ~dst ~words ->
+          a.on_message ~round ~src ~dst ~words;
+          b.on_message ~round ~src ~dst ~words);
+      on_round =
+        (fun ri ->
+          a.on_round ri;
+          b.on_round ri);
+    }
+
+  let counters () =
+    let acc = ref [] in
+    ( { null with on_round = (fun ri -> acc := ri :: !acc) },
+      fun () -> List.rev !acc )
+
+  let activity ~n =
+    let sent = Array.make n 0 and received = Array.make n 0 in
+    ( {
+        null with
+        on_message =
+          (fun ~round:_ ~src ~dst ~words:_ ->
+            sent.(src) <- sent.(src) + 1;
+            received.(dst) <- received.(dst) + 1);
+      },
+      sent,
+      received )
+
+  let jsonl ?(messages = false) oc =
+    {
+      on_message =
+        (fun ~round ~src ~dst ~words ->
+          if messages then
+            Printf.fprintf oc
+              "{\"type\":\"msg\",\"round\":%d,\"src\":%d,\"dst\":%d,\"words\":%d}\n"
+              round src dst words);
+      on_round =
+        (fun ri ->
+          Printf.fprintf oc
+            "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
+             \"receivers\":%d,\"stepped\":%d,\"sent\":%d}\n"
+            ri.round ri.delivered ri.delivered_words ri.receivers ri.stepped
+            ri.sent);
+    }
+end
+
+(* One direction of the double buffer: slot-indexed payloads plus the
+   bookkeeping needed to visit and clear only what was touched. *)
+type buf = {
+  slots : payload array;  (* port_count; [none] = empty *)
+  written : int array;    (* stack of slot ids written this round *)
+  mutable wlen : int;
+  count : int array;      (* per node: messages addressed to it *)
+  active : int array;     (* stack of receivers with count > 0 *)
+  mutable alen : int;
+  mutable total : int;
+  mutable words : int;
+}
+
+type t = {
+  g : Graph.t;
+  n : int;
+  ports : int;  (* 2m directed slots *)
+  out_off : int array;  (* n+1: slot range of each source *)
+  out_dst : int array;  (* destination of each slot, sorted per source *)
+  in_off : int array;   (* n+1: in-port range of each destination *)
+  in_slot : int array;  (* slots delivering to v, sender-ascending *)
+  in_src : int array;   (* sender of in_slot.(j) *)
+  slot_of : (int, int) Hashtbl.t;  (* src * n + dst -> slot *)
+  buf_a : buf;
+  buf_b : buf;
+  live : int array;     (* scratch: live node ids, ascending *)
+  is_live : bool array;
+  mutable running : bool;
+  mutable dirty : bool;
+}
+
+let make_buf ~n ~ports =
+  {
+    slots = Array.make (max 1 ports) none;
+    written = Array.make (max 1 ports) 0;
+    wlen = 0;
+    count = Array.make (max 1 n) 0;
+    active = Array.make (max 1 n) 0;
+    alen = 0;
+    total = 0;
+    words = 0;
+  }
+
+let create g =
+  let n = Graph.n g in
+  let ports = 2 * Graph.m g in
+  let out_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    out_off.(v + 1) <- out_off.(v) + Graph.degree g v
+  done;
+  let out_dst = Array.make (max 1 ports) (-1) in
+  let slot_of = Hashtbl.create (max 16 (2 * ports)) in
+  for v = 0 to n - 1 do
+    let base = out_off.(v) in
+    Array.iteri
+      (fun i (u, _) ->
+        out_dst.(base + i) <- u;
+        Hashtbl.replace slot_of ((v * n) + u) (base + i))
+      (Graph.neighbors g v)
+  done;
+  let in_off = Array.make (n + 1) 0 in
+  for s = 0 to ports - 1 do
+    let d = out_dst.(s) in
+    in_off.(d + 1) <- in_off.(d + 1) + 1
+  done;
+  for v = 0 to n - 1 do
+    in_off.(v + 1) <- in_off.(v + 1) + in_off.(v)
+  done;
+  let in_slot = Array.make (max 1 ports) 0 in
+  let in_src = Array.make (max 1 ports) 0 in
+  let fill = Array.copy in_off in
+  (* sources visited in ascending id, so each in-port list comes out
+     sender-ascending — this is the inbox ordering guarantee *)
+  for v = 0 to n - 1 do
+    for s = out_off.(v) to out_off.(v + 1) - 1 do
+      let d = out_dst.(s) in
+      in_slot.(fill.(d)) <- s;
+      in_src.(fill.(d)) <- v;
+      fill.(d) <- fill.(d) + 1
+    done
+  done;
+  {
+    g;
+    n;
+    ports;
+    out_off;
+    out_dst;
+    in_off;
+    in_slot;
+    in_src;
+    slot_of;
+    buf_a = make_buf ~n ~ports;
+    buf_b = make_buf ~n ~ports;
+    live = Array.make (max 1 n) 0;
+    is_live = Array.make (max 1 n) false;
+    running = false;
+    dirty = false;
+  }
+
+let graph e = e.g
+let port_count e = e.ports
+let degree e v = e.out_off.(v + 1) - e.out_off.(v)
+
+let iter_neighbors e v f =
+  for s = e.out_off.(v) to e.out_off.(v + 1) - 1 do
+    f e.out_dst.(s)
+  done
+
+let find_port e ~src ~dst =
+  match Hashtbl.find e.slot_of ((src * e.n) + dst) with
+  | s -> s
+  | exception Not_found -> -1
+
+let reset_buf b =
+  Array.fill b.slots 0 (Array.length b.slots) none;
+  Array.fill b.count 0 (Array.length b.count) 0;
+  b.wlen <- 0;
+  b.alen <- 0;
+  b.total <- 0;
+  b.words <- 0
+
+let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
+  let n = e.n in
+  let g = e.g in
+  let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
+  let max_words =
+    match max_words with Some w -> w | None -> default_max_words n
+  in
+  if e.dirty then begin
+    (* a previous run aborted mid-round (violation / limit); scrub *)
+    reset_buf e.buf_a;
+    reset_buf e.buf_b
+  end;
+  e.running <- true;
+  e.dirty <- true;
+  let states = Array.init n (fun v -> algo.init g v) in
+  let live = e.live and is_live = e.is_live in
+  let live_len = ref 0 in
+  for v = 0 to n - 1 do
+    if algo.halted states.(v) then is_live.(v) <- false
+    else begin
+      is_live.(v) <- true;
+      live.(!live_len) <- v;
+      incr live_len
+    end
+  done;
+  let cur = ref e.buf_a and nxt = ref e.buf_b in
+  let messages = ref 0 and max_inflight = ref 0 and round = ref 0 in
+  let instrumented = sink != Sink.null in
+  while !live_len > 0 || (!nxt).total > 0 do
+    if !round > max_rounds then raise (Round_limit_exceeded !round);
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp;
+    let dv = !cur and sd = !nxt in
+    let this_round = dv.total in
+    max_inflight := max !max_inflight this_round;
+    messages := !messages + this_round;
+    let r = !round in
+    let stepped = !live_len in
+    (* The reference semantics raise at the first offending node in id
+       order; a halted receiver competes with live-node send violations.
+       [v_min] is the smallest halted node holding undeliverable mail. *)
+    let v_min = ref (-1) in
+    for i = 0 to dv.alen - 1 do
+      let v = dv.active.(i) in
+      if (not is_live.(v)) && dv.count.(v) > 0 && (!v_min < 0 || v < !v_min) then
+        v_min := v
+    done;
+    let compacted = ref false in
+    for i = 0 to !live_len - 1 do
+      let v = live.(i) in
+      if !v_min >= 0 && !v_min < v then
+        raise
+          (Congestion_violation
+             (Printf.sprintf "round %d: halted node %d received a message" r !v_min));
+      let inbox =
+        if dv.count.(v) = 0 then []
+        else begin
+          (* in-ports are sender-ascending; prepend while scanning
+             backwards so the list comes out ascending too *)
+          let acc = ref [] in
+          for j = e.in_off.(v + 1) - 1 downto e.in_off.(v) do
+            let p = dv.slots.(e.in_slot.(j)) in
+            if p != none then acc := (e.in_src.(j), p) :: !acc
+          done;
+          !acc
+        end
+      in
+      let st, outbox = algo.step g ~round:r ~node:v states.(v) inbox in
+      states.(v) <- st;
+      List.iter
+        (fun (u, p) ->
+          let slot =
+            match Hashtbl.find e.slot_of ((v * n) + u) with
+            | s -> s
+            | exception Not_found ->
+              raise
+                (Congestion_violation
+                   (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r v u))
+          in
+          if sd.slots.(slot) != none then
+            raise
+              (Congestion_violation
+                 (Printf.sprintf "round %d: node %d sent twice over edge to %d" r v u));
+          let w = Array.length p in
+          if w > max_words then
+            raise
+              (Congestion_violation
+                 (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
+                    r v w max_words));
+          sd.slots.(slot) <- p;
+          sd.written.(sd.wlen) <- slot;
+          sd.wlen <- sd.wlen + 1;
+          if sd.count.(u) = 0 then begin
+            sd.active.(sd.alen) <- u;
+            sd.alen <- sd.alen + 1
+          end;
+          sd.count.(u) <- sd.count.(u) + 1;
+          sd.total <- sd.total + 1;
+          sd.words <- sd.words + w;
+          if instrumented then sink.on_message ~round:r ~src:v ~dst:u ~words:w)
+        outbox;
+      if algo.halted st then begin
+        is_live.(v) <- false;
+        compacted := true
+      end
+    done;
+    if !v_min >= 0 then
+      raise
+        (Congestion_violation
+           (Printf.sprintf "round %d: halted node %d received a message" r !v_min));
+    let receivers = dv.alen and delivered_words = dv.words in
+    for j = 0 to dv.wlen - 1 do
+      dv.slots.(dv.written.(j)) <- none
+    done;
+    for i = 0 to dv.alen - 1 do
+      dv.count.(dv.active.(i)) <- 0
+    done;
+    dv.wlen <- 0;
+    dv.alen <- 0;
+    dv.total <- 0;
+    dv.words <- 0;
+    if !compacted then begin
+      (* stable compaction keeps the live list ascending *)
+      let w = ref 0 in
+      for i = 0 to !live_len - 1 do
+        let v = live.(i) in
+        if is_live.(v) then begin
+          live.(!w) <- v;
+          incr w
+        end
+      done;
+      live_len := !w
+    end;
+    if instrumented then
+      sink.on_round
+        {
+          round = r;
+          delivered = this_round;
+          delivered_words;
+          receivers;
+          stepped;
+          sent = sd.total;
+        };
+    incr round
+  done;
+  e.running <- false;
+  e.dirty <- false;
+  (states, { rounds = !round; messages = !messages; max_inflight = !max_inflight })
+
+let exec ?max_rounds ?max_words ?sink e algo =
+  if e.running then
+    invalid_arg "Engine.exec: engine already running (re-entrant call)";
+  (* clear [running] on abnormal exit so the engine stays usable; [dirty]
+     stays set, forcing a buffer scrub on the next exec *)
+  try exec_unguarded ?max_rounds ?max_words ?sink e algo
+  with exn ->
+    e.running <- false;
+    raise exn
+
+let run ?max_rounds ?max_words ?sink g algo =
+  exec ?max_rounds ?max_words ?sink (create g) algo

@@ -1,0 +1,157 @@
+(** Port-indexed mailbox engine: the CONGEST simulation core.
+
+    The engine precomputes a CSR {e port map} for a graph — every directed
+    edge [(u, v)] gets a stable integer slot — and delivers messages through
+    two swapped, slot-indexed payload buffers.  Compared to the list-based
+    reference runtime ({!Runtime.run_reference}) this gives:
+
+    - O(1) neighbor validation, duplicate-send detection and width checks
+      per outbound message (a port-map lookup plus a slot-occupancy test),
+      instead of a per-message edge search and a per-step scratch table;
+    - zero per-round allocation in the delivery machinery: the only values
+      allocated on the hot path are the inbox cells handed to [step] (and
+      whatever [step] itself allocates);
+    - per-round work proportional to the number of {e live} nodes and
+      {e delivered} messages — quiescent regions of the graph cost nothing,
+      so long sparse executions (token walks, deep convergecasts) no longer
+      pay an O(n) sweep every round;
+    - a pluggable instrumentation {!Sink} observing every delivery round
+      and, optionally, every message.
+
+    Semantics are identical to the reference runtime: same round/timing
+    convention, same inbox ordering (sender-ascending — see below), same
+    [stats], same [Congestion_violation] cases with identical messages.
+    The differential tests in [test_engine_diff.ml] check this on all six
+    message-level algorithms.
+
+    {b Inbox ordering guarantee.}  Messages delivered to a node in a round
+    are presented in strictly increasing sender id, regardless of the order
+    in which senders emitted them.  Algorithms may rely on this (e.g.
+    deterministic tie-breaking in [Leader] upgrades). *)
+
+open Kdom_graph
+
+type payload = int array
+(** Message contents, in words.  A word models [Theta(log n)] bits — enough
+    for a node id, a depth, or an edge weight (weights are polynomial in
+    [n], §1.2 of the paper). *)
+
+type inbox = (int * payload) list
+(** [(sender, payload)] messages delivered this round, in increasing
+    sender id. *)
+
+type 'st algorithm = {
+  init : Graph.t -> int -> 'st;
+      (** Initial state of each node.  A node knows [n], its own id, its
+          incident edges and their weights — nothing else. *)
+  step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
+      (** One synchronous step: consume the inbox, return the new state and
+          the outbox as [(neighbor, payload)] pairs. *)
+  halted : 'st -> bool;
+      (** A halted node no longer steps; it is an error for a halted node
+          to receive a message. *)
+}
+
+type stats = {
+  rounds : int;  (** rounds executed until quiescence *)
+  messages : int;  (** total messages delivered *)
+  max_inflight : int;  (** peak messages in a single round *)
+}
+
+exception Round_limit_exceeded of int
+
+exception Congestion_violation of string
+(** Raised when a [step] tries to send two messages over one edge in one
+    round, sends to a non-neighbor, exceeds the word budget, or a halted
+    node receives a message. *)
+
+val default_max_words : int -> int
+(** [default_max_words n] is the per-message word budget implied by the
+    paper's [O(log n)]-bit message model: enough 16-bit model words to
+    carry a node id plus constant slack, never below the historical
+    default of 4.  Constant (= 4) for every [n] below [2^32]; grows as
+    [Theta(log n / 16)] beyond, so the budget scales with the model rather
+    than being a magic number. *)
+
+(** Instrumentation sinks: observability for every engine run.
+
+    A sink is a pair of callbacks.  [on_message] fires for every message
+    {e emitted} (at send time, before delivery); [on_round] fires at the
+    end of every delivery round with aggregate counters.  Passing
+    {!Sink.null} (the default) skips all callback dispatch on the hot
+    path. *)
+module Sink : sig
+  type round_info = {
+    round : int;  (** the round that just executed *)
+    delivered : int;  (** messages delivered this round *)
+    delivered_words : int;  (** total payload words delivered *)
+    receivers : int;  (** nodes with a non-empty inbox *)
+    stepped : int;  (** live nodes that executed [step] *)
+    sent : int;  (** messages emitted (deliver next round) *)
+  }
+
+  type t = {
+    on_message : round:int -> src:int -> dst:int -> words:int -> unit;
+    on_round : round_info -> unit;
+  }
+
+  val null : t
+  (** The no-op sink; physical equality with [null] disables dispatch. *)
+
+  val tee : t -> t -> t
+  (** [tee a b] forwards every event to [a] then [b]. *)
+
+  val counters : unit -> t * (unit -> round_info list)
+  (** A sink accumulating per-round counters; the closure returns them in
+      round order. *)
+
+  val activity : n:int -> t * int array * int array
+  (** [activity ~n] is [(sink, sent, received)]: per-node counts of
+      messages sent and received, updated in place. *)
+
+  val jsonl : ?messages:bool -> out_channel -> t
+  (** A sink emitting one JSON object per line: a ["round"] record per
+      delivery round and, when [messages] is true, a ["msg"] record per
+      message.  The channel is not closed or flushed by the sink. *)
+end
+
+type t
+(** An engine instance: the port map for one graph plus reusable mailbox
+    buffers.  Building one costs [O(n + m)]; [exec] reuses it across runs
+    with no further setup.  Not re-entrant: a [step] function must not
+    call [exec] on the engine currently executing it. *)
+
+val create : Graph.t -> t
+val graph : t -> Graph.t
+
+val port_count : t -> int
+(** Number of directed-edge slots, i.e. [2 * m]. *)
+
+val degree : t -> int -> int
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Neighbors of a node in increasing id, from the CSR port map. *)
+
+val find_port : t -> src:int -> dst:int -> int
+(** The slot of directed edge [(src, dst)], or [-1] when [dst] is not a
+    neighbor of [src].  O(1). *)
+
+val exec :
+  ?max_rounds:int ->
+  ?max_words:int ->
+  ?sink:Sink.t ->
+  t ->
+  'st algorithm ->
+  'st array * stats
+(** Execute to quiescence on a prebuilt engine.  [max_rounds] defaults to
+    [10_000 + 100 * n]; [max_words] defaults to
+    [default_max_words n]. *)
+
+val run :
+  ?max_rounds:int ->
+  ?max_words:int ->
+  ?sink:Sink.t ->
+  Graph.t ->
+  'st algorithm ->
+  'st array * stats
+(** [run g algo] is [exec (create g) algo] — one-shot convenience. *)

@@ -1,22 +1,35 @@
 open Kdom_graph
 
-type payload = int array
-type inbox = (int * payload) list
+type payload = Engine.payload
+type inbox = Engine.inbox
 
-type 'st algorithm = {
+type 'st algorithm = 'st Engine.algorithm = {
   init : Graph.t -> int -> 'st;
   step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
   halted : 'st -> bool;
 }
 
-type stats = { rounds : int; messages : int; max_inflight : int }
+type stats = Engine.stats = { rounds : int; messages : int; max_inflight : int }
 
-exception Round_limit_exceeded of int
-exception Congestion_violation of string
+exception Round_limit_exceeded = Engine.Round_limit_exceeded
+exception Congestion_violation = Engine.Congestion_violation
 
-let run ?max_rounds ?(max_words = 4) g algo =
+let run ?max_rounds ?max_words ?sink g algo =
+  Engine.run ?max_rounds ?max_words ?sink g algo
+
+(* ------------------------------------------------------------------ *)
+(* The original list-based simulator, kept verbatim as the executable
+   specification of the engine's semantics.  Every constraint check and its
+   message, the round/timing convention and the stats must match
+   [Engine.exec] exactly; [test_engine_diff.ml] enforces this
+   differentially on all six message-level algorithms. *)
+
+let run_reference ?max_rounds ?max_words g algo =
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
+  let max_words =
+    match max_words with Some w -> w | None -> Engine.default_max_words n
+  in
   let states = Array.init n (fun v -> algo.init g v) in
   (* in_flight.(v) = messages to deliver to v next round, accumulated in
      reverse sender order. *)

@@ -11,21 +11,27 @@
     sent in round [t-1], runs its [step], and emits at most one message per
     incident edge.  The run stops when every node has halted and no message
     is in flight, or when [max_rounds] is exceeded (an error — the caller
-    sets [max_rounds] from the bound it is trying to validate). *)
+    sets [max_rounds] from the bound it is trying to validate).
+
+    This module is a thin compatibility wrapper: {!run} executes on the
+    port-indexed mailbox engine ({!Engine}), and all types are shared with
+    it.  The original list-based simulator is kept as {!run_reference} —
+    the executable specification the engine is differentially tested
+    against. *)
 
 open Kdom_graph
 
-type payload = int array
+type payload = Engine.payload
 (** Message contents, in words.  A word models [Theta(log n)] bits — enough
     for a node id, a depth, or an edge weight (weights are polynomial in
     [n], §1.2).  The runtime rejects payloads longer than
     [max_words]. *)
 
-type inbox = (int * payload) list
+type inbox = Engine.inbox
 (** [(neighbor, payload)] messages delivered this round, ordered by sender
-    id. *)
+    id (ascending — the engine's inbox-ordering guarantee). *)
 
-type 'st algorithm = {
+type 'st algorithm = 'st Engine.algorithm = {
   init : Graph.t -> int -> 'st;
     (** Initial state of each node. A node knows [n], its own id, its
         incident edges and their weights — nothing else. *)
@@ -37,7 +43,7 @@ type 'st algorithm = {
         receive a message. *)
 }
 
-type stats = {
+type stats = Engine.stats = {
   rounds : int;         (** rounds executed until quiescence *)
   messages : int;       (** total messages delivered *)
   max_inflight : int;   (** peak messages in a single round *)
@@ -46,9 +52,21 @@ type stats = {
 exception Round_limit_exceeded of int
 exception Congestion_violation of string
 (** Raised when a [step] tries to send two messages over one edge in one
-    round, sends to a non-neighbor, or exceeds [max_words]. *)
+    round, sends to a non-neighbor, or exceeds [max_words].  (Shared with
+    {!Engine}.) *)
 
 val run :
+  ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t ->
+  Graph.t -> 'st algorithm -> 'st array * stats
+(** Execute to quiescence on the mailbox engine. [max_rounds] defaults to
+    [10_000 + 100 * n]; [max_words] defaults to
+    [Engine.default_max_words n] (4 for any practical [n]); [sink]
+    defaults to {!Engine.Sink.null}. *)
+
+val run_reference :
   ?max_rounds:int -> ?max_words:int -> Graph.t -> 'st algorithm -> 'st array * stats
-(** Execute to quiescence. [max_rounds] defaults to [10_000 + 100 * n];
-    [max_words] defaults to 4. *)
+(** The original list-based simulator — O(deg) neighbor validation, a
+    scratch table per step, an O(n) sweep per round.  Semantically
+    identical to {!run}; kept as the reference for differential tests and
+    as the baseline for the engine throughput bench.  Do not use on large
+    instances. *)

@@ -160,8 +160,12 @@ let info_of_states _g root states =
 
 let info_of_states g ~root states = info_of_states g root states
 
-let run g ~root =
-  let states, stats = Runtime.run g (algorithm g ~root) in
+(* Word budget: the widest message is [| tag_explore; depth |] /
+   [| tag_echo; max depth |] / [| tag_m; M |] — 2 words. *)
+let max_words = 2
+
+let run ?sink g ~root =
+  let states, stats = Engine.run ~max_words ?sink g (algorithm g ~root) in
   (info_of_states g ~root states, stats)
 
 let round_bound ~diam = (4 * diam) + 5

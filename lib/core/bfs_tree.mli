@@ -35,9 +35,13 @@ val algorithm : Graph.t -> root:int -> state Runtime.algorithm
 val info_of_states : Graph.t -> root:int -> state array -> info
 (** Decode the final states of an {!algorithm} execution. *)
 
-val run : Graph.t -> root:int -> info * Runtime.stats
-(** [algorithm] executed on the synchronous runtime.
-    Requires a connected graph. *)
+val max_words : int
+(** Declared word budget: the widest message carries a tag plus a depth —
+    2 words. *)
+
+val run : ?sink:Engine.Sink.t -> Graph.t -> root:int -> info * Runtime.stats
+(** [algorithm] executed on the mailbox engine with the declared
+    {!max_words} budget.  Requires a connected graph. *)
 
 val of_parents : Graph.t -> root:int -> parent:int array -> depth:int array -> info
 (** Package an externally constructed BFS tree (e.g. the one a

@@ -147,11 +147,11 @@ type congest_state = {
   done_ : bool;
 }
 
-let three_color_congest g ~root =
+let congest_algorithm g ~root =
   let t = Tree.root_at g root in
   let iterations = cv_iterations (Graph.n g) in
   let last_round = iterations + 6 in
-  let algo : congest_state Runtime.algorithm =
+  let algo : congest_state Engine.algorithm =
     {
       init =
         (fun _g v ->
@@ -206,5 +206,13 @@ let three_color_congest g ~root =
           (st, outbox))
     }
   in
-  let states, stats = Runtime.run g algo in
+  algo
+
+(* Word budget: every message is a bare [| color |] — 1 word. *)
+let congest_max_words = 1
+
+let three_color_congest ?sink g ~root =
+  let states, stats =
+    Engine.run ~max_words:congest_max_words ?sink g (congest_algorithm g ~root)
+  in
   (Array.map (fun st -> st.color) states, stats)

@@ -43,7 +43,19 @@ val maximal_matching : Tree.t -> int array * int
     unmatched nodes propose to their parent, parents accept one proposer.
     [(mate, rounds)] with [mate.(v) = -1] when unmatched. *)
 
-val three_color_congest : Graph.t -> root:int -> int array * Runtime.stats
+type congest_state
+(** Per-node state of the message-level protocol, for use with
+    {!congest_algorithm}. *)
+
+val congest_algorithm : Graph.t -> root:int -> congest_state Engine.algorithm
+(** The message-level Cole–Vishkin + shift-down node program, exposed for
+    differential testing and asynchronous execution. *)
+
+val congest_max_words : int
+(** Declared word budget: every message is one bare color — 1 word. *)
+
+val three_color_congest :
+  ?sink:Engine.Sink.t -> Graph.t -> root:int -> int array * Runtime.stats
 (** Message-level CONGEST execution of {!three_color} on a tree graph
     rooted at [root]: every round each node sends its current color (one
     word) to its children. Used by tests to confirm that the pure version's

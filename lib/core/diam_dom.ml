@@ -28,7 +28,7 @@ type census_state = {
 (* Census schedule: a node at depth [i] upcasts its census(l) counter at
    round [l + (M - i)]; the root owns totals at round [l + M]; the decision
    broadcast of round [k + M + 1] reaches depth [i] at [k + M + 1 + i]. *)
-let census_run g (info : Bfs_tree.info) ~k =
+let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
   let m = info.height in
   let init _g v =
     {
@@ -95,12 +95,19 @@ let census_run g (info : Bfs_tree.info) ~k =
     (st, !out)
   in
   let halted st = st.halted in
-  Runtime.run g { init; step; halted }
+  { Engine.init; step; halted }
 
-let run g ~root ~k =
+(* Word budget: the widest message is [| tag_census; l; counter |] — 3
+   words. *)
+let census_max_words = 3
+
+let census_run ?sink g (info : Bfs_tree.info) ~k =
+  Engine.run ~max_words:census_max_words ?sink g (census_algorithm info ~k)
+
+let run ?sink g ~root ~k =
   if k < 1 then invalid_arg "Diam_dom.run: k must be >= 1";
   if not (Tree.is_tree g) then invalid_arg "Diam_dom.run: graph must be a tree";
-  let info, init_stats = Bfs_tree.run g ~root in
+  let info, init_stats = Bfs_tree.run ?sink g ~root in
   if info.height <= k then begin
     (* Every node knows M and k after Initialize, so the outcome D = {root}
        is decided locally with no further communication. *)
@@ -116,7 +123,7 @@ let run g ~root ~k =
     }
   end
   else begin
-    let states, census_stats = census_run g info ~k in
+    let states, census_stats = census_run ?sink g info ~k in
     let dominating = Array.map (fun st -> st.member) states in
     {
       dominating;

@@ -27,7 +27,18 @@ type result = {
   rounds : int;              (** total rounds across both stages *)
 }
 
-val run : Graph.t -> root:int -> k:int -> result
+type census_state
+(** Per-node state of the census stage, for use with {!census_algorithm}. *)
+
+val census_algorithm : Bfs_tree.info -> k:int -> census_state Engine.algorithm
+(** The census/decision node program on a prebuilt BFS tree, exposed for
+    differential testing and asynchronous execution. *)
+
+val census_max_words : int
+(** Declared word budget of the census stage:
+    [| tag; level; counter |] — 3 words. *)
+
+val run : ?sink:Engine.Sink.t -> Graph.t -> root:int -> k:int -> result
 (** Requires a tree ([m = n-1], connected) and [k >= 1]. *)
 
 val round_bound : diam:int -> k:int -> int

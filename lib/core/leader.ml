@@ -27,8 +27,7 @@ type state = {
   halted : bool;
 }
 
-let elect g =
-  if not (Graph.is_connected g) then invalid_arg "Leader.elect: graph must be connected";
+let algorithm g : state Engine.algorithm =
   let init _g v =
     {
       neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
@@ -133,7 +132,15 @@ let elect g =
     end
   in
   let halted st = st.halted in
-  let states, stats = Runtime.run g { init; step; halted } in
+  { Engine.init; step; halted }
+
+(* Word budget: the widest message is [| tag_offer; wave id; depth |] — 3
+   words. *)
+let max_words = 3
+
+let elect ?sink g =
+  if not (Graph.is_connected g) then invalid_arg "Leader.elect: graph must be connected";
+  let states, stats = Engine.run ~max_words ?sink g (algorithm g) in
   let leader_id = states.(0).leader in
   Array.iteri
     (fun v st ->

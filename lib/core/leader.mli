@@ -25,7 +25,17 @@ type result = {
   stats : Runtime.stats;
 }
 
-val elect : Graph.t -> result
+type state
+(** Per-node state of the protocol, for use with {!algorithm}. *)
+
+val algorithm : Graph.t -> state Engine.algorithm
+(** The wave/echo node program, exposed for differential testing and
+    asynchronous execution. *)
+
+val max_words : int
+(** Declared word budget: [| tag; wave id; depth |] — 3 words. *)
+
+val elect : ?sink:Engine.Sink.t -> Graph.t -> result
 (** Requires a connected graph. *)
 
 val round_bound : diam:int -> int

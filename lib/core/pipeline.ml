@@ -57,10 +57,12 @@ type node_state = {
   mutable done_ : bool;
 }
 
-let run ?(eliminate_cycles = true) g ~(bfs : Bfs_tree.info) ~fragment_of =
-  if not (Graph.has_distinct_weights g) then
-    invalid_arg "Pipeline.run: edge weights must be distinct";
-  let nf = 1 + Array.fold_left max 0 fragment_of in
+(* Word budget: the widest message is
+   [| tag_edge; edge id; frag u; frag v; weight |] — 5 words, declared as 6
+   to leave one word of slack for the paper's O(log n)-bit envelope. *)
+let max_words = 6
+
+let algorithm ?(eliminate_cycles = true) g ~(bfs : Bfs_tree.info) ~fragment_of =
   let stalls = ref 0 in
   let init _g v =
     {
@@ -154,8 +156,14 @@ let run ?(eliminate_cycles = true) g ~(bfs : Bfs_tree.info) ~fragment_of =
     (st, !out)
   in
   let halted st = st.done_ in
-  let states, upcast_stats =
-    Runtime.run ~max_words:6 g { init; step; halted } in
+  (({ Engine.init; step; halted } : node_state Engine.algorithm), stalls)
+
+let run ?(eliminate_cycles = true) ?sink g ~(bfs : Bfs_tree.info) ~fragment_of =
+  if not (Graph.has_distinct_weights g) then
+    invalid_arg "Pipeline.run: edge weights must be distinct";
+  let nf = 1 + Array.fold_left max 0 fragment_of in
+  let algo, stalls = algorithm ~eliminate_cycles g ~bfs ~fragment_of in
+  let states, upcast_stats = Engine.run ~max_words ?sink g algo in
   let root_state = states.(bfs.root) in
   let edges_at_root =
     Hashtbl.fold (fun id (fu, fv, w) acc -> (fu, fv, w, id) :: acc) root_state.q []

@@ -39,8 +39,26 @@ type result = {
   root_received : int;           (** edges that reached the root *)
 }
 
+type node_state
+(** Per-node state of the convergecast, for use with {!algorithm}. *)
+
+val algorithm :
+  ?eliminate_cycles:bool ->
+  Graph.t ->
+  bfs:Bfs_tree.info ->
+  fragment_of:int array ->
+  node_state Engine.algorithm * int ref
+(** The upcast node program plus its stall counter (incremented whenever a
+    started node with an active child has no candidate — Lemma 5.3 says
+    never), exposed for differential testing. *)
+
+val max_words : int
+(** Declared word budget: [| tag; edge id; frag u; frag v; weight |] is 5
+    words, declared as 6 for one word of slack. *)
+
 val run :
   ?eliminate_cycles:bool ->
+  ?sink:Engine.Sink.t ->
   Graph.t ->
   bfs:Bfs_tree.info ->
   fragment_of:int array ->

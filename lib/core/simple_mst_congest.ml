@@ -76,14 +76,8 @@ let fresh_phase st =
     connect_to = -1;
   }
 
-let run g ~k =
-  if k < 1 then invalid_arg "Simple_mst_congest.run: k must be >= 1";
-  if not (Graph.is_connected g) then
-    invalid_arg "Simple_mst_congest.run: graph must be connected";
-  if not (Graph.has_distinct_weights g) then
-    invalid_arg "Simple_mst_congest.run: edge weights must be distinct";
+let algorithm g ~k : state Engine.algorithm =
   let total = schedule_length ~k in
-  let phases = phases_for k in
   let init _g v =
     fresh_phase
       {
@@ -286,7 +280,20 @@ let run g ~k =
     (st, !out)
   in
   let halted st = st.halted in
-  let states, stats = Runtime.run g { init; step; halted } in
+  { Engine.init; step; halted }
+
+(* Word budget: the widest messages are [| tag_probe; hop; root id |] and
+   [| tag_verdict; active?; hop |] — 3 words. *)
+let max_words = 3
+
+let run ?sink g ~k =
+  if k < 1 then invalid_arg "Simple_mst_congest.run: k must be >= 1";
+  if not (Graph.is_connected g) then
+    invalid_arg "Simple_mst_congest.run: graph must be connected";
+  if not (Graph.has_distinct_weights g) then
+    invalid_arg "Simple_mst_congest.run: edge weights must be distinct";
+  let phases = phases_for k in
+  let states, stats = Engine.run ~max_words ?sink g (algorithm g ~k) in
   (* reconstruct the fragment forest from the final tree edges *)
   let n = Graph.n g in
   let uf = Union_find.create n in

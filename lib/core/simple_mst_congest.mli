@@ -38,7 +38,17 @@ type result = {
   phases : int;
 }
 
-val run : Graph.t -> k:int -> result
+type state
+(** Per-node state of the protocol, for use with {!algorithm}. *)
+
+val algorithm : Graph.t -> k:int -> state Engine.algorithm
+(** The schedule-driven node program, exposed for differential testing. *)
+
+val max_words : int
+(** Declared word budget: the widest messages carry a tag plus two fields
+    (probe, verdict) — 3 words. *)
+
+val run : ?sink:Engine.Sink.t -> Graph.t -> k:int -> result
 (** Requires a connected graph with distinct weights and [k >= 1]. *)
 
 val schedule_length : k:int -> int

@@ -1,0 +1,286 @@
+(* Differential tests: the port-indexed mailbox engine (Engine) against the
+   legacy list-based simulator kept as Runtime.run_reference.  The reference
+   is the executable specification; the engine must reproduce it exactly —
+   bit-identical final states and identical {rounds; messages; max_inflight}
+   — for every message-level algorithm in the repository, on random trees
+   and connected G(n,p) graphs.  A second group checks the α-synchronizer
+   (Async) against the engine across delay regimes, and a third checks that
+   the instrumentation sinks agree with the returned stats. *)
+
+open Kdom_graph
+open Kdom_congest
+
+(* ------------------------------------------------------------------ *)
+(* Harness *)
+
+let check_stats what (e : Runtime.stats) (r : Runtime.stats) =
+  Alcotest.(check int) (what ^ ": rounds") r.rounds e.rounds;
+  Alcotest.(check int) (what ^ ": messages") r.messages e.messages;
+  Alcotest.(check int) (what ^ ": max_inflight") r.max_inflight e.max_inflight
+
+(* [mk] builds a fresh algorithm instance per backend so that any mutable
+   state captured by the closures (e.g. Pipeline's stall counter) cannot
+   leak between the two executions. *)
+let diff what ~max_words g mk =
+  let e_states, e_stats = Engine.run ~max_words g (mk ()) in
+  let r_states, r_stats = Runtime.run_reference ~max_words g (mk ()) in
+  if e_states <> r_states then Alcotest.failf "%s: final states differ" what;
+  check_stats what e_stats r_stats
+
+let graph_families seed =
+  let n = 8 + (seed mod 48) in
+  [
+    ("tree", Generators.random_tree ~rng:(Rng.create seed) n);
+    ( "gnp",
+      Generators.gnp_connected ~rng:(Rng.create (seed + 1)) ~n ~p:0.15 );
+  ]
+
+let seed_gen = QCheck2.Gen.int_bound 10_000
+
+(* ------------------------------------------------------------------ *)
+(* One property per algorithm family *)
+
+let prop_bfs =
+  QCheck2.Test.make ~name:"engine = reference: Bfs_tree" ~count:30 seed_gen
+    (fun seed ->
+      List.iter
+        (fun (fam, g) ->
+          diff ("bfs/" ^ fam) ~max_words:Kdom.Bfs_tree.max_words g (fun () ->
+              Kdom.Bfs_tree.algorithm g ~root:0))
+        (graph_families seed);
+      true)
+
+let prop_census =
+  QCheck2.Test.make ~name:"engine = reference: Diam_dom census" ~count:30
+    QCheck2.Gen.(pair seed_gen (int_range 1 4))
+    (fun (seed, k) ->
+      let g = Generators.random_tree ~rng:(Rng.create seed) (10 + (seed mod 50)) in
+      let info, _ = Kdom.Bfs_tree.run g ~root:0 in
+      (* the census stage only runs on trees deeper than k *)
+      if info.height > k then
+        diff "census" ~max_words:Kdom.Diam_dom.census_max_words g (fun () ->
+            Kdom.Diam_dom.census_algorithm info ~k);
+      true)
+
+let prop_coloring =
+  QCheck2.Test.make ~name:"engine = reference: Coloring (3-color)" ~count:30
+    seed_gen (fun seed ->
+      let g = Generators.random_tree ~rng:(Rng.create seed) (8 + (seed mod 60)) in
+      diff "coloring" ~max_words:Kdom.Coloring.congest_max_words g (fun () ->
+          Kdom.Coloring.congest_algorithm g ~root:0);
+      true)
+
+let prop_leader =
+  QCheck2.Test.make ~name:"engine = reference: Leader" ~count:30 seed_gen
+    (fun seed ->
+      List.iter
+        (fun (fam, g) ->
+          diff ("leader/" ^ fam) ~max_words:Kdom.Leader.max_words g (fun () ->
+              Kdom.Leader.algorithm g))
+        (graph_families seed);
+      true)
+
+let prop_simple_mst =
+  QCheck2.Test.make ~name:"engine = reference: Simple_mst_congest" ~count:20
+    QCheck2.Gen.(pair seed_gen (int_range 1 3))
+    (fun (seed, k) ->
+      List.iter
+        (fun (fam, g) ->
+          diff ("smc/" ^ fam) ~max_words:Kdom.Simple_mst_congest.max_words g
+            (fun () -> Kdom.Simple_mst_congest.algorithm g ~k))
+        (graph_families seed);
+      true)
+
+let prop_pipeline =
+  QCheck2.Test.make ~name:"engine = reference: Pipeline" ~count:15
+    QCheck2.Gen.(pair seed_gen (int_range 1 4))
+    (fun (seed, k) ->
+      let g =
+        Generators.gnp_connected ~rng:(Rng.create seed)
+          ~n:(12 + (seed mod 40))
+          ~p:0.15
+      in
+      let dom = Kdom.Fastdom_graph.run g ~k in
+      let fragment_of = Kdom.Simple_mst.fragment_of_array g dom.forest in
+      let bfs, _ = Kdom.Bfs_tree.run g ~root:0 in
+      let stalls = ref [] in
+      diff "pipeline" ~max_words:Kdom.Pipeline.max_words g (fun () ->
+          let algo, s = Kdom.Pipeline.algorithm g ~bfs ~fragment_of in
+          stalls := s :: !stalls;
+          algo);
+      (match !stalls with
+      | [ r; e ] ->
+          Alcotest.(check int) "pipeline: stall counters agree" !r !e
+      | _ -> Alcotest.fail "pipeline: expected two instances");
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic one-shot diffs on a larger fixed instance *)
+
+let test_fixed_instances () =
+  let g = Generators.grid ~rng:(Rng.create 7) ~rows:9 ~cols:9 in
+  diff "grid/bfs" ~max_words:Kdom.Bfs_tree.max_words g (fun () ->
+      Kdom.Bfs_tree.algorithm g ~root:0);
+  diff "grid/leader" ~max_words:Kdom.Leader.max_words g (fun () ->
+      Kdom.Leader.algorithm g);
+  diff "grid/smc" ~max_words:Kdom.Simple_mst_congest.max_words g (fun () ->
+      Kdom.Simple_mst_congest.algorithm g ~k:2);
+  let t = Generators.binary_tree ~rng:(Rng.create 8) 127 in
+  diff "bintree/coloring" ~max_words:Kdom.Coloring.congest_max_words t
+    (fun () -> Kdom.Coloring.congest_algorithm t ~root:0);
+  let info, _ = Kdom.Bfs_tree.run t ~root:0 in
+  diff "bintree/census" ~max_words:Kdom.Diam_dom.census_max_words t (fun () ->
+      Kdom.Diam_dom.census_algorithm info ~k:2)
+
+(* Violations must be raised identically by both backends: same exception,
+   same message, same (first-in-id-order) offending node. *)
+let test_violations_agree () =
+  let g = Generators.path ~rng:(Rng.create 11) 6 in
+  let outcome run algo =
+    match run g algo with
+    | _ -> Ok ()
+    | exception Engine.Congestion_violation m -> Error m
+  in
+  let cases =
+    [
+      ( "non-neighbor",
+        fun () ->
+          {
+            Engine.init = (fun _ v -> v);
+            step =
+              (fun _ ~round:_ ~node st _ ->
+                (st, if node = 2 then [ (5, [| 0 |]) ] else []));
+            halted = (fun _ -> false);
+          } );
+      ( "duplicate",
+        fun () ->
+          {
+            Engine.init = (fun _ v -> v);
+            step =
+              (fun _ ~round:_ ~node st _ ->
+                (st, if node = 3 then [ (4, [| 0 |]); (4, [| 1 |]) ] else []));
+            halted = (fun _ -> false);
+          } );
+      ( "width",
+        fun () ->
+          {
+            Engine.init = (fun _ v -> v);
+            step =
+              (fun _ ~round:_ ~node st _ ->
+                (st, if node = 2 then [ (3, [| 1; 2; 3; 4; 5 |]) ] else []));
+            halted = (fun _ -> false);
+          } );
+      ( "halted receiver",
+        fun () ->
+          {
+            Engine.init = (fun _ v -> v);
+            step =
+              (fun _ ~round:_ ~node st _ ->
+                (st, if node = 1 then [ (0, [| 7 |]) ] else []));
+            halted = (fun v -> v = 0);
+          } );
+    ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      let e = outcome (fun g a -> Engine.run g a) (mk ()) in
+      let r = outcome (fun g a -> Runtime.run_reference g a) (mk ()) in
+      match (e, r) with
+      | Error me, Error mr ->
+          Alcotest.(check string) (name ^ ": same violation") mr me
+      | _ -> Alcotest.failf "%s: expected violations from both backends" name)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Async vs Engine across delay regimes *)
+
+let test_async_matches_engine () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 21) ~n:45 ~p:0.12 in
+  let sync_states, sync_stats =
+    Engine.run ~max_words:Kdom.Leader.max_words g (Kdom.Leader.algorithm g)
+  in
+  List.iter
+    (fun (seed, max_delay) ->
+      let async_states, report =
+        Async.run ~rng:(Rng.create seed) ~max_delay
+          ~max_words:Kdom.Leader.max_words g (Kdom.Leader.algorithm g)
+      in
+      let what = Printf.sprintf "leader async d=%.2f" max_delay in
+      if async_states <> sync_states then
+        Alcotest.failf "%s: states differ from engine" what;
+      Alcotest.(check int)
+        (what ^ ": algorithm traffic")
+        sync_stats.messages report.alg_messages)
+    [ (1, 0.05); (2, 1.0); (3, 10.0) ]
+
+let test_async_bfs_matches_engine () =
+  let g = Generators.random_tree ~rng:(Rng.create 22) 60 in
+  let sync_states, _ =
+    Engine.run ~max_words:Kdom.Bfs_tree.max_words g
+      (Kdom.Bfs_tree.algorithm g ~root:0)
+  in
+  List.iter
+    (fun (seed, max_delay) ->
+      let async_states, _ =
+        Async.run ~rng:(Rng.create seed) ~max_delay
+          ~max_words:Kdom.Bfs_tree.max_words g
+          (Kdom.Bfs_tree.algorithm g ~root:0)
+      in
+      if async_states <> sync_states then
+        Alcotest.failf "bfs async d=%.2f: states differ from engine" max_delay)
+    [ (4, 0.05); (5, 1.0); (6, 10.0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Sinks must agree with the returned stats *)
+
+let test_sink_consistency () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 31) ~n:80 ~p:0.08 in
+  let counters, rounds_info = Engine.Sink.counters () in
+  let activity, sent, received = Engine.Sink.activity ~n:(Graph.n g) in
+  let sink = Engine.Sink.tee counters activity in
+  let stats = (Kdom.Leader.elect ~sink g).stats in
+  let infos = rounds_info () in
+  let delivered = List.fold_left (fun a (i : Engine.Sink.round_info) -> a + i.delivered) 0 infos in
+  Alcotest.(check int) "counters: delivered sums to stats.messages"
+    stats.messages delivered;
+  Alcotest.(check int) "counters: one record per round" stats.rounds
+    (List.length infos);
+  let max_inflight =
+    List.fold_left (fun a (i : Engine.Sink.round_info) -> max a i.delivered) 0 infos
+  in
+  Alcotest.(check int) "counters: max delivered = stats.max_inflight"
+    stats.max_inflight max_inflight;
+  Alcotest.(check int) "activity: sent sums to stats.messages" stats.messages
+    (Array.fold_left ( + ) 0 sent);
+  Alcotest.(check int) "activity: received sums to stats.messages"
+    stats.messages
+    (Array.fold_left ( + ) 0 received)
+
+let () =
+  Alcotest.run "engine_diff"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bfs;
+            prop_census;
+            prop_coloring;
+            prop_leader;
+            prop_simple_mst;
+            prop_pipeline;
+          ] );
+      ( "deterministic",
+        [
+          Alcotest.test_case "fixed instances" `Quick test_fixed_instances;
+          Alcotest.test_case "violations agree" `Quick test_violations_agree;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "leader across delay regimes" `Quick
+            test_async_matches_engine;
+          Alcotest.test_case "bfs across delay regimes" `Quick
+            test_async_bfs_matches_engine;
+        ] );
+      ( "sinks",
+        [ Alcotest.test_case "counters/activity vs stats" `Quick test_sink_consistency ] );
+    ]
