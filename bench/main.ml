@@ -726,6 +726,199 @@ let smoke () =
     (List.length (Diam_dom.dominating_list d))
 
 (* ------------------------------------------------------------------ *)
+(* FAULTS — reliable delivery under loss: throughput and retransmission
+   overhead vs drop rate on the 100k-node grid (flood kernel), appended to
+   BENCH_faults.json.  The paper's §1.2 synchronizer charge is one message
+   per edge per direction per simulated round; [sync/edge/pulse] measures
+   the logical synchronizer traffic against that bound (acks + SAFEs,
+   which stays ~2 per edge-direction-pulse regardless of loss), while
+   [frames/logical] is what the lossy link layer adds on top:
+   data + link-ack = 2 at drop 0, growing with retransmissions. *)
+
+type fault_row = {
+  fr_drop : float;
+  fr_n : int;
+  fr_m : int;
+  fr_pulses : int;
+  fr_alg : int;
+  fr_sync : int;
+  fr_frames : int;
+  fr_retransmits : int;
+  fr_dropped : int;
+  fr_duplicated : int;
+  fr_secs : float;
+}
+
+let fault_case ~drop ~duplicate ~seed ~rounds g =
+  let open Kdom_congest in
+  let faults =
+    if drop = 0.0 && duplicate = 0.0 then Faults.none
+    else Faults.lossy ~drop ~duplicate ~seed ()
+  in
+  let (_, frep), secs =
+    wall (fun () ->
+        Async.run_reliable ~rng:(seeded (seed + 1)) ~faults g
+          (flood_algorithm ~rounds))
+  in
+  let r = frep.Async.report in
+  {
+    fr_drop = drop;
+    fr_n = Graph.n g;
+    fr_m = Graph.m g;
+    fr_pulses = r.Async.pulses;
+    fr_alg = r.Async.alg_messages;
+    fr_sync = r.Async.sync_messages;
+    fr_frames = frep.Async.frames;
+    fr_retransmits = frep.Async.retransmits;
+    fr_dropped = frep.Async.dropped;
+    fr_duplicated = frep.Async.duplicated;
+    fr_secs = secs;
+  }
+
+let faults_json rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let logical = r.fr_alg + r.fr_sync in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"drop\": %.2f, \"n\": %d, \"m\": %d, \"pulses\": %d, \
+            \"alg_messages\": %d, \"sync_messages\": %d, \"frames\": %d, \
+            \"retransmits\": %d, \"dropped\": %d, \"duplicated\": %d, \
+            \"wall_secs\": %.3f, \"frames_per_logical\": %.3f, \
+            \"sync_per_edge_pulse\": %.3f, \"frames_per_sec\": %.0f}"
+           r.fr_drop r.fr_n r.fr_m r.fr_pulses r.fr_alg r.fr_sync r.fr_frames
+           r.fr_retransmits r.fr_dropped r.fr_duplicated r.fr_secs
+           (float_of_int r.fr_frames /. float_of_int (max 1 logical))
+           (float_of_int r.fr_sync
+           /. float_of_int (max 1 (2 * r.fr_m * r.fr_pulses)))
+           (float_of_int r.fr_frames /. r.fr_secs)))
+    rows;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let faults_bench () =
+  header "FAULTS  reliable delivery vs drop rate (grid, flood)"
+    "quiescence at every drop rate; frames/logical = 2 + O(drop); \
+     sync traffic stays ~1 msg/edge/direction/pulse (§1.2 charge)";
+  pf "%5s %7s %8s %7s %9s %9s %9s %8s %9s %7s@." "drop" "n" "m" "pulses"
+    "alg" "sync" "frames" "rtx" "frm/lgcl" "secs";
+  let side = try int_of_string (Sys.getenv "KDOM_FAULTS_SIDE") with Not_found -> 316 in
+  let g = Generators.grid ~rng:(seeded 131) ~rows:side ~cols:side in
+  let rows =
+    List.map
+      (fun drop ->
+        let r = fault_case ~drop ~duplicate:(drop /. 2.) ~seed:41 ~rounds:2 g in
+        pf "%5.2f %7d %8d %7d %9d %9d %9d %8d %9.3f %7.2f@." r.fr_drop r.fr_n
+          r.fr_m r.fr_pulses r.fr_alg r.fr_sync r.fr_frames r.fr_retransmits
+          (float_of_int r.fr_frames /. float_of_int (max 1 (r.fr_alg + r.fr_sync)))
+          r.fr_secs;
+        r)
+      [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+  in
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc (faults_json rows);
+  close_out oc;
+  pf "@.wrote BENCH_faults.json (%d rows)@." (List.length rows)
+
+(* Fault-matrix smoke for CI: 20 fixed seeds, drop=0.2 dup=0.1 with
+   reordering, all six message-level algorithms on random trees and
+   connected G(n,p); every trial must be bit-identical to the synchronous
+   run and pass the output oracles. *)
+let faults_smoke () =
+  let open Kdom_congest in
+  let trials = ref 0 in
+  let check what ~max_words g mk oracle faults rng_seed =
+    let sync_states, _ = Runtime.run ~max_words g (mk ()) in
+    let states, _ =
+      Async.run_reliable ~rng:(seeded rng_seed) ~faults ~max_words g (mk ())
+    in
+    if states <> sync_states then
+      failwith (what ^ ": faulty states differ from the synchronous run");
+    oracle states;
+    incr trials
+  in
+  for seed = 0 to 19 do
+    let n = 10 + (seed mod 8) in
+    let k = 1 + (seed mod 3) in
+    let t = Generators.random_tree ~rng:(seeded (seed + 900)) n in
+    let g = Generators.gnp_connected ~rng:(seeded (seed + 950)) ~n ~p:0.25 in
+    let faults = Faults.lossy ~drop:0.2 ~duplicate:0.1 ~seed:(seed + 7) () in
+    let rng_seed = seed + 71 in
+    let dummy = { Runtime.rounds = 0; messages = 0; max_inflight = 0 } in
+    check "bfs" ~max_words:Bfs_tree.max_words g
+      (fun () -> Bfs_tree.algorithm g ~root:0)
+      (fun states ->
+        let info = Bfs_tree.info_of_states g ~root:0 states in
+        Oracle.expect_ok "bfs"
+          (Oracle.bfs_tree g ~root:0 ~parent:info.parent ~depth:info.depth))
+      faults rng_seed;
+    check "coloring" ~max_words:Coloring.congest_max_words t
+      (fun () -> Coloring.congest_algorithm t ~root:0)
+      (fun states ->
+        Oracle.expect_ok "coloring"
+          (Oracle.proper_coloring t ~palette:3 (Coloring.colors_of_states states)))
+      faults rng_seed;
+    check "leader" ~max_words:Leader.max_words g
+      (fun () -> Leader.algorithm g)
+      (fun states ->
+        let r = Leader.result_of_states states dummy in
+        Oracle.expect_ok "leader"
+          (Oracle.agreement ~expected:(n - 1) (Array.make n r.leader)
+          @ Oracle.bfs_tree g ~root:r.leader ~parent:r.parent ~depth:r.depth))
+      faults rng_seed;
+    let info, _ = Bfs_tree.run t ~root:0 in
+    if info.height > k then
+      check "census" ~max_words:Diam_dom.census_max_words t
+        (fun () -> Diam_dom.census_algorithm info ~k)
+        (fun states ->
+          let centers = ref [] in
+          Array.iteri
+            (fun v b -> if b then centers := v :: !centers)
+            (Diam_dom.dominating_of_states states);
+          Oracle.expect_ok "census"
+            (Oracle.k_domination t ~k !centers
+            @ Oracle.size_within ~n ~k ~ceil:true !centers))
+        faults rng_seed;
+    check "smc" ~max_words:Simple_mst_congest.max_words g
+      (fun () -> Simple_mst_congest.algorithm g ~k)
+      (fun states ->
+        let frags = Simple_mst_congest.fragments_of_states g states in
+        let fragment_of = Array.make n (-1) in
+        List.iteri
+          (fun i (f : Simple_mst.fragment) ->
+            List.iter (fun v -> fragment_of.(v) <- i) f.members)
+          frags;
+        let ids =
+          List.concat_map
+            (fun (f : Simple_mst.fragment) ->
+              List.map (fun (e : Graph.edge) -> e.id) f.tree_edges)
+            frags
+        in
+        Oracle.expect_ok "smc"
+          (Oracle.partition g ~fragment_of ~min_size:(min (k + 1) n)
+          @ Oracle.mst_subforest g ids))
+      faults rng_seed;
+    let dom = Fastdom_graph.run g ~k in
+    let fragment_of = Simple_mst.fragment_of_array g dom.forest in
+    let bfs, _ = Bfs_tree.run g ~root:0 in
+    check "pipeline" ~max_words:Pipeline.max_words g
+      (fun () -> fst (Pipeline.algorithm g ~bfs ~fragment_of))
+      (fun states ->
+        Oracle.expect_ok "pipeline"
+          (Oracle.inter_fragment_mst g ~fragment_of
+             (List.map
+                (fun (e : Graph.edge) -> e.id)
+                (Pipeline.selected_of_states g ~fragment_of ~root:bfs.root states))))
+      faults rng_seed
+  done;
+  pf "faults-smoke OK: %d trials (20 seeds, drop=0.2 dup=0.1, 6 algorithms) \
+      bit-identical + oracle-clean@."
+    !trials
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -737,6 +930,8 @@ let experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "smoke" args then smoke ()
+  else if List.mem "faults-smoke" args then faults_smoke ()
+  else if List.mem "faults" args then faults_bench ()
   else if List.mem "engine" args then engine_bench ()
   else begin
     let tables_only = List.mem "tables" args in

@@ -128,6 +128,179 @@ let centers_cmd family n k seed =
     c.max_lookup c.update_cost
 
 (* ------------------------------------------------------------------ *)
+(* faults: any message-level algorithm on a lossy, crashy network *)
+
+type fault_case =
+  | Fault_case :
+      int * (unit -> 'st Kdom_congest.Runtime.algorithm) * ('st array -> string)
+      -> fault_case
+
+let faults_cmd family n k seed algo drop dup slow fifo max_delay =
+  let open Kdom_congest in
+  let g = make_graph ~family ~n ~seed in
+  describe g;
+  let n = Graph.n g in
+  let dummy = { Runtime.rounds = 0; messages = 0; max_inflight = 0 } in
+  let need_tree what =
+    if not (Tree.is_tree g) then
+      invalid_arg (Printf.sprintf "%s needs a tree family" what)
+  in
+  let (Fault_case (max_words, mk, verdict)) =
+    match algo with
+    | "bfs" ->
+      Fault_case
+        ( Kdom.Bfs_tree.max_words,
+          (fun () -> Kdom.Bfs_tree.algorithm g ~root:0),
+          fun states ->
+            let info = Kdom.Bfs_tree.info_of_states g ~root:0 states in
+            Oracle.describe
+              (Oracle.bfs_tree g ~root:0 ~parent:info.parent ~depth:info.depth) )
+    | "coloring" ->
+      need_tree "coloring";
+      Fault_case
+        ( Kdom.Coloring.congest_max_words,
+          (fun () -> Kdom.Coloring.congest_algorithm g ~root:0),
+          fun states ->
+            Oracle.describe
+              (Oracle.proper_coloring g ~palette:3
+                 (Kdom.Coloring.colors_of_states states)) )
+    | "census" ->
+      need_tree "census";
+      let info, _ = Kdom.Bfs_tree.run g ~root:0 in
+      if info.height <= k then
+        invalid_arg "census: tree height <= k, no census stage runs";
+      Fault_case
+        ( Kdom.Diam_dom.census_max_words,
+          (fun () -> Kdom.Diam_dom.census_algorithm info ~k),
+          fun states ->
+            let centers = ref [] in
+            Array.iteri
+              (fun v b -> if b then centers := v :: !centers)
+              (Kdom.Diam_dom.dominating_of_states states);
+            Oracle.describe
+              (Oracle.k_domination g ~k !centers
+              @ Oracle.size_within ~n ~k ~ceil:true !centers) )
+    | "leader" ->
+      Fault_case
+        ( Kdom.Leader.max_words,
+          (fun () -> Kdom.Leader.algorithm g),
+          fun states ->
+            let r = Kdom.Leader.result_of_states states dummy in
+            Oracle.describe
+              (Oracle.bfs_tree g ~root:r.leader ~parent:r.parent ~depth:r.depth) )
+    | "smc" ->
+      Fault_case
+        ( Kdom.Simple_mst_congest.max_words,
+          (fun () -> Kdom.Simple_mst_congest.algorithm g ~k),
+          fun states ->
+            let frags = Kdom.Simple_mst_congest.fragments_of_states g states in
+            let fragment_of = Array.make n (-1) in
+            List.iteri
+              (fun i (f : Kdom.Simple_mst.fragment) ->
+                List.iter (fun v -> fragment_of.(v) <- i) f.members)
+              frags;
+            let ids =
+              List.concat_map
+                (fun (f : Kdom.Simple_mst.fragment) ->
+                  List.map (fun (e : Graph.edge) -> e.id) f.tree_edges)
+                frags
+            in
+            Oracle.describe
+              (Oracle.partition g ~fragment_of ~min_size:(min (k + 1) n)
+              @ Oracle.mst_subforest g ids) )
+    | "pipeline" ->
+      let dom = Kdom.Fastdom_graph.run g ~k in
+      let fragment_of = Kdom.Simple_mst.fragment_of_array g dom.forest in
+      let bfs, _ = Kdom.Bfs_tree.run g ~root:0 in
+      Fault_case
+        ( Kdom.Pipeline.max_words,
+          (fun () -> fst (Kdom.Pipeline.algorithm g ~bfs ~fragment_of)),
+          fun states ->
+            Oracle.describe
+              (Oracle.inter_fragment_mst g ~fragment_of
+                 (List.map
+                    (fun (e : Graph.edge) -> e.id)
+                    (Kdom.Pipeline.selected_of_states g ~fragment_of
+                       ~root:bfs.root states))) )
+    | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown algorithm %S (bfs, coloring, census, leader, smc, pipeline)"
+           other)
+  in
+  let faults =
+    Faults.lossy ~drop ~duplicate:dup ~slow ~reorder:(not fifo) ~seed:(seed + 1) ()
+  in
+  let sync_states, sync_stats = Runtime.run ~max_words g (mk ()) in
+  let states, frep =
+    Async.run_reliable ~rng:(Rng.create (seed + 2)) ~faults ~max_delay ~max_words
+      g (mk ())
+  in
+  Format.printf
+    "faults: drop=%.2f dup=%.2f slow=%.2f %s max_delay=%.2f seed=%d@." drop dup
+    slow
+    (if fifo then "fifo" else "reorder")
+    max_delay seed;
+  Format.printf
+    "reliable run: pulses = %d (sync rounds = %d), alg msgs = %d, sync msgs = %d@."
+    frep.Async.report.pulses sync_stats.rounds frep.Async.report.alg_messages
+    frep.Async.report.sync_messages;
+  Format.printf
+    "link layer:   frames = %d, retransmits = %d, timeouts = %d, dropped = %d, \
+     duplicated = %d@."
+    frep.Async.frames frep.Async.retransmits frep.Async.timeouts
+    frep.Async.dropped frep.Async.duplicated;
+  Format.printf "states bit-identical to synchronous run: %b@."
+    (states = sync_states);
+  Format.printf "oracle: %s@." (verdict states);
+  if states <> sync_states then exit 1
+
+let algo_arg =
+  Arg.(
+    value
+    & opt string "bfs"
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Algorithm: bfs, coloring, census, leader, smc, pipeline.")
+
+let drop_arg =
+  Arg.(
+    value
+    & opt float 0.2
+    & info [ "drop" ] ~docv:"P" ~doc:"Per-frame drop probability.")
+
+let dup_arg =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "dup" ] ~docv:"P" ~doc:"Per-frame duplication probability.")
+
+let slow_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "slow" ] ~docv:"P" ~doc:"Per-delivery slowdown probability (10x delay).")
+
+let fifo_arg =
+  Arg.(
+    value & flag
+    & info [ "fifo" ] ~doc:"Force per-link FIFO delivery (disable reordering).")
+
+let max_delay_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "max-delay" ] ~docv:"D" ~doc:"Upper bound of the (0, D] link delay.")
+
+let faults_t =
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run an algorithm to quiescence on a lossy network (reliable \
+          delivery over fault injection) and verify it against the \
+          synchronous execution.")
+    Term.(
+      const faults_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ algo_arg
+      $ drop_arg $ dup_arg $ slow_arg $ fifo_arg $ max_delay_arg)
 
 let dom_t =
   Cmd.v
@@ -174,4 +347,4 @@ let () =
     Cmd.info "kdom" ~version:"1.0.0"
       ~doc:"Fast distributed construction of k-dominating sets and applications (PODC'95)."
   in
-  exit (Cmd.eval (Cmd.group info [ dom_t; mst_t; route_t; hier_t; centers_t ]))
+  exit (Cmd.eval (Cmd.group info [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t ]))

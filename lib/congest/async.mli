@@ -28,6 +28,11 @@ type report = {
   sync_messages : int;     (** acknowledgments + safety announcements *)
 }
 
+val sample_delay : Rng.t -> max_delay:float -> float
+(** One link-delay draw, uniform on the half-open interval
+    [(0, max_delay]] — strictly positive, can attain [max_delay].
+    Raises [Invalid_argument] when [max_delay <= 0]. *)
+
 val run :
   rng:Rng.t ->
   ?max_delay:float ->
@@ -44,3 +49,71 @@ val run :
     non-neighbor sends, two messages over one edge within a pulse, and
     payloads wider than [max_words] (default [Engine.default_max_words n])
     raise [Engine.Congestion_violation]. *)
+
+(** {1 Reliable delivery over faulty links} *)
+
+type fault_report = {
+  report : report;  (** the synchronizer-level report, as for {!run} *)
+  frames : int;
+      (** physical frames offered to the network: first transmissions,
+          retransmissions and link-level acks *)
+  retransmits : int;  (** frames re-sent after an ack timeout *)
+  timeouts : int;
+      (** retransmission-timer expiries with the frame still unacked
+          (includes timers postponed because the sender was crashed) *)
+  dropped : int;  (** frames lost by the fault layer *)
+  duplicated : int;  (** frame copies injected by the fault layer *)
+  crash_dropped : int;  (** frames that arrived at a crashed node *)
+}
+
+exception Delivery_failed of { src : int; dst : int; attempts : int }
+(** A frame was transmitted [max_attempts] times without an acknowledgment
+    — the link is effectively severed (e.g. the destination crashed and
+    never recovers). *)
+
+val run_reliable :
+  rng:Rng.t ->
+  ?faults:Faults.spec ->
+  ?max_delay:float ->
+  ?max_words:int ->
+  ?ack_timeout:float ->
+  ?max_attempts:int ->
+  ?sink:Engine.Sink.t ->
+  Graph.t ->
+  'st Runtime.algorithm ->
+  'st array * fault_report
+(** [run_reliable ~rng g algo] executes [algo] under the α-synchronizer on
+    a network governed by [faults] (default {!Faults.none}), with a
+    reliable-delivery link layer beneath the synchronizer:
+
+    - every logical message (algorithm payload, pulse acknowledgment or
+      safety announcement) is framed with a per-directed-link sequence
+      number;
+    - the receiver answers each frame with a link-level ack on the reverse
+      direction of the same edge — itself subject to the fault model;
+    - the sender retransmits after [ack_timeout] (default
+      [4 *. max_delay], comfortably above the 2-delay round trip, so a
+      fault-free run performs {e zero} retransmissions) with exponential
+      backoff, giving up with {!Delivery_failed} after [max_attempts]
+      (default 60) transmissions;
+    - the receiver suppresses duplicates — injected by the fault layer or
+      by retransmission races — with a compacted per-link seen-window, so
+      every logical message is dispatched exactly once.
+
+    Exactly-once (unordered) delivery is all the α-synchronizer needs:
+    its inboxes are keyed by pulse, so reordered deliveries land in the
+    right pulse buffer, and a neighbor's [SAFE(r)] still certifies that
+    every pulse-[r] message is buffered before pulse [r + 1] executes.
+    Final states are therefore bit-identical to {!Runtime.run}'s under
+    {e any} drop/duplication/reordering regime, and under crash-recovery
+    faults (crashed nodes keep their state; see {!Faults}).  A node that
+    is crashed at time 0 simply starts late.  Permanent crashes
+    ([recover = None]) generally end in {!Delivery_failed} or a
+    quiescence failure ([Invalid_argument]), as the paper's algorithms
+    assume all nodes participate.
+
+    [sink] receives [on_message] per logical algorithm send (at its
+    pulse) and, after quiescence, one {!Engine.Sink.round_info} per pulse
+    with the fault counters ([dropped]/[duplicated]/[retransmits])
+    attributed to the pulse of the logical message each frame carried.
+    Congestion discipline is identical to {!run}. *)

@@ -24,6 +24,7 @@ let bits_needed n =
   go 0 (max 1 n)
 
 let default_max_words n = max 4 (2 + ((bits_needed n + word_bits - 1) / word_bits))
+let default_max_rounds n = 10_000 + (100 * n)
 
 (* Empty slots hold this sentinel.  It must be physically distinct from any
    payload an algorithm can produce: zero-length OCaml arrays are a shared
@@ -38,6 +39,9 @@ module Sink = struct
     receivers : int;
     stepped : int;
     sent : int;
+    dropped : int;
+    duplicated : int;
+    retransmits : int;
   }
 
   type t = {
@@ -87,11 +91,19 @@ module Sink = struct
               round src dst words);
       on_round =
         (fun ri ->
+          (* fault counters appear only when a fault layer produced them, so
+             synchronous engine traces are unchanged *)
+          let faults =
+            if ri.dropped = 0 && ri.duplicated = 0 && ri.retransmits = 0 then ""
+            else
+              Printf.sprintf ",\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d"
+                ri.dropped ri.duplicated ri.retransmits
+          in
           Printf.fprintf oc
             "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
-             \"receivers\":%d,\"stepped\":%d,\"sent\":%d}\n"
+             \"receivers\":%d,\"stepped\":%d,\"sent\":%d%s}\n"
             ri.round ri.delivered ri.delivered_words ri.receivers ri.stepped
-            ri.sent);
+            ri.sent faults);
     }
 end
 
@@ -219,7 +231,9 @@ let reset_buf b =
 let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
   let n = e.n in
   let g = e.g in
-  let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> default_max_rounds n
+  in
   let max_words =
     match max_words with Some w -> w | None -> default_max_words n
   in
@@ -359,6 +373,9 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
           receivers;
           stepped;
           sent = sd.total;
+          dropped = 0;
+          duplicated = 0;
+          retransmits = 0;
         };
     incr round
   done;

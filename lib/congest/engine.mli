@@ -73,6 +73,11 @@ val default_max_words : int -> int
     [Theta(log n / 16)] beyond, so the budget scales with the model rather
     than being a magic number. *)
 
+val default_max_rounds : int -> int
+(** [default_max_rounds n] = [10_000 + 100 * n] — the round (and, for the
+    asynchronous executors, pulse) cap shared by every runtime in this
+    library. *)
+
 (** Instrumentation sinks: observability for every engine run.
 
     A sink is a pair of callbacks.  [on_message] fires for every message
@@ -88,6 +93,12 @@ module Sink : sig
     receivers : int;  (** nodes with a non-empty inbox *)
     stepped : int;  (** live nodes that executed [step] *)
     sent : int;  (** messages emitted (deliver next round) *)
+    dropped : int;
+        (** frames lost by a fault layer ({!Faults}); always 0 for the
+            synchronous engine, which runs on reliable links *)
+    duplicated : int;  (** frames duplicated by a fault layer; 0 here *)
+    retransmits : int;
+        (** link-layer retransmissions ({!Async.run_reliable}); 0 here *)
   }
 
   type t = {
@@ -112,7 +123,9 @@ module Sink : sig
   val jsonl : ?messages:bool -> out_channel -> t
   (** A sink emitting one JSON object per line: a ["round"] record per
       delivery round and, when [messages] is true, a ["msg"] record per
-      message.  The channel is not closed or flushed by the sink. *)
+      message.  Fault counters ([dropped]/[duplicated]/[retransmits]) are
+      included only when non-zero, so synchronous traces are unchanged.
+      The channel is not closed or flushed by the sink. *)
 end
 
 type t
@@ -144,7 +157,7 @@ val exec :
   'st algorithm ->
   'st array * stats
 (** Execute to quiescence on a prebuilt engine.  [max_rounds] defaults to
-    [10_000 + 100 * n]; [max_words] defaults to
+    [default_max_rounds n]; [max_words] defaults to
     [default_max_words n]. *)
 
 val run :

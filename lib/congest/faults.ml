@@ -1,0 +1,157 @@
+open Kdom_graph
+
+type link = {
+  drop : float;
+  duplicate : float;
+  slow : float;
+  slow_factor : float;
+}
+
+let reliable_link = { drop = 0.; duplicate = 0.; slow = 0.; slow_factor = 1. }
+
+type crash = { node : int; at : float; recover : float option }
+
+type spec = {
+  link : link;
+  overrides : ((int * int) * link) list;
+  reorder : bool;
+  crashes : crash list;
+  seed : int;
+}
+
+let none =
+  { link = reliable_link; overrides = []; reorder = false; crashes = []; seed = 0 }
+
+let lossy ?(drop = 0.) ?(duplicate = 0.) ?(slow = 0.) ?(slow_factor = 10.)
+    ?(reorder = true) ?(crashes = []) ~seed () =
+  {
+    link = { drop; duplicate; slow; slow_factor };
+    overrides = [];
+    reorder;
+    crashes;
+    seed;
+  }
+
+type counters = {
+  mutable transmitted : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable crash_dropped : int;
+}
+
+type t = {
+  spec : spec;
+  links : link array;       (* per directed-edge slot *)
+  last : float array;       (* per slot: latest scheduled delivery (FIFO clamp) *)
+  crashes_of : crash list array;  (* per node, sorted by crash time *)
+  rng : Rng.t;
+  counters : counters;
+}
+
+let check_prob what p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Faults: %s probability %g outside [0, 1]" what p)
+
+let check_link l =
+  check_prob "drop" l.drop;
+  check_prob "duplicate" l.duplicate;
+  check_prob "slow" l.slow;
+  if l.slow_factor < 1. then invalid_arg "Faults: slow_factor must be >= 1"
+
+let compile eng spec =
+  let n = Graph.n (Engine.graph eng) in
+  check_link spec.link;
+  let links = Array.make (max 1 (Engine.port_count eng)) spec.link in
+  List.iter
+    (fun ((src, dst), l) ->
+      check_link l;
+      if src < 0 || src >= n then
+        invalid_arg (Printf.sprintf "Faults: override source %d not a node" src);
+      let slot = Engine.find_port eng ~src ~dst in
+      if slot < 0 then
+        invalid_arg
+          (Printf.sprintf "Faults: override for non-edge (%d, %d)" src dst);
+      links.(slot) <- l)
+    spec.overrides;
+  let crashes_of = Array.make (max 1 n) [] in
+  List.iter
+    (fun c ->
+      if c.node < 0 || c.node >= n then
+        invalid_arg (Printf.sprintf "Faults: crash of non-node %d" c.node);
+      (match c.recover with
+      | Some r when r <= c.at ->
+        invalid_arg
+          (Printf.sprintf "Faults: node %d recovers at %g before crashing at %g"
+             c.node r c.at)
+      | _ -> ());
+      crashes_of.(c.node) <- c :: crashes_of.(c.node))
+    spec.crashes;
+  Array.iteri
+    (fun v cs ->
+      crashes_of.(v) <- List.sort (fun a b -> compare a.at b.at) cs)
+    crashes_of;
+  {
+    spec;
+    links;
+    last = Array.make (max 1 (Engine.port_count eng)) 0.;
+    crashes_of;
+    rng = Rng.create spec.seed;
+    counters = { transmitted = 0; dropped = 0; duplicated = 0; crash_dropped = 0 };
+  }
+
+let spec t = t.spec
+let counters t = t.counters
+
+(* Decision order is fixed (drop, then duplicate, then per-copy slowdown and
+   delay) so that a run is a pure function of the seed and the call
+   sequence. *)
+let transmit t ~now ~slot ~base_delay deliver =
+  let l = t.links.(slot) in
+  let c = t.counters in
+  c.transmitted <- c.transmitted + 1;
+  if l.drop > 0. && Rng.float t.rng 1.0 < l.drop then begin
+    c.dropped <- c.dropped + 1;
+    0
+  end
+  else begin
+    let copies =
+      if l.duplicate > 0. && Rng.float t.rng 1.0 < l.duplicate then begin
+        c.duplicated <- c.duplicated + 1;
+        2
+      end
+      else 1
+    in
+    for _copy = 1 to copies do
+      let d = base_delay () in
+      let d =
+        if l.slow > 0. && Rng.float t.rng 1.0 < l.slow then d *. l.slow_factor
+        else d
+      in
+      let at = now +. d in
+      let at = if t.spec.reorder then at else Float.max at t.last.(slot) in
+      t.last.(slot) <- Float.max t.last.(slot) at;
+      deliver at
+    done;
+    copies
+  end
+
+let down t ~node ~time =
+  List.exists
+    (fun c ->
+      c.at <= time
+      && match c.recover with None -> true | Some r -> time < r)
+    t.crashes_of.(node)
+
+let rec next_up t ~node ~time =
+  match
+    List.find_opt
+      (fun c ->
+        c.at <= time
+        && match c.recover with None -> true | Some r -> time < r)
+      t.crashes_of.(node)
+  with
+  | None -> Some time
+  | Some { recover = None; _ } -> None
+  | Some { recover = Some r; _ } -> next_up t ~node ~time:r
+
+let note_crash_drop t = t.counters.crash_dropped <- t.counters.crash_dropped + 1

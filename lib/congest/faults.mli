@@ -1,0 +1,113 @@
+(** Deterministic, seedable fault injection for the asynchronous executor.
+
+    The paper (and every related CONGEST reproduction) assumes perfectly
+    reliable links.  This module is the adversary: a fault model compiled
+    against an {!Engine} port map that decides, per physical frame, whether
+    the frame is lost, duplicated, or slowed down, and whether its endpoint
+    is currently crashed.  All decisions flow from a single [seed] through a
+    dedicated {!Kdom_graph.Rng} stream, so every faulty execution is
+    exactly reproducible.
+
+    The model:
+
+    - {e per-link loss / duplication / slowdown}: every directed edge has a
+      {!link} parameter record — a default plus per-link overrides, looked
+      up through the engine's O(1) port map, so an adversarial schedule can
+      target specific links (e.g. make one tree edge lose 90% of its
+      frames);
+    - {e reordering}: when [reorder] is true each frame's delay is drawn
+      independently, so frames overtake each other; when false the layer
+      forces per-link FIFO delivery by clamping each delivery time to the
+      latest already scheduled on that link;
+    - {e fail-stop crashes with optional recovery}: a crashed node drops
+      every frame addressed to it and fires no timers; on recovery it
+      resumes with its state intact (crash-recovery with durable state), so
+      a retransmitting sender eventually gets through.  A crash with
+      [recover = None] is permanent.
+
+    The consumer is {!Async.run_reliable}, which layers a sequence-numbered
+    ack/retransmit protocol on top so that any algorithm still reaches
+    quiescence with final states bit-identical to {!Runtime.run}'s. *)
+
+type link = {
+  drop : float;       (** probability a frame on this link is lost *)
+  duplicate : float;  (** probability a surviving frame is delivered twice *)
+  slow : float;       (** probability a delivery suffers the slowdown *)
+  slow_factor : float;  (** delay multiplier applied to slowed deliveries *)
+}
+
+val reliable_link : link
+(** All-zero probabilities: the benign link. *)
+
+type crash = {
+  node : int;
+  at : float;  (** crash time *)
+  recover : float option;  (** recovery time, or [None] for fail-stop forever *)
+}
+
+type spec = {
+  link : link;  (** default parameters for every directed link *)
+  overrides : ((int * int) * link) list;
+      (** per-directed-link overrides [((src, dst), link)] — the
+          adversarial schedule *)
+  reorder : bool;  (** allow frames to overtake each other on a link *)
+  crashes : crash list;
+  seed : int;
+}
+
+val none : spec
+(** The fault-free network: reliable links, FIFO, no crashes. *)
+
+val lossy :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?slow:float ->
+  ?slow_factor:float ->
+  ?reorder:bool ->
+  ?crashes:crash list ->
+  seed:int ->
+  unit ->
+  spec
+(** Uniform fault regime: every link gets the same parameters
+    (defaults: [drop = 0.], [duplicate = 0.], [slow = 0.],
+    [slow_factor = 10.], [reorder = true], no crashes). *)
+
+type counters = {
+  mutable transmitted : int;  (** frames offered to the network *)
+  mutable dropped : int;      (** frames lost by the link layer *)
+  mutable duplicated : int;   (** extra copies injected *)
+  mutable crash_dropped : int;  (** frames that arrived at a crashed node *)
+}
+
+type t
+(** A fault model compiled against one engine's port map. *)
+
+val compile : Engine.t -> spec -> t
+(** Resolves the per-link parameter table through the port map (raises
+    [Invalid_argument] on an override for a non-edge or a crash of a
+    non-node) and seeds the decision stream. *)
+
+val spec : t -> spec
+val counters : t -> counters
+
+val transmit :
+  t -> now:float -> slot:int -> base_delay:(unit -> float) -> (float -> unit) -> int
+(** [transmit t ~now ~slot ~base_delay deliver] decides the fate of one
+    frame sent on directed-edge slot [slot] at time [now]: calls [deliver]
+    once per surviving copy with its delivery time ([now] plus a
+    [base_delay ()] draw, scaled by [slow_factor] when slowed, clamped to
+    per-link FIFO order unless [reorder]).  Returns the number of copies
+    scheduled — 0 (dropped), 1, or 2 (duplicated) — and updates
+    {!counters}. *)
+
+val down : t -> node:int -> time:float -> bool
+(** Whether [node] is crashed at [time] (crash windows are half-open:
+    [at <= time < recover]). *)
+
+val next_up : t -> node:int -> time:float -> float option
+(** Earliest [t >= time] at which the node is up, or [None] if it never
+    recovers. *)
+
+val note_crash_drop : t -> unit
+(** Record a frame discarded because its destination was down (called by
+    the executor, which is the one that knows delivery times). *)

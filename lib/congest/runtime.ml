@@ -26,7 +26,9 @@ let run ?max_rounds ?max_words ?sink g algo =
 
 let run_reference ?max_rounds ?max_words g algo =
   let n = Graph.n g in
-  let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> Engine.default_max_rounds n
+  in
   let max_words =
     match max_words with Some w -> w | None -> Engine.default_max_words n
   in

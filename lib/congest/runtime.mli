@@ -59,9 +59,15 @@ val run :
   ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t ->
   Graph.t -> 'st algorithm -> 'st array * stats
 (** Execute to quiescence on the mailbox engine. [max_rounds] defaults to
-    [10_000 + 100 * n]; [max_words] defaults to
+    [Engine.default_max_rounds n]; [max_words] defaults to
     [Engine.default_max_words n] (4 for any practical [n]); [sink]
-    defaults to {!Engine.Sink.null}. *)
+    defaults to {!Engine.Sink.null}.
+
+    Robustness note: this runtime (like {!Engine}) models perfectly
+    reliable links.  To execute the same [algorithm] value on a lossy,
+    crashy network — and check that the final states are nevertheless
+    bit-identical — see {!Faults}, {!Async.run_reliable} and the output
+    invariant checkers in {!Oracle}. *)
 
 val run_reference :
   ?max_rounds:int -> ?max_words:int -> Graph.t -> 'st algorithm -> 'st array * stats

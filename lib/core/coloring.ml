@@ -211,8 +211,10 @@ let congest_algorithm g ~root =
 (* Word budget: every message is a bare [| color |] — 1 word. *)
 let congest_max_words = 1
 
+let colors_of_states states = Array.map (fun st -> st.color) states
+
 let three_color_congest ?sink g ~root =
   let states, stats =
     Engine.run ~max_words:congest_max_words ?sink g (congest_algorithm g ~root)
   in
-  (Array.map (fun st -> st.color) states, stats)
+  (colors_of_states states, stats)

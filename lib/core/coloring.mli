@@ -54,6 +54,10 @@ val congest_algorithm : Graph.t -> root:int -> congest_state Engine.algorithm
 val congest_max_words : int
 (** Declared word budget: every message is one bare color — 1 word. *)
 
+val colors_of_states : congest_state array -> int array
+(** Decode the final color per node from an execution's state vector
+    (whichever executor produced it). *)
+
 val three_color_congest :
   ?sink:Engine.Sink.t -> Graph.t -> root:int -> int array * Runtime.stats
 (** Message-level CONGEST execution of {!three_color} on a tree graph

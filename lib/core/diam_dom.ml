@@ -104,6 +104,9 @@ let census_max_words = 3
 let census_run ?sink g (info : Bfs_tree.info) ~k =
   Engine.run ~max_words:census_max_words ?sink g (census_algorithm info ~k)
 
+let dominating_of_states states = Array.map (fun st -> st.member) states
+let decided_level states ~root = states.(root).decided
+
 let run ?sink g ~root ~k =
   if k < 1 then invalid_arg "Diam_dom.run: k must be >= 1";
   if not (Tree.is_tree g) then invalid_arg "Diam_dom.run: graph must be a tree";
@@ -124,10 +127,10 @@ let run ?sink g ~root ~k =
   end
   else begin
     let states, census_stats = census_run ?sink g info ~k in
-    let dominating = Array.map (fun st -> st.member) states in
+    let dominating = dominating_of_states states in
     {
       dominating;
-      level = Some states.(root).decided;
+      level = Some (decided_level states ~root);
       init = info;
       init_stats;
       census_stats = Some census_stats;

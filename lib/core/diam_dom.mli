@@ -38,6 +38,13 @@ val census_max_words : int
 (** Declared word budget of the census stage:
     [| tag; level; counter |] — 3 words. *)
 
+val dominating_of_states : census_state array -> bool array
+(** Decode membership in the output set D from an execution's final state
+    vector, whichever executor produced it. *)
+
+val decided_level : census_state array -> root:int -> int
+(** The level class the root selected ([-1] while undecided). *)
+
 val run : ?sink:Engine.Sink.t -> Graph.t -> root:int -> k:int -> result
 (** Requires a tree ([m = n-1], connected) and [k >= 1]. *)
 

@@ -138,9 +138,7 @@ let algorithm g : state Engine.algorithm =
    words. *)
 let max_words = 3
 
-let elect ?sink g =
-  if not (Graph.is_connected g) then invalid_arg "Leader.elect: graph must be connected";
-  let states, stats = Engine.run ~max_words ?sink g (algorithm g) in
+let result_of_states states stats =
   let leader_id = states.(0).leader in
   Array.iteri
     (fun v st ->
@@ -153,5 +151,10 @@ let elect ?sink g =
     depth = Array.map (fun st -> st.depth) states;
     stats;
   }
+
+let elect ?sink g =
+  if not (Graph.is_connected g) then invalid_arg "Leader.elect: graph must be connected";
+  let states, stats = Engine.run ~max_words ?sink g (algorithm g) in
+  result_of_states states stats
 
 let round_bound ~diam = (5 * diam) + 10

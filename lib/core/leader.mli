@@ -35,6 +35,11 @@ val algorithm : Graph.t -> state Engine.algorithm
 val max_words : int
 (** Declared word budget: [| tag; wave id; depth |] — 3 words. *)
 
+val result_of_states : state array -> Runtime.stats -> result
+(** Decode (and cross-validate) the outcome from an execution's final
+    state vector, whichever executor produced it; raises
+    [Invalid_argument] if any node disagrees on the leader. *)
+
 val elect : ?sink:Engine.Sink.t -> Graph.t -> result
 (** Requires a connected graph. *)
 

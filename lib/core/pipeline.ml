@@ -158,19 +158,22 @@ let algorithm ?(eliminate_cycles = true) g ~(bfs : Bfs_tree.info) ~fragment_of =
   let halted st = st.done_ in
   (({ Engine.init; step; halted } : node_state Engine.algorithm), stalls)
 
-let run ?(eliminate_cycles = true) ?sink g ~(bfs : Bfs_tree.info) ~fragment_of =
-  if not (Graph.has_distinct_weights g) then
-    invalid_arg "Pipeline.run: edge weights must be distinct";
+let selected_of_states g ~fragment_of ~root states =
   let nf = 1 + Array.fold_left max 0 fragment_of in
-  let algo, stalls = algorithm ~eliminate_cycles g ~bfs ~fragment_of in
-  let states, upcast_stats = Engine.run ~max_words ?sink g algo in
-  let root_state = states.(bfs.root) in
+  let root_state = states.(root) in
   let edges_at_root =
     Hashtbl.fold (fun id (fu, fv, w) acc -> (fu, fv, w, id) :: acc) root_state.q []
     |> List.sort (fun (_, _, w1, _) (_, _, w2, _) -> compare w1 w2)
   in
-  let chosen_ids = Mst.mst_of_multigraph ~n:nf edges_at_root in
-  let selected = List.map (Graph.edge g) chosen_ids in
+  List.map (Graph.edge g) (Mst.mst_of_multigraph ~n:nf edges_at_root)
+
+let run ?(eliminate_cycles = true) ?sink g ~(bfs : Bfs_tree.info) ~fragment_of =
+  if not (Graph.has_distinct_weights g) then
+    invalid_arg "Pipeline.run: edge weights must be distinct";
+  let algo, stalls = algorithm ~eliminate_cycles g ~bfs ~fragment_of in
+  let states, upcast_stats = Engine.run ~max_words ?sink g algo in
+  let root_state = states.(bfs.root) in
+  let selected = selected_of_states g ~fragment_of ~root:bfs.root states in
   let broadcast_rounds = max 0 (List.length selected - 1) + bfs.height + 1 in
   {
     selected;

@@ -56,6 +56,12 @@ val max_words : int
 (** Declared word budget: [| tag; edge id; frag u; frag v; weight |] is 5
     words, declared as 6 for one word of slack. *)
 
+val selected_of_states :
+  Graph.t -> fragment_of:int array -> root:int -> node_state array -> Graph.edge list
+(** Decode the inter-fragment MST from an execution's final state vector
+    (the root's assembled edge set run through the red rule once more),
+    whichever executor produced it. *)
+
 val run :
   ?eliminate_cycles:bool ->
   ?sink:Engine.Sink.t ->

@@ -286,15 +286,8 @@ let algorithm g ~k : state Engine.algorithm =
    [| tag_verdict; active?; hop |] — 3 words. *)
 let max_words = 3
 
-let run ?sink g ~k =
-  if k < 1 then invalid_arg "Simple_mst_congest.run: k must be >= 1";
-  if not (Graph.is_connected g) then
-    invalid_arg "Simple_mst_congest.run: graph must be connected";
-  if not (Graph.has_distinct_weights g) then
-    invalid_arg "Simple_mst_congest.run: edge weights must be distinct";
-  let phases = phases_for k in
-  let states, stats = Engine.run ~max_words ?sink g (algorithm g ~k) in
-  (* reconstruct the fragment forest from the final tree edges *)
+(* reconstruct the fragment forest from the final tree edges *)
+let fragments_of_states g states =
   let n = Graph.n g in
   let uf = Union_find.create n in
   Array.iteri
@@ -305,9 +298,8 @@ let run ?sink g ~k =
     let r = Union_find.find uf v in
     Hashtbl.replace groups r (v :: Option.value ~default:[] (Hashtbl.find_opt groups r))
   done;
-  let fragments =
-    Hashtbl.fold
-      (fun _r members acc ->
+  Hashtbl.fold
+    (fun _r members acc ->
         let roots = List.filter (fun v -> states.(v).parent = -1) members in
         let root =
           match roots with
@@ -334,5 +326,13 @@ let run ?sink g ~k =
         let depth = Simple_mst.tree_depth root members tree_edges in
         ({ root; members; tree_edges; depth } : Simple_mst.fragment) :: acc)
       groups []
-  in
-  { fragments; stats; phases }
+
+let run ?sink g ~k =
+  if k < 1 then invalid_arg "Simple_mst_congest.run: k must be >= 1";
+  if not (Graph.is_connected g) then
+    invalid_arg "Simple_mst_congest.run: graph must be connected";
+  if not (Graph.has_distinct_weights g) then
+    invalid_arg "Simple_mst_congest.run: edge weights must be distinct";
+  let phases = phases_for k in
+  let states, stats = Engine.run ~max_words ?sink g (algorithm g ~k) in
+  { fragments = fragments_of_states g states; stats; phases }

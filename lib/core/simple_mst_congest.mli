@@ -48,6 +48,11 @@ val max_words : int
 (** Declared word budget: the widest messages carry a tag plus two fields
     (probe, verdict) — 3 words. *)
 
+val fragments_of_states : Graph.t -> state array -> Simple_mst.fragment list
+(** Reconstruct the fragment forest from an execution's final state
+    vector, whichever executor produced it; raises [Invalid_argument] if
+    the remembered tree edges do not form a single-rooted forest. *)
+
 val run : ?sink:Engine.Sink.t -> Graph.t -> k:int -> result
 (** Requires a connected graph with distinct weights and [k >= 1]. *)
 

@@ -1,0 +1,370 @@
+(* Fault-matrix tests: every message-level algorithm in the repository,
+   executed by Async.run_reliable under randomized drop/duplication/
+   reordering/slowdown regimes (and crash-recovery schedules), must reach
+   quiescence with final states bit-identical to the synchronous Runtime.run
+   — the α-synchronizer argument of §1.2 extended to lossy links by the
+   sequence-numbered ack/retransmit layer.  Decoded outputs are additionally
+   validated against the centralized Oracle, so a bug that breaks both
+   executions identically is still caught.  A last group pins down the link
+   layer itself: zero retransmissions on a fault-free network, the
+   documented (0, max_delay] delay sampler, and Delivery_failed on a
+   permanently severed link. *)
+
+open Kdom_graph
+open Kdom_congest
+
+let dummy_stats = { Runtime.rounds = 0; messages = 0; max_inflight = 0 }
+
+(* One algorithm under test: name, word budget, a fresh instance per
+   backend (mutable closures must not leak between executions), and an
+   oracle over the decoded final states. *)
+type case =
+  | Case :
+      string * int * (unit -> 'st Runtime.algorithm) * ('st array -> unit)
+      -> case
+
+let bfs_case g =
+  Case
+    ( "bfs",
+      Kdom.Bfs_tree.max_words,
+      (fun () -> Kdom.Bfs_tree.algorithm g ~root:0),
+      fun states ->
+        let info = Kdom.Bfs_tree.info_of_states g ~root:0 states in
+        Oracle.expect_ok "bfs"
+          (Oracle.bfs_tree g ~root:0 ~parent:info.parent ~depth:info.depth) )
+
+let census_case g ~k =
+  let info, _ = Kdom.Bfs_tree.run g ~root:0 in
+  (* the census stage only runs on trees deeper than k *)
+  if info.height <= k then None
+  else
+    Some
+      (Case
+         ( "census",
+           Kdom.Diam_dom.census_max_words,
+           (fun () -> Kdom.Diam_dom.census_algorithm info ~k),
+           fun states ->
+             let dom = Kdom.Diam_dom.dominating_of_states states in
+             let centers = ref [] in
+             Array.iteri (fun v b -> if b then centers := v :: !centers) dom;
+             Oracle.expect_ok "census"
+               (Oracle.k_domination g ~k !centers
+               @ Oracle.size_within ~n:(Graph.n g) ~k ~ceil:true !centers) ))
+
+let coloring_case g =
+  Case
+    ( "coloring",
+      Kdom.Coloring.congest_max_words,
+      (fun () -> Kdom.Coloring.congest_algorithm g ~root:0),
+      fun states ->
+        Oracle.expect_ok "coloring"
+          (Oracle.proper_coloring g ~palette:3
+             (Kdom.Coloring.colors_of_states states)) )
+
+let leader_case g =
+  Case
+    ( "leader",
+      Kdom.Leader.max_words,
+      (fun () -> Kdom.Leader.algorithm g),
+      fun states ->
+        let r = Kdom.Leader.result_of_states states dummy_stats in
+        Alcotest.(check int) "leader is the max id" (Graph.n g - 1) r.leader;
+        Oracle.expect_ok "leader"
+          (Oracle.bfs_tree g ~root:r.leader ~parent:r.parent ~depth:r.depth) )
+
+let smc_case g ~k =
+  Case
+    ( "smc",
+      Kdom.Simple_mst_congest.max_words,
+      (fun () -> Kdom.Simple_mst_congest.algorithm g ~k),
+      fun states ->
+        let frags = Kdom.Simple_mst_congest.fragments_of_states g states in
+        let fragment_of = Array.make (Graph.n g) (-1) in
+        List.iteri
+          (fun i (f : Kdom.Simple_mst.fragment) ->
+            List.iter (fun v -> fragment_of.(v) <- i) f.members)
+          frags;
+        let edge_ids =
+          List.concat_map
+            (fun (f : Kdom.Simple_mst.fragment) ->
+              List.map (fun (e : Graph.edge) -> e.id) f.tree_edges)
+            frags
+        in
+        Oracle.expect_ok "smc"
+          (Oracle.partition g ~fragment_of ~min_size:(min (k + 1) (Graph.n g))
+          @ Oracle.mst_subforest g edge_ids) )
+
+let pipeline_case g ~k =
+  let dom = Kdom.Fastdom_graph.run g ~k in
+  let fragment_of = Kdom.Simple_mst.fragment_of_array g dom.forest in
+  let bfs, _ = Kdom.Bfs_tree.run g ~root:0 in
+  Case
+    ( "pipeline",
+      Kdom.Pipeline.max_words,
+      (fun () -> fst (Kdom.Pipeline.algorithm g ~bfs ~fragment_of)),
+      fun states ->
+        let selected =
+          Kdom.Pipeline.selected_of_states g ~fragment_of ~root:bfs.root states
+        in
+        Oracle.expect_ok "pipeline"
+          (Oracle.inter_fragment_mst g ~fragment_of
+             (List.map (fun (e : Graph.edge) -> e.id) selected)) )
+
+(* ------------------------------------------------------------------ *)
+(* Harness *)
+
+let check_case ?(what = "") ~faults ~max_delay ~rng_seed g
+    (Case (name, max_words, mk, oracle)) =
+  let what = name ^ what in
+  let sync_states, _ = Runtime.run ~max_words g (mk ()) in
+  let states, frep =
+    Async.run_reliable ~rng:(Rng.create rng_seed) ~faults ~max_delay ~max_words
+      g (mk ())
+  in
+  if states <> sync_states then
+    Alcotest.failf "%s: faulty states differ from the synchronous run" what;
+  oracle states;
+  frep
+
+let regimes =
+  [
+    ("/drop.2+dup.1", fun seed -> Faults.lossy ~drop:0.2 ~duplicate:0.1 ~seed ());
+    ( "/drop.3+slow",
+      fun seed -> Faults.lossy ~drop:0.3 ~slow:0.2 ~slow_factor:8.0 ~seed () );
+    ("/dup.3+fifo", fun seed -> Faults.lossy ~duplicate:0.3 ~reorder:false ~seed ());
+    ("/reorder", fun seed -> Faults.lossy ~seed ());
+  ]
+
+let delay_of_seed seed = [| 0.05; 1.0; 5.0 |].(seed mod 3)
+
+let sweep ?(trees_only = false) ~count name mk_case =
+  QCheck2.Test.make ~name ~count (QCheck2.Gen.int_bound 10_000) (fun seed ->
+      let n = 8 + (seed mod 17) in
+      let graphs =
+        ("tree", Generators.random_tree ~rng:(Rng.create seed) n)
+        ::
+        (if trees_only then []
+         else
+           [ ("gnp", Generators.gnp_connected ~rng:(Rng.create (seed + 1)) ~n ~p:0.2) ])
+      in
+      List.iter
+        (fun (fam, g) ->
+          match mk_case ~seed g with
+          | None -> ()
+          | Some case ->
+            List.iter
+              (fun (rname, regime) ->
+                ignore
+                  (check_case
+                     ~what:(Printf.sprintf "/%s%s seed=%d" fam rname seed)
+                     ~faults:(regime (seed + 17))
+                     ~max_delay:(delay_of_seed seed) ~rng_seed:(seed + 31) g
+                     case))
+              regimes)
+        graphs;
+      true)
+
+let prop_bfs = sweep ~count:12 "reliable = sync: Bfs_tree" (fun ~seed:_ g -> Some (bfs_case g))
+
+let prop_census =
+  sweep ~trees_only:true ~count:12 "reliable = sync: Diam_dom census"
+    (fun ~seed g -> census_case g ~k:(1 + (seed mod 3)))
+
+let prop_coloring =
+  sweep ~trees_only:true ~count:10 "reliable = sync: Coloring"
+    (fun ~seed:_ g -> Some (coloring_case g))
+
+let prop_leader =
+  sweep ~count:10 "reliable = sync: Leader" (fun ~seed:_ g -> Some (leader_case g))
+
+let prop_smc =
+  sweep ~count:6 "reliable = sync: Simple_mst_congest"
+    (fun ~seed g -> Some (smc_case g ~k:(1 + (seed mod 3))))
+
+let prop_pipeline =
+  sweep ~count:6 "reliable = sync: Pipeline"
+    (fun ~seed g -> Some (pipeline_case g ~k:(1 + (seed mod 3))))
+
+(* ------------------------------------------------------------------ *)
+(* Crashes *)
+
+let test_crash_recovery () =
+  let g = Generators.random_tree ~rng:(Rng.create 42) 14 in
+  let crashes =
+    [
+      { Faults.node = 0; at = 0.0; recover = Some 3.0 };   (* crashed at start *)
+      { Faults.node = 5; at = 0.7; recover = Some 9.0 };
+      { Faults.node = 9; at = 2.0; recover = Some 2.5 };
+    ]
+  in
+  List.iter
+    (fun (rname, faults) ->
+      ignore
+        (check_case ~what:rname ~faults ~max_delay:1.0 ~rng_seed:7 g (bfs_case g));
+      ignore
+        (check_case ~what:rname ~faults ~max_delay:1.0 ~rng_seed:8 g
+           (leader_case g)))
+    [
+      ("/crash", Faults.lossy ~crashes ~seed:3 ());
+      ("/crash+drop", Faults.lossy ~drop:0.15 ~duplicate:0.1 ~crashes ~seed:4 ());
+    ]
+
+let test_permanent_crash_fails () =
+  let g = Generators.path ~rng:(Rng.create 13) 6 in
+  let faults =
+    Faults.lossy ~crashes:[ { Faults.node = 3; at = 0.0; recover = None } ] ~seed:5 ()
+  in
+  match
+    Async.run_reliable ~rng:(Rng.create 2) ~faults ~max_attempts:4
+      ~max_words:Kdom.Bfs_tree.max_words g (Kdom.Bfs_tree.algorithm g ~root:0)
+  with
+  | _ -> Alcotest.fail "expected failure against a permanently crashed node"
+  | exception Async.Delivery_failed { dst = 3; _ } -> ()
+  | exception Async.Delivery_failed { src; dst; _ } ->
+    Alcotest.failf "Delivery_failed on unexpected link %d -> %d" src dst
+
+(* Adversarial per-link schedule: one targeted, nearly-dead link. *)
+let test_adversarial_link () =
+  let g = Generators.path ~rng:(Rng.create 17) 8 in
+  let bad = { Faults.drop = 0.9; duplicate = 0.; slow = 0.; slow_factor = 1. } in
+  let faults =
+    {
+      Faults.link = Faults.reliable_link;
+      overrides = [ ((3, 4), bad); ((4, 3), bad) ];
+      reorder = true;
+      crashes = [];
+      seed = 23;
+    }
+  in
+  let frep = check_case ~what:"/adversarial" ~faults ~max_delay:1.0 ~rng_seed:3 g (bfs_case g) in
+  if frep.retransmits = 0 then
+    Alcotest.fail "a 90%-loss link must force retransmissions"
+
+(* ------------------------------------------------------------------ *)
+(* The link layer itself *)
+
+let test_zero_faults_zero_retransmits () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 29) ~n:20 ~p:0.2 in
+  let t = Generators.random_tree ~rng:(Rng.create 30) 20 in
+  let cases =
+    [
+      (g, bfs_case g);
+      (g, leader_case g);
+      (g, smc_case g ~k:2);
+      (g, pipeline_case g ~k:2);
+      (t, coloring_case t);
+    ]
+    @ match census_case t ~k:2 with None -> [] | Some c -> [ (t, c) ]
+  in
+  List.iter
+    (fun (g, case) ->
+      let frep =
+        check_case ~what:"/none" ~faults:Faults.none ~max_delay:1.0 ~rng_seed:11
+          g case
+      in
+      Alcotest.(check int) "no retransmits on a fault-free network" 0
+        frep.retransmits;
+      Alcotest.(check int) "no drops" 0 frep.dropped;
+      Alcotest.(check int) "no duplicates" 0 frep.duplicated;
+      Alcotest.(check int) "no crash drops" 0 frep.crash_dropped)
+    cases
+
+(* Regression for the delay sampler: documented as uniform on
+   (0, max_delay] — strictly positive, able to attain the upper endpoint,
+   never beyond it.  The historical sampler drew from [0, max_delay) with a
+   1e-9 clamp. *)
+let test_delay_sampler () =
+  let rng = Rng.create 97 in
+  let max_delay = 0.25 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let d = Async.sample_delay rng ~max_delay in
+    if not (d > 0.0) then Alcotest.failf "sampled non-positive delay %g" d;
+    if d > max_delay then Alcotest.failf "sampled %g > max_delay %g" d max_delay;
+    sum := !sum +. d
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. (max_delay /. 2.)) > 0.01 *. max_delay then
+    Alcotest.failf "sampler mean %g far from %g" mean (max_delay /. 2.);
+  (* the documented interval is half-open at 0: a draw of u = 0 must map to
+     max_delay exactly, so the endpoint is attainable *)
+  Alcotest.(check bool) "rejects non-positive max_delay" true
+    (match Async.sample_delay rng ~max_delay:0.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Per-pulse sink records must be consistent with the returned report and
+   fault counters. *)
+let test_sink_consistency_under_faults () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 51) ~n:16 ~p:0.25 in
+  let counters, rounds_info = Engine.Sink.counters () in
+  let faults = Faults.lossy ~drop:0.2 ~duplicate:0.1 ~seed:9 () in
+  let _, frep =
+    Async.run_reliable ~rng:(Rng.create 12) ~faults ~sink:counters
+      ~max_words:Kdom.Leader.max_words g (Kdom.Leader.algorithm g)
+  in
+  let infos = rounds_info () in
+  let sum f = List.fold_left (fun a i -> a + f i) 0 infos in
+  Alcotest.(check int) "one record per pulse" frep.report.pulses
+    (List.length infos);
+  Alcotest.(check int) "delivered sums to alg_messages"
+    frep.report.alg_messages
+    (sum (fun (i : Engine.Sink.round_info) -> i.delivered));
+  Alcotest.(check int) "sent sums to alg_messages" frep.report.alg_messages
+    (sum (fun (i : Engine.Sink.round_info) -> i.sent));
+  Alcotest.(check int) "retransmits sum to the report" frep.retransmits
+    (sum (fun (i : Engine.Sink.round_info) -> i.retransmits));
+  Alcotest.(check int) "drops sum to the report" frep.dropped
+    (sum (fun (i : Engine.Sink.round_info) -> i.dropped));
+  Alcotest.(check int) "duplicates sum to the report" frep.duplicated
+    (sum (fun (i : Engine.Sink.round_info) -> i.duplicated));
+  if frep.dropped = 0 then Alcotest.fail "regime at drop=0.2 dropped nothing"
+
+(* Determinism: same seeds, same everything. *)
+let test_deterministic () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 61) ~n:14 ~p:0.25 in
+  let faults = Faults.lossy ~drop:0.25 ~duplicate:0.15 ~seed:77 () in
+  let run () =
+    Async.run_reliable ~rng:(Rng.create 5) ~faults
+      ~max_words:Kdom.Leader.max_words g (Kdom.Leader.algorithm g)
+  in
+  let s1, f1 = run () in
+  let s2, f2 = run () in
+  if s1 <> s2 then Alcotest.fail "same seeds produced different states";
+  Alcotest.(check int) "same frame count" f1.frames f2.frames;
+  Alcotest.(check int) "same retransmits" f1.retransmits f2.retransmits;
+  Alcotest.(check int) "same drops" f1.dropped f2.dropped
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "matrix",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bfs;
+            prop_census;
+            prop_coloring;
+            prop_leader;
+            prop_smc;
+            prop_pipeline;
+          ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "crash-recovery schedules" `Quick
+            test_crash_recovery;
+          Alcotest.test_case "permanent crash severs delivery" `Quick
+            test_permanent_crash_fails;
+          Alcotest.test_case "adversarial 90%-loss link" `Quick
+            test_adversarial_link;
+        ] );
+      ( "link layer",
+        [
+          Alcotest.test_case "zero faults, zero retransmits" `Quick
+            test_zero_faults_zero_retransmits;
+          Alcotest.test_case "delay sampler interval" `Quick test_delay_sampler;
+          Alcotest.test_case "sink consistency under faults" `Quick
+            test_sink_consistency_under_faults;
+          Alcotest.test_case "determinism" `Quick test_deterministic;
+        ] );
+    ]
