@@ -53,11 +53,26 @@ let describe g =
   Format.printf "graph: n=%d m=%d diameter=%d@." (Graph.n g) (Graph.m g)
     (Traversal.diameter g)
 
-let dom_cmd family n k seed =
+(* --trace FILE support: create a trace when requested, export it after. *)
+let make_trace file = Option.map (fun _ -> Kdom_congest.Trace.create ()) file
+
+let write_trace tr file =
+  match (tr, file) with
+  | Some tr, Some path ->
+    let oc = open_out path in
+    Kdom_congest.Trace.export_jsonl tr oc;
+    close_out oc;
+    Format.printf "trace: %d spans over %d rounds -> %s@."
+      (List.length (Kdom_congest.Trace.spans tr))
+      (Kdom_congest.Trace.clock tr) path
+  | _ -> ()
+
+let dom_cmd family n k seed trace_file =
   let g = make_graph ~family ~n ~seed in
   describe g;
-  if Tree.is_tree g then begin
-    let r = Kdom.Fastdom_tree.run g ~k in
+  let tr = make_trace trace_file in
+  (if Tree.is_tree g then begin
+    let r = Kdom.Fastdom_tree.run ?trace:tr g ~k in
     Format.printf "FastDOM_T: |D| = %d (n/(k+1) = %d), valid = %b, rounds = %d@."
       (List.length r.dominating)
       (Graph.n g / (k + 1))
@@ -69,7 +84,7 @@ let dom_cmd family n k seed =
     Format.printf "@[<v2>rounds:@,%a@]@." Kdom.Ledger.pp r.ledger
   end
   else begin
-    let r = Kdom.Fastdom_graph.run g ~k in
+    let r = Kdom.Fastdom_graph.run ?trace:tr g ~k in
     Format.printf "FastDOM_G: |D| = %d (n/(k+1) = %d), valid = %b, rounds = %d@."
       (List.length r.dominating)
       (Graph.n g / (k + 1))
@@ -80,13 +95,18 @@ let dom_cmd family n k seed =
       (List.length r.partition.clusters)
       (Kdom.Cluster.max_radius r.partition);
     Format.printf "@[<v2>rounds:@,%a@]@." Kdom.Ledger.pp r.ledger
-  end
+  end);
+  write_trace tr trace_file
 
-let mst_cmd family n seed elect =
+let mst_cmd family n seed elect trace_file =
   let g = make_graph ~family ~n ~seed in
   describe g;
+  let tr = make_trace trace_file in
   let kruskal = Mst.kruskal g in
-  let fast = if elect then Kdom.Fast_mst.run_elected g else Kdom.Fast_mst.run g in
+  let fast =
+    if elect then Kdom.Fast_mst.run_elected ?trace:tr g
+    else Kdom.Fast_mst.run ?trace:tr g
+  in
   let ghs = Kdom.Ghs.run g in
   let trivial = Kdom.Collect_all.run g in
   Format.printf "MST weight (Kruskal): %d@." (Mst.weight kruskal);
@@ -99,7 +119,8 @@ let mst_cmd family n seed elect =
     trivial.rounds
     (Mst.same_edge_set trivial.mst kruskal)
     trivial.edges_at_root;
-  Format.printf "@[<v2>FastMST rounds:@,%a@]@." Kdom.Ledger.pp fast.ledger
+  Format.printf "@[<v2>FastMST rounds:@,%a@]@." Kdom.Ledger.pp fast.ledger;
+  write_trace tr trace_file
 
 let route_cmd family n k seed =
   let g = make_graph ~family ~n ~seed in
@@ -135,18 +156,17 @@ type fault_case =
       int * (unit -> 'st Kdom_congest.Runtime.algorithm) * ('st array -> string)
       -> fault_case
 
-let faults_cmd family n k seed algo drop dup slow fifo max_delay =
+(* The algorithm menu shared by the [faults] and [trace] subcommands: a
+   node program plus its word budget and a result oracle. *)
+let fault_case g ~k algo =
   let open Kdom_congest in
-  let g = make_graph ~family ~n ~seed in
-  describe g;
   let n = Graph.n g in
   let dummy = { Runtime.rounds = 0; messages = 0; max_inflight = 0 } in
   let need_tree what =
     if not (Tree.is_tree g) then
       invalid_arg (Printf.sprintf "%s needs a tree family" what)
   in
-  let (Fault_case (max_words, mk, verdict)) =
-    match algo with
+  match algo with
     | "bfs" ->
       Fault_case
         ( Kdom.Bfs_tree.max_words,
@@ -222,20 +242,39 @@ let faults_cmd family n k seed algo drop dup slow fifo max_delay =
                     (fun (e : Graph.edge) -> e.id)
                     (Kdom.Pipeline.selected_of_states g ~fragment_of
                        ~root:bfs.root states))) )
-    | other ->
-      invalid_arg
-        (Printf.sprintf
-           "unknown algorithm %S (bfs, coloring, census, leader, smc, pipeline)"
-           other)
-  in
+  | other ->
+    invalid_arg
+      (Printf.sprintf
+         "unknown algorithm %S (bfs, coloring, census, leader, smc, pipeline)"
+         other)
+
+let faults_cmd family n k seed algo drop dup slow fifo max_delay trace_file =
+  let open Kdom_congest in
+  let g = make_graph ~family ~n ~seed in
+  describe g;
+  let (Fault_case (max_words, mk, verdict)) = fault_case g ~k algo in
   let faults =
     Faults.lossy ~drop ~duplicate:dup ~slow ~reorder:(not fifo) ~seed:(seed + 1) ()
   in
+  let tr = make_trace trace_file in
+  Option.iter (fun t -> Trace.set_budget t max_words) tr;
   let sync_states, sync_stats = Runtime.run ~max_words g (mk ()) in
   let states, frep =
-    Async.run_reliable ~rng:(Rng.create (seed + 2)) ~faults ~max_delay ~max_words
-      g (mk ())
+    Trace.span_opt tr (algo ^ ".reliable") (fun () ->
+        Async.run_reliable ~rng:(Rng.create (seed + 2)) ~faults ~max_delay
+          ~max_words
+          ~sink:(Trace.wrap ?trace:tr ())
+          g (mk ()))
   in
+  Option.iter
+    (fun t ->
+      Trace.note t "frames" frep.Async.frames;
+      Trace.note t "retransmits" frep.Async.retransmits;
+      Trace.note t "timeouts" frep.Async.timeouts;
+      Trace.note t "dropped" frep.Async.dropped;
+      Trace.note t "duplicated" frep.Async.duplicated)
+    tr;
+  write_trace tr trace_file;
   Format.printf
     "faults: drop=%.2f dup=%.2f slow=%.2f %s max_delay=%.2f seed=%d@." drop dup
     slow
@@ -254,6 +293,84 @@ let faults_cmd family n k seed algo drop dup slow fifo max_delay =
     (states = sync_states);
   Format.printf "oracle: %s@." (verdict states);
   if states <> sync_states then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* trace: record a run as a span trace (versioned JSONL or Chrome JSON) *)
+
+let trace_cmd family n k seed algo out format drop dup validate =
+  let open Kdom_congest in
+  match validate with
+  | Some path ->
+    let ic = open_in path in
+    let r = Trace.validate_channel ic in
+    close_in ic;
+    (match r with
+    | Ok lines ->
+      Format.printf "%s: %d lines valid against %s@." path lines Trace.schema_version
+    | Error e ->
+      Format.eprintf "%s: invalid trace: %s@." path e;
+      exit 1)
+  | None ->
+    let g = make_graph ~family ~n ~seed in
+    Format.eprintf "graph: n=%d m=%d diameter=%d@." (Graph.n g) (Graph.m g)
+      (Traversal.diameter g);
+    let tr = Trace.create () in
+    let need_tree what =
+      if not (Tree.is_tree g) then
+        invalid_arg (Printf.sprintf "%s needs a tree family" what)
+    in
+    (if drop > 0.0 || dup > 0.0 then begin
+       (* faulty run: reliable delivery over fault injection *)
+       let (Fault_case (max_words, mk, _verdict)) = fault_case g ~k algo in
+       Trace.set_budget tr max_words;
+       let faults = Faults.lossy ~drop ~duplicate:dup ~seed:(seed + 1) () in
+       let _states, frep =
+         Trace.span tr (algo ^ ".reliable") (fun () ->
+             Async.run_reliable ~rng:(Rng.create (seed + 2)) ~faults ~max_words
+               ~sink:(Trace.sink tr) g (mk ()))
+       in
+       Trace.note tr "frames" frep.Async.frames;
+       Trace.note tr "retransmits" frep.Async.retransmits;
+       Trace.note tr "timeouts" frep.Async.timeouts;
+       Trace.note tr "dropped" frep.Async.dropped;
+       Trace.note tr "duplicated" frep.Async.duplicated
+     end
+     else
+       match algo with
+       | "bfs" -> ignore (Kdom.Bfs_tree.run ~trace:tr g ~root:0)
+       | "coloring" ->
+         need_tree "coloring";
+         ignore (Kdom.Coloring.three_color_congest ~trace:tr g ~root:0)
+       | "leader" -> ignore (Kdom.Leader.elect ~trace:tr g)
+       | "diamdom" ->
+         need_tree "diamdom";
+         ignore (Kdom.Diam_dom.run ~trace:tr g ~root:0 ~k)
+       | "smc" -> ignore (Kdom.Simple_mst_congest.run ~trace:tr g ~k)
+       | "dom" ->
+         if Tree.is_tree g then ignore (Kdom.Fastdom_tree.run ~trace:tr g ~k)
+         else ignore (Kdom.Fastdom_graph.run ~trace:tr g ~k)
+       | "mst" -> ignore (Kdom.Fast_mst.run ~trace:tr g)
+       | other ->
+         invalid_arg
+           (Printf.sprintf
+              "unknown algorithm %S (sync: bfs, coloring, leader, diamdom, smc, \
+               dom, mst; with --drop/--dup: bfs, coloring, census, leader, smc, \
+               pipeline)"
+              other));
+    let write oc =
+      match format with
+      | "jsonl" -> Trace.export_jsonl tr oc
+      | "chrome" -> Trace.export_chrome tr oc
+      | other -> invalid_arg (Printf.sprintf "unknown format %S (jsonl, chrome)" other)
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      write oc;
+      close_out oc;
+      Format.eprintf "trace -> %s@." path
+    | None -> write stdout);
+    Format.eprintf "%a@." Metrics.pp (Metrics.report tr)
 
 let algo_arg =
   Arg.(
@@ -291,6 +408,13 @@ let max_delay_arg =
     & opt float 1.0
     & info [ "max-delay" ] ~docv:"D" ~doc:"Upper bound of the (0, D] link delay.")
 
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Also record the run as a versioned JSONL span trace into $(docv).")
+
 let faults_t =
   Cmd.v
     (Cmd.info "faults"
@@ -300,12 +424,64 @@ let faults_t =
           synchronous execution.")
     Term.(
       const faults_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ algo_arg
-      $ drop_arg $ dup_arg $ slow_arg $ fifo_arg $ max_delay_arg)
+      $ drop_arg $ dup_arg $ slow_arg $ fifo_arg $ max_delay_arg $ trace_file_arg)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) (default stdout).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt string "jsonl"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: jsonl (versioned schema) or chrome (Perfetto-loadable).")
+
+let trace_algo_arg =
+  Arg.(
+    value
+    & opt string "diamdom"
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          "Algorithm to trace: bfs, coloring, leader, diamdom, smc, dom, mst \
+           (synchronous); with --drop/--dup: bfs, coloring, census, leader, smc, \
+           pipeline (reliable delivery over fault injection).")
+
+let trace_drop_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop" ] ~docv:"P" ~doc:"Per-frame drop probability (faulty run).")
+
+let trace_dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P" ~doc:"Per-frame duplication probability (faulty run).")
+
+let validate_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "validate" ] ~docv:"FILE"
+        ~doc:"Validate $(docv) against the JSONL trace schema and exit.")
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record an algorithm run as a span trace: versioned JSONL \
+          (machine-checkable, see --validate) or Chrome trace-event JSON for \
+          ui.perfetto.dev.")
+    Term.(
+      const trace_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ trace_algo_arg
+      $ trace_out_arg $ trace_format_arg $ trace_drop_arg $ trace_dup_arg
+      $ validate_arg)
 
 let dom_t =
   Cmd.v
     (Cmd.info "dom" ~doc:"Compute a small k-dominating set (FastDOM_T / FastDOM_G).")
-    Term.(const dom_cmd $ family_arg $ n_arg $ k_arg $ seed_arg)
+    Term.(const dom_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ trace_file_arg)
 
 let elect_arg =
   Arg.(value & flag & info [ "elect" ] ~doc:"Elect the root instead of assuming node 0.")
@@ -313,7 +489,7 @@ let elect_arg =
 let mst_t =
   Cmd.v
     (Cmd.info "mst" ~doc:"Distributed MST: FastMST vs GHS vs collect-all.")
-    Term.(const mst_cmd $ family_arg $ n_arg $ seed_arg $ elect_arg)
+    Term.(const mst_cmd $ family_arg $ n_arg $ seed_arg $ elect_arg $ trace_file_arg)
 
 let route_t =
   Cmd.v
@@ -347,4 +523,6 @@ let () =
     Cmd.info "kdom" ~version:"1.0.0"
       ~doc:"Fast distributed construction of k-dominating sets and applications (PODC'95)."
   in
-  exit (Cmd.eval (Cmd.group info [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t; trace_t ]))

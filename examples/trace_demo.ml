@@ -5,14 +5,36 @@
      dune exec examples/trace_demo.exe                  # summary tables
      dune exec examples/trace_demo.exe -- jsonl         # per-round JSONL
      dune exec examples/trace_demo.exe -- jsonl msgs    # + per-message records
+     dune exec examples/trace_demo.exe -- spans         # span trace + metrics
+     dune exec examples/trace_demo.exe -- spans chrome  # Perfetto-loadable JSON
 *)
 
 open Kdom_graph
 open Kdom_congest
 
+(* The span-level view (DESIGN.md §8): a composite run records one span per
+   logical phase on a shared round clock; Metrics turns the trace into the
+   paper's bounds as checkable quantities. *)
+let spans () =
+  let g = Generators.path ~rng:(Rng.create 7) 33 in
+  let tr = Trace.create () in
+  let r = Kdom.Diam_dom.run ~trace:tr g ~root:0 ~k:3 in
+  if Array.exists (( = ) "chrome") Sys.argv then
+    (* pipe to a file and load it at ui.perfetto.dev: the k+1 censuses
+       pipeline on their own tracks, one round apart (Lemma 2.3) *)
+    Trace.export_chrome tr stdout
+  else begin
+    let m = Metrics.report tr in
+    assert (r.rounds <= Kdom.Diam_dom.round_bound ~diam:32 ~k:3);
+    assert (Metrics.within_budget m);
+    Format.printf "%a@." Metrics.pp m;
+    Format.printf "(re-run with 'spans chrome' for the Perfetto view)@."
+  end
+
 let () =
   let g = Generators.grid ~rng:(Rng.create 7) ~rows:20 ~cols:20 in
-  if Array.exists (( = ) "jsonl") Sys.argv then
+  if Array.exists (( = ) "spans") Sys.argv then spans ()
+  else if Array.exists (( = ) "jsonl") Sys.argv then
     let messages = Array.exists (( = ) "msgs") Sys.argv in
     ignore (Kdom.Bfs_tree.run ~sink:(Engine.Sink.jsonl ~messages stdout) g ~root:0)
   else begin

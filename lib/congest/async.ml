@@ -561,6 +561,7 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
           retransmits = Tally.get t_retransmits p;
         }
     done;
+  if instrumented then sink.Engine.Sink.on_finish ();
   let c = Faults.counters flt in
   ( Array.map (fun nd -> nd.state) nodes,
     {

@@ -47,10 +47,15 @@ module Sink = struct
   type t = {
     on_message : round:int -> src:int -> dst:int -> words:int -> unit;
     on_round : round_info -> unit;
+    on_finish : unit -> unit;
   }
 
   let null =
-    { on_message = (fun ~round:_ ~src:_ ~dst:_ ~words:_ -> ()); on_round = ignore }
+    {
+      on_message = (fun ~round:_ ~src:_ ~dst:_ ~words:_ -> ());
+      on_round = ignore;
+      on_finish = ignore;
+    }
 
   let tee a b =
     {
@@ -62,6 +67,10 @@ module Sink = struct
         (fun ri ->
           a.on_round ri;
           b.on_round ri);
+      on_finish =
+        (fun () ->
+          a.on_finish ();
+          b.on_finish ());
     }
 
   let counters () =
@@ -81,7 +90,7 @@ module Sink = struct
       sent,
       received )
 
-  let jsonl ?(messages = false) oc =
+  let jsonl ?(messages = false) ?(faults = false) oc =
     {
       on_message =
         (fun ~round ~src ~dst ~words ->
@@ -91,19 +100,23 @@ module Sink = struct
               round src dst words);
       on_round =
         (fun ri ->
-          (* fault counters appear only when a fault layer produced them, so
-             synchronous engine traces are unchanged *)
-          let faults =
-            if ri.dropped = 0 && ri.duplicated = 0 && ri.retransmits = 0 then ""
-            else
+          (* With [faults] the three counters are part of every record, so a
+             lossy run yields one homogeneous schema that columnar parsers
+             can ingest; without it they appear only when non-zero, keeping
+             synchronous engine traces byte-stable. *)
+          let fault_fields =
+            if faults || ri.dropped <> 0 || ri.duplicated <> 0 || ri.retransmits <> 0
+            then
               Printf.sprintf ",\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d"
                 ri.dropped ri.duplicated ri.retransmits
+            else ""
           in
           Printf.fprintf oc
             "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
              \"receivers\":%d,\"stepped\":%d,\"sent\":%d%s}\n"
             ri.round ri.delivered ri.delivered_words ri.receivers ri.stepped
-            ri.sent faults);
+            ri.sent fault_fields);
+      on_finish = (fun () -> flush oc);
     }
 end
 
@@ -381,6 +394,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
   done;
   e.running <- false;
   e.dirty <- false;
+  if instrumented then sink.on_finish ();
   (states, { rounds = !round; messages = !messages; max_inflight = !max_inflight })
 
 let exec ?max_rounds ?max_words ?sink e algo =

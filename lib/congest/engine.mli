@@ -104,6 +104,9 @@ module Sink : sig
   type t = {
     on_message : round:int -> src:int -> dst:int -> words:int -> unit;
     on_round : round_info -> unit;
+    on_finish : unit -> unit;
+        (** Fired once when the execution reaches quiescence (not on an
+            abnormal exit).  Streaming sinks use it to flush. *)
   }
 
   val null : t
@@ -120,12 +123,17 @@ module Sink : sig
   (** [activity ~n] is [(sink, sent, received)]: per-node counts of
       messages sent and received, updated in place. *)
 
-  val jsonl : ?messages:bool -> out_channel -> t
+  val jsonl : ?messages:bool -> ?faults:bool -> out_channel -> t
   (** A sink emitting one JSON object per line: a ["round"] record per
       delivery round and, when [messages] is true, a ["msg"] record per
-      message.  Fault counters ([dropped]/[duplicated]/[retransmits]) are
-      included only when non-zero, so synchronous traces are unchanged.
-      The channel is not closed or flushed by the sink. *)
+      message.  With [faults] (pass it whenever a fault layer is attached,
+      e.g. under {!Async.run_reliable}) the fault counters
+      ([dropped]/[duplicated]/[retransmits]) appear in {e every} round
+      record, so the stream is schema-homogeneous for columnar parsers;
+      without it they appear only when non-zero, keeping synchronous engine
+      traces byte-stable.  The channel is flushed at end-of-run
+      ([on_finish]) but never closed.  For the structured, versioned trace
+      format see {!Trace.export_jsonl}. *)
 end
 
 type t

@@ -1,0 +1,137 @@
+type span_report = {
+  r_name : string;
+  r_count : int;
+  r_rounds : int;
+  r_max_rounds : int;
+  r_delivered : int;
+  r_words : int;
+  r_dropped : int;
+  r_duplicated : int;
+  r_retransmits : int;
+}
+
+type t = {
+  rounds : int;
+  messages : int;
+  delivered : int;
+  words : int;
+  peak_words : int;
+  budget : int option;
+  dropped : int;
+  duplicated : int;
+  retransmits : int;
+  edge_peaks : (int * int) list;
+  span_reports : span_report list;
+  notes : (string * int) list;
+}
+
+let report tr =
+  let order = ref [] in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let st = Trace.span_stats tr s in
+      let r =
+        match Hashtbl.find_opt by_name s.Trace.name with
+        | Some r -> r
+        | None ->
+          order := s.Trace.name :: !order;
+          {
+            r_name = s.Trace.name;
+            r_count = 0;
+            r_rounds = 0;
+            r_max_rounds = 0;
+            r_delivered = 0;
+            r_words = 0;
+            r_dropped = 0;
+            r_duplicated = 0;
+            r_retransmits = 0;
+          }
+      in
+      Hashtbl.replace by_name s.Trace.name
+        {
+          r with
+          r_count = r.r_count + 1;
+          r_rounds = r.r_rounds + st.Trace.s_rounds;
+          r_max_rounds = max r.r_max_rounds st.Trace.s_rounds;
+          r_delivered = r.r_delivered + st.Trace.s_delivered;
+          r_words = r.r_words + st.Trace.s_words;
+          r_dropped = r.r_dropped + st.Trace.s_dropped;
+          r_duplicated = r.r_duplicated + st.Trace.s_duplicated;
+          r_retransmits = r.r_retransmits + st.Trace.s_retransmits;
+        })
+    (Trace.spans tr);
+  let delivered = ref 0
+  and words = ref 0
+  and dropped = ref 0
+  and duplicated = ref 0
+  and retransmits = ref 0 in
+  List.iter
+    (fun (ri : Engine.Sink.round_info) ->
+      delivered := !delivered + ri.delivered;
+      words := !words + ri.delivered_words;
+      dropped := !dropped + ri.dropped;
+      duplicated := !duplicated + ri.duplicated;
+      retransmits := !retransmits + ri.retransmits)
+    (Trace.rounds tr);
+  {
+    rounds = Trace.clock tr;
+    messages = Trace.messages tr;
+    delivered = !delivered;
+    words = !words;
+    peak_words = Trace.peak_words tr;
+    budget = Trace.budget tr;
+    dropped = !dropped;
+    duplicated = !duplicated;
+    retransmits = !retransmits;
+    edge_peaks = Trace.edge_peak_hist tr;
+    span_reports = List.rev_map (Hashtbl.find by_name) !order;
+    notes = Trace.notes tr;
+  }
+
+let within_budget r =
+  match r.budget with None -> true | Some b -> r.peak_words <= b
+
+let find r name = List.find_opt (fun sr -> sr.r_name = name) r.span_reports
+
+let matching r ~prefix =
+  let plen = String.length prefix in
+  List.filter
+    (fun sr ->
+      String.length sr.r_name >= plen && String.sub sr.r_name 0 plen = prefix)
+    r.span_reports
+
+let span_index name =
+  match (String.rindex_opt name '[', String.rindex_opt name ']') with
+  | Some i, Some j when j = String.length name - 1 && i < j ->
+    int_of_string_opt (String.sub name (i + 1) (j - i - 1))
+  | _ -> None
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>rounds %d  messages %d  delivered %d  words %d@,"
+    r.rounds r.messages r.delivered r.words;
+  Format.fprintf ppf "peak words %d%a" r.peak_words
+    (fun ppf -> function
+      | None -> ()
+      | Some b ->
+        Format.fprintf ppf " / budget %d%s" b
+          (if r.peak_words <= b then "" else "  EXCEEDED"))
+    r.budget;
+  if r.dropped + r.duplicated + r.retransmits > 0 then
+    Format.fprintf ppf "@,faults: dropped %d  duplicated %d  retransmits %d"
+      r.dropped r.duplicated r.retransmits;
+  if r.span_reports <> [] then begin
+    Format.fprintf ppf "@,@[<v 2>spans:";
+    List.iter
+      (fun sr ->
+        Format.fprintf ppf "@,%-32s x%-3d rounds %5d (max %4d)  delivered %6d  words %6d"
+          sr.r_name sr.r_count sr.r_rounds sr.r_max_rounds sr.r_delivered sr.r_words)
+      r.span_reports;
+    Format.fprintf ppf "@]"
+  end;
+  if r.notes <> [] then begin
+    Format.fprintf ppf "@,@[<v 2>notes:";
+    List.iter (fun (k, v) -> Format.fprintf ppf "@,%s = %d" k v) r.notes;
+    Format.fprintf ppf "@]"
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,52 @@
+(** Aggregated metrics over a {!Trace}: the in-process view the tests use
+    to assert the paper's bounds against live executions (SimpleMST phase
+    lengths, DiamDOM's [5*Diam + k], the per-message word budget). *)
+
+type span_report = {
+  r_name : string;
+  r_count : int;        (** spans carrying this name *)
+  r_rounds : int;       (** total rounds across them *)
+  r_max_rounds : int;   (** longest single span *)
+  r_delivered : int;
+  r_words : int;
+  r_dropped : int;
+  r_duplicated : int;
+  r_retransmits : int;
+}
+
+type t = {
+  rounds : int;         (** final value of the trace's round clock *)
+  messages : int;       (** messages observed at send time *)
+  delivered : int;      (** messages delivered (sums engine round records) *)
+  words : int;          (** payload words delivered *)
+  peak_words : int;     (** widest single message *)
+  budget : int option;  (** declared word budget, if any *)
+  dropped : int;
+  duplicated : int;
+  retransmits : int;
+  edge_peaks : (int * int) list;
+      (** congestion histogram: [(peak width, edges at that peak)] *)
+  span_reports : span_report list;
+      (** one per distinct span name, in first-appearance order *)
+  notes : (string * int) list;
+}
+
+val report : Trace.t -> t
+
+val within_budget : t -> bool
+(** No observed message wider than the declared budget; vacuously true
+    when no budget was declared. *)
+
+val find : t -> string -> span_report option
+(** Exact-name lookup, e.g. [find r "diam_dom.census[3]"]. *)
+
+val matching : t -> prefix:string -> span_report list
+(** Reports whose name starts with [prefix] — [matching r
+    ~prefix:"simple_mst.phase"] collects every phase. *)
+
+val span_index : string -> int option
+(** The bracketed index of an indexed span name:
+    [span_index "simple_mst.phase[4]" = Some 4]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable summary table. *)

@@ -1,0 +1,497 @@
+type span = {
+  id : int;
+  name : string;
+  parent : int;
+  depth : int;
+  track : int;
+  start_round : int;
+  mutable stop_round : int;
+}
+
+type span_stats = {
+  s_rounds : int;
+  s_delivered : int;
+  s_words : int;
+  s_dropped : int;
+  s_duplicated : int;
+  s_retransmits : int;
+}
+
+(* Growable buffer of round records, kept in ascending clock order. *)
+type rounds_buf = { mutable rb : Engine.Sink.round_info array; mutable rlen : int }
+
+let dummy_round : Engine.Sink.round_info =
+  {
+    round = 0;
+    delivered = 0;
+    delivered_words = 0;
+    receivers = 0;
+    stepped = 0;
+    sent = 0;
+    dropped = 0;
+    duplicated = 0;
+    retransmits = 0;
+  }
+
+type t = {
+  mutable clock : int;
+  mutable next_id : int;
+  mutable stack : span list;      (* open spans, innermost first *)
+  mutable all : span list;        (* every span, reversed creation order *)
+  buf : rounds_buf;
+  mutable msgs : int;
+  mutable peak : int;
+  mutable hist : int array;       (* index = message width *)
+  edges : (int * int, int) Hashtbl.t;  (* directed edge -> peak width *)
+  mutable budget : int;           (* -1 = unset *)
+  mutable notes_rev : (string * int) list;
+}
+
+let create () =
+  {
+    clock = 0;
+    next_id = 0;
+    stack = [];
+    all = [];
+    buf = { rb = Array.make 64 dummy_round; rlen = 0 };
+    msgs = 0;
+    peak = 0;
+    hist = Array.make 8 0;
+    edges = Hashtbl.create 64;
+    budget = -1;
+    notes_rev = [];
+  }
+
+let clock t = t.clock
+
+let push_round t (ri : Engine.Sink.round_info) =
+  let b = t.buf in
+  if b.rlen = Array.length b.rb then begin
+    let a = Array.make (2 * b.rlen) dummy_round in
+    Array.blit b.rb 0 a 0 b.rlen;
+    b.rb <- a
+  end;
+  b.rb.(b.rlen) <- ri;
+  b.rlen <- b.rlen + 1
+
+let sink t =
+  {
+    Engine.Sink.on_message =
+      (fun ~round:_ ~src ~dst ~words ->
+        t.msgs <- t.msgs + 1;
+        if words > t.peak then t.peak <- words;
+        if words >= Array.length t.hist then begin
+          let h = Array.make (max (words + 1) (2 * Array.length t.hist)) 0 in
+          Array.blit t.hist 0 h 0 (Array.length t.hist);
+          t.hist <- h
+        end;
+        t.hist.(words) <- t.hist.(words) + 1;
+        let key = (src, dst) in
+        match Hashtbl.find_opt t.edges key with
+        | Some p when p >= words -> ()
+        | _ -> Hashtbl.replace t.edges key words);
+    on_round =
+      (fun ri ->
+        (* re-clock the run-local round to the trace's absolute clock *)
+        push_round t { ri with round = t.clock };
+        t.clock <- t.clock + 1);
+    on_finish = ignore;
+  }
+
+let wrap ?trace ?sink:user () =
+  match (trace, user) with
+  | None, None -> Engine.Sink.null
+  | None, Some s -> s
+  | Some t, None -> sink t
+  | Some t, Some s -> Engine.Sink.tee (sink t) s
+
+let open_span t ?(track = 0) name =
+  let s =
+    {
+      id = t.next_id;
+      name;
+      parent = (match t.stack with [] -> -1 | p :: _ -> p.id);
+      depth = List.length t.stack;
+      track;
+      start_round = t.clock;
+      stop_round = -1;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.all <- s :: t.all;
+  t.stack <- s :: t.stack;
+  s
+
+let close_span t s =
+  s.stop_round <- t.clock;
+  (match t.stack with
+  | top :: rest when top == s -> t.stack <- rest
+  | _ -> invalid_arg (Printf.sprintf "Trace: span %S closed out of order" s.name))
+
+let span t ?track name f =
+  let s = open_span t ?track name in
+  Fun.protect ~finally:(fun () -> close_span t s) f
+
+let span_opt trace ?track name f =
+  match trace with None -> f () | Some t -> span t ?track name f
+
+let charge t rounds =
+  if rounds < 0 then invalid_arg "Trace.charge: negative rounds";
+  t.clock <- t.clock + rounds
+
+let charge_opt trace rounds =
+  match trace with None -> () | Some t -> charge t rounds
+
+let add_span t ?(track = 0) ~name ~start_round ~stop_round () =
+  if stop_round < start_round then
+    invalid_arg (Printf.sprintf "Trace.add_span: %S stops before it starts" name);
+  let s =
+    {
+      id = t.next_id;
+      name;
+      parent = (match t.stack with [] -> -1 | p :: _ -> p.id);
+      depth = List.length t.stack;
+      track;
+      start_round;
+      stop_round;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.all <- s :: t.all
+
+let note t name value =
+  t.notes_rev <- (name, value) :: List.remove_assoc name t.notes_rev
+
+let set_budget t w = if w > t.budget then t.budget <- w
+let budget t = if t.budget < 0 then None else Some t.budget
+
+(* ------------------------------------------------------------------ *)
+(* inspection *)
+
+let spans t =
+  List.sort
+    (fun a b ->
+      match compare a.start_round b.start_round with 0 -> compare a.id b.id | c -> c)
+    t.all
+
+let rounds t = List.init t.buf.rlen (fun i -> t.buf.rb.(i))
+
+(* First buffered record with clock >= c (records are clock-ascending). *)
+let lower_bound t c =
+  let b = t.buf in
+  let lo = ref 0 and hi = ref b.rlen in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if b.rb.(mid).round < c then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let span_stats t s =
+  let stop = if s.stop_round < 0 then t.clock else s.stop_round in
+  let i0 = lower_bound t s.start_round and i1 = lower_bound t stop in
+  let delivered = ref 0
+  and words = ref 0
+  and dropped = ref 0
+  and duplicated = ref 0
+  and retransmits = ref 0 in
+  for i = i0 to i1 - 1 do
+    let r = t.buf.rb.(i) in
+    delivered := !delivered + r.delivered;
+    words := !words + r.delivered_words;
+    dropped := !dropped + r.dropped;
+    duplicated := !duplicated + r.duplicated;
+    retransmits := !retransmits + r.retransmits
+  done;
+  {
+    s_rounds = stop - s.start_round;
+    s_delivered = !delivered;
+    s_words = !words;
+    s_dropped = !dropped;
+    s_duplicated = !duplicated;
+    s_retransmits = !retransmits;
+  }
+
+let messages t = t.msgs
+let peak_words t = t.peak
+
+let word_hist t =
+  let acc = ref [] in
+  for w = Array.length t.hist - 1 downto 0 do
+    if t.hist.(w) > 0 then acc := (w, t.hist.(w)) :: !acc
+  done;
+  !acc
+
+let edge_congestion t =
+  Hashtbl.fold (fun e p acc -> (e, p) :: acc) t.edges []
+  |> List.sort (fun (e1, p1) (e2, p2) ->
+         match compare p2 p1 with 0 -> compare e1 e2 | c -> c)
+
+let edge_peak_hist t =
+  let h = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ p -> Hashtbl.replace h p (1 + Option.value ~default:0 (Hashtbl.find_opt h p)))
+    t.edges;
+  Hashtbl.fold (fun p c acc -> (p, c) :: acc) h [] |> List.sort compare
+
+let notes t = List.rev t.notes_rev
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let schema_version = "kdom.trace.v1"
+
+let escape name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    name;
+  Buffer.contents b
+
+type totals = {
+  t_delivered : int;
+  t_words : int;
+  t_dropped : int;
+  t_duplicated : int;
+  t_retransmits : int;
+}
+
+let totals t =
+  let delivered = ref 0
+  and words = ref 0
+  and dropped = ref 0
+  and duplicated = ref 0
+  and retransmits = ref 0 in
+  for i = 0 to t.buf.rlen - 1 do
+    let r = t.buf.rb.(i) in
+    delivered := !delivered + r.delivered;
+    words := !words + r.delivered_words;
+    dropped := !dropped + r.dropped;
+    duplicated := !duplicated + r.duplicated;
+    retransmits := !retransmits + r.retransmits
+  done;
+  {
+    t_delivered = !delivered;
+    t_words = !words;
+    t_dropped = !dropped;
+    t_duplicated = !duplicated;
+    t_retransmits = !retransmits;
+  }
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  let spans = spans t in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":%S,\"type\":\"meta\",\"clock\":%d,\"spans\":%d,\"rounds\":%d,\
+        \"budget\":%d}\n"
+       schema_version t.clock (List.length spans) t.buf.rlen t.budget);
+  List.iter
+    (fun s ->
+      let st = span_stats t s in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"depth\":%d,\
+            \"track\":%d,\"start\":%d,\"end\":%d,\"rounds\":%d,\"delivered\":%d,\
+            \"words\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d}\n"
+           s.id s.parent (escape s.name) s.depth s.track s.start_round
+           (if s.stop_round < 0 then t.clock else s.stop_round)
+           st.s_rounds st.s_delivered st.s_words st.s_dropped st.s_duplicated
+           st.s_retransmits))
+    spans;
+  for i = 0 to t.buf.rlen - 1 do
+    let r = t.buf.rb.(i) in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
+          \"receivers\":%d,\"stepped\":%d,\"sent\":%d,\"dropped\":%d,\
+          \"duplicated\":%d,\"retransmits\":%d}\n"
+         r.round r.delivered r.delivered_words r.receivers r.stepped r.sent
+         r.dropped r.duplicated r.retransmits)
+  done;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"type\":\"note\",\"name\":\"%s\",\"value\":%d}\n"
+           (escape name) v))
+    (notes t);
+  let tt = totals t in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"type\":\"summary\",\"clock\":%d,\"rounds\":%d,\"spans\":%d,\
+        \"messages\":%d,\"delivered\":%d,\"words\":%d,\"peak_words\":%d,\
+        \"budget\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d}\n"
+       t.clock t.buf.rlen (List.length spans) t.msgs tt.t_delivered tt.t_words
+       t.peak t.budget tt.t_dropped tt.t_duplicated tt.t_retransmits);
+  Buffer.contents b
+
+let export_jsonl t oc =
+  output_string oc (to_jsonl t);
+  flush oc
+
+let to_chrome t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+     \"args\":{\"name\":\"kdom congest (1 us = 1 round)\"}}";
+  List.iter
+    (fun s ->
+      let st = span_stats t s in
+      let stop = if s.stop_round < 0 then t.clock else s.stop_round in
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\
+            \"pid\":0,\"tid\":%d,\"args\":{\"rounds\":%d,\"delivered\":%d,\
+            \"words\":%d}}"
+           (escape s.name) s.start_round
+           (max 1 (stop - s.start_round))
+           s.track st.s_rounds st.s_delivered st.s_words))
+    (spans t);
+  for i = 0 to t.buf.rlen - 1 do
+    let r = t.buf.rb.(i) in
+    Buffer.add_string b
+      (Printf.sprintf
+         ",\n{\"name\":\"delivered\",\"ph\":\"C\",\"ts\":%d,\"pid\":0,\"tid\":0,\
+          \"args\":{\"messages\":%d}}"
+         r.round r.delivered)
+  done;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let export_chrome t oc =
+  output_string oc (to_chrome t);
+  flush oc
+
+(* ------------------------------------------------------------------ *)
+(* validation: structural, dependency-free.  A field is checked by locating
+   its key and verifying the value's first character has the right shape;
+   combined with the golden-file tests this pins the schema without a JSON
+   parser. *)
+
+let has_int_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Error (Printf.sprintf "missing field %S" key)
+  | Some j ->
+    if j < llen && (line.[j] = '-' || (line.[j] >= '0' && line.[j] <= '9')) then Ok ()
+    else Error (Printf.sprintf "field %S is not an integer" key)
+
+let has_string_field line key =
+  let pat = Printf.sprintf "\"%s\":\"" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then false else String.sub line i plen = pat || find (i + 1)
+  in
+  if find 0 then Ok () else Error (Printf.sprintf "missing string field %S" key)
+
+let record_type line =
+  match has_string_field line "type" with
+  | Error _ -> None
+  | Ok () ->
+    let pat = "\"type\":\"" in
+    let plen = String.length pat and llen = String.length line in
+    let rec find i =
+      if i + plen > llen then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    Option.bind (find 0) (fun j ->
+        match String.index_from_opt line j '"' with
+        | Some e -> Some (String.sub line j (e - j))
+        | None -> None)
+
+let int_fields = function
+  | "meta" -> Some [ "clock"; "spans"; "rounds"; "budget" ]
+  | "span" ->
+    Some
+      [
+        "id"; "parent"; "depth"; "track"; "start"; "end"; "rounds"; "delivered";
+        "words"; "dropped"; "duplicated"; "retransmits";
+      ]
+  | "round" ->
+    Some
+      [
+        "round"; "delivered"; "words"; "receivers"; "stepped"; "sent"; "dropped";
+        "duplicated"; "retransmits";
+      ]
+  | "note" -> Some [ "value" ]
+  | "summary" ->
+    Some
+      [
+        "clock"; "rounds"; "spans"; "messages"; "delivered"; "words"; "peak_words";
+        "budget"; "dropped"; "duplicated"; "retransmits";
+      ]
+  | _ -> None
+
+let string_fields = function
+  | "meta" -> [ "schema" ]
+  | "span" | "note" -> [ "name" ]
+  | _ -> []
+
+let validate_line ?(first = false) line =
+  let ( let* ) = Result.bind in
+  let llen = String.length line in
+  let* () =
+    if llen >= 2 && line.[0] = '{' && line.[llen - 1] = '}' then Ok ()
+    else Error "not a JSON object line"
+  in
+  let* ty =
+    match record_type line with
+    | Some ty -> Ok ty
+    | None -> Error "missing \"type\" field"
+  in
+  let* ints =
+    match int_fields ty with
+    | Some fs -> Ok fs
+    | None -> Error (Printf.sprintf "unknown record type %S" ty)
+  in
+  let* () =
+    if first then
+      if ty <> "meta" then Error "first line must be a \"meta\" record"
+      else
+        let pat = Printf.sprintf "\"schema\":%S" schema_version in
+        let plen = String.length pat in
+        let rec find i =
+          if i + plen > llen then false
+          else String.sub line i plen = pat || find (i + 1)
+        in
+        if find 0 then Ok ()
+        else Error (Printf.sprintf "meta record does not declare schema %S" schema_version)
+    else Ok ()
+  in
+  let* () = List.fold_left (fun acc k -> Result.bind acc (fun () -> has_int_field line k)) (Ok ()) ints in
+  List.fold_left
+    (fun acc k -> Result.bind acc (fun () -> has_string_field line k))
+    (Ok ()) (string_fields ty)
+
+let validate_lines lines =
+  let rec go i last_ty = function
+    | [] ->
+      if i = 0 then Error "empty trace"
+      else if last_ty <> Some "summary" then Error "last line is not a \"summary\" record"
+      else Ok i
+    | line :: rest -> (
+      match validate_line ~first:(i = 0) line with
+      | Error e -> Error (Printf.sprintf "line %d: %s" (i + 1) e)
+      | Ok () -> go (i + 1) (record_type line) rest)
+  in
+  go 0 None lines
+
+let validate_channel ic =
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  validate_lines (read [])

@@ -1,0 +1,176 @@
+(** Span-based tracing for the CONGEST engine.
+
+    A trace is a single monotonic {e round clock} shared by every execution
+    a composite algorithm performs — engine runs advance it by one per
+    delivery round (pulse, for the asynchronous executors), phase-level
+    stages advance it with explicit {!charge}s — plus a tree of named
+    {e spans} laid out on that clock.  Composite algorithms open one span
+    per logical phase ([simple_mst.phase[i]], [diam_dom.census[l]],
+    [dom_partition.iter[i]], [fastdom_g.fragment[f]]), so the paper's
+    phase-level round bounds become observable, machine-checkable
+    quantities: {!Metrics} aggregates per-span round/message totals and the
+    tests assert e.g. that span [simple_mst.phase[i]] spends at most
+    [5*2^i + 2] rounds (Lemma 4.3).
+
+    Span naming convention: [<algorithm>[.<stage>]] in snake case, with a
+    bracketed integer index for repeated phases — [bfs_tree],
+    [diam_dom.census[3]], [fastdom_g.fragment[0]].  Indexes use the
+    paper's numbering (phases and iterations count from 1, census levels
+    and fragments from 0).
+
+    The trace observes message traffic through an ordinary {!Engine.Sink}
+    ({!sink} / {!wrap}), so it composes with user sinks via
+    {!Engine.Sink.tee} and costs nothing when absent: every integration
+    point takes a [?trace] option and the [None] path does not allocate.
+
+    Exporters: {!export_chrome} writes Chrome trace-event JSON
+    (load it at ui.perfetto.dev or chrome://tracing); {!export_jsonl}
+    writes the versioned JSONL schema ({!schema_version}), one
+    self-describing record per line, validated by {!validate_channel}. *)
+
+type t
+(** A mutable trace under construction. *)
+
+type span = {
+  id : int;             (** creation order, unique within the trace *)
+  name : string;
+  parent : int;         (** id of the enclosing span, or [-1] *)
+  depth : int;          (** nesting depth at open time *)
+  track : int;          (** display track; parallel spans get distinct tracks *)
+  start_round : int;
+  mutable stop_round : int;  (** exclusive; [-1] while still open *)
+}
+
+type span_stats = {
+  s_rounds : int;       (** [stop_round - start_round] *)
+  s_delivered : int;    (** messages delivered during the span *)
+  s_words : int;        (** payload words delivered during the span *)
+  s_dropped : int;
+  s_duplicated : int;
+  s_retransmits : int;
+}
+
+val create : unit -> t
+
+val clock : t -> int
+(** The current value of the round clock. *)
+
+val sink : t -> Engine.Sink.t
+(** A sink feeding this trace: every [on_round] advances the clock by one
+    and buffers the (re-clocked) round record; every [on_message] updates
+    the message-width and per-edge congestion accounting. *)
+
+val wrap : ?trace:t -> ?sink:Engine.Sink.t -> unit -> Engine.Sink.t
+(** The sink a traced run should pass to the engine: the trace's sink
+    tee'd with the user's, either alone when the other is absent, and
+    {!Engine.Sink.null} when both are — so an untraced, unsinked run stays
+    on the engine's zero-dispatch path. *)
+
+val span : t -> ?track:int -> string -> (unit -> 'a) -> 'a
+(** [span t name f] opens a span at the current clock, runs [f], and
+    closes the span at the clock [f] reached (also on exception).  Spans
+    nest; the innermost open span becomes the parent of spans opened
+    inside [f]. *)
+
+val span_opt : t option -> ?track:int -> string -> (unit -> 'a) -> 'a
+(** {!span} through an option, running [f] bare when [None] — the shape
+    every [?trace]-taking algorithm uses. *)
+
+val charge : t -> int -> unit
+(** Advance the clock by a phase-level round charge (a {!Kdom} ledger
+    entry's worth of rounds that no engine run backs).  Raises
+    [Invalid_argument] on a negative charge. *)
+
+val charge_opt : t option -> int -> unit
+
+val add_span :
+  t -> ?track:int -> name:string -> start_round:int -> stop_round:int -> unit -> unit
+(** Record a synthetic span with explicit clock bounds — used for phases
+    that share one engine execution (the pipelined censuses of [DiamDOM],
+    the fixed phase schedule of [Simple_mst_congest]) and for stages that
+    run in parallel (per-fragment [FastDOM_T]), which overlap on the clock
+    and are told apart by [track].  The span becomes a child of the
+    innermost open span.  Raises [Invalid_argument] if
+    [stop_round < start_round]. *)
+
+val note : t -> string -> int -> unit
+(** Attach a named scalar to the trace summary (fault-layer totals, frame
+    counts...).  Re-noting a name overwrites it. *)
+
+val set_budget : t -> int -> unit
+(** Declare the per-message word budget in force; kept as the maximum over
+    all declarations, compared against the observed peak by {!Metrics}. *)
+
+val budget : t -> int option
+
+(** {2 Inspection} *)
+
+val spans : t -> span list
+(** All spans, sorted by [(start_round, id)]. *)
+
+val span_stats : t -> span -> span_stats
+(** Round/message totals inside a span's clock bounds (inclusive of nested
+    spans — a parent covers its children's rounds). *)
+
+val rounds : t -> Engine.Sink.round_info list
+(** Buffered round records, re-clocked to the trace's absolute round
+    clock, in clock order. *)
+
+val messages : t -> int
+(** Messages observed at send time ([on_message] count). *)
+
+val peak_words : t -> int
+(** Widest single message observed. *)
+
+val word_hist : t -> (int * int) list
+(** [(width, messages of that width)], ascending, zero-count widths
+    omitted. *)
+
+val edge_congestion : t -> ((int * int) * int) list
+(** Per directed edge [(src, dst)], the peak single-message width carried,
+    sorted heaviest first. *)
+
+val edge_peak_hist : t -> (int * int) list
+(** [(peak width, number of directed edges whose peak is that width)],
+    ascending — the congestion histogram to hold against the word
+    budget. *)
+
+val notes : t -> (string * int) list
+(** Notes in insertion order. *)
+
+(** {2 Export} *)
+
+val schema_version : string
+(** The JSONL schema identifier, ["kdom.trace.v1"].  Any change to the
+    record shapes below bumps this string and the golden files. *)
+
+val to_jsonl : t -> string
+(** The versioned JSONL trace: a [meta] line, one [span] line per span
+    (start-round order), one [round] line per buffered round record with
+    {e every} field present (fault counters included, always — the schema
+    is homogeneous by construction), [note] lines, and a final [summary]
+    line.  All values are integers, so output is bit-deterministic. *)
+
+val export_jsonl : t -> out_channel -> unit
+
+val to_chrome : t -> string
+(** Chrome trace-event JSON (one [X] complete event per span, [ts]/[dur]
+    in rounds as microseconds, plus a [delivered] counter track) —
+    loadable in Perfetto. *)
+
+val export_chrome : t -> out_channel -> unit
+
+(** {2 Validation} *)
+
+val validate_line : ?first:bool -> string -> (unit, string) result
+(** Structural check of one JSONL line against the schema: known [type],
+    every required field present with a value of the right shape.  With
+    [first] the line must be the [meta] header declaring
+    {!schema_version}. *)
+
+val validate_lines : string list -> (int, string) result
+(** Validate a whole trace: first line [meta], last line [summary], every
+    line well-formed.  [Ok n] is the number of lines checked; [Error]
+    carries ["line N: reason"]. *)
+
+val validate_channel : in_channel -> (int, string) result

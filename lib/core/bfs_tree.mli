@@ -39,9 +39,11 @@ val max_words : int
 (** Declared word budget: the widest message carries a tag plus a depth —
     2 words. *)
 
-val run : ?sink:Engine.Sink.t -> Graph.t -> root:int -> info * Runtime.stats
+val run :
+  ?trace:Trace.t -> ?sink:Engine.Sink.t -> Graph.t -> root:int -> info * Runtime.stats
 (** [algorithm] executed on the mailbox engine with the declared
-    {!max_words} budget.  Requires a connected graph. *)
+    {!max_words} budget.  Requires a connected graph.  With [?trace] the
+    execution is recorded under a [bfs_tree] span. *)
 
 val of_parents : Graph.t -> root:int -> parent:int array -> depth:int array -> info
 (** Package an externally constructed BFS tree (e.g. the one a

@@ -107,10 +107,13 @@ let census_run ?sink g (info : Bfs_tree.info) ~k =
 let dominating_of_states states = Array.map (fun st -> st.member) states
 let decided_level states ~root = states.(root).decided
 
-let run ?sink g ~root ~k =
+let run ?trace ?sink g ~root ~k =
   if k < 1 then invalid_arg "Diam_dom.run: k must be >= 1";
   if not (Tree.is_tree g) then invalid_arg "Diam_dom.run: graph must be a tree";
-  let info, init_stats = Bfs_tree.run ?sink g ~root in
+  Trace.span_opt trace "diam_dom" @@ fun () ->
+  let info, init_stats =
+    Trace.span_opt trace "diam_dom.init" (fun () -> Bfs_tree.run ?trace ?sink g ~root)
+  in
   if info.height <= k then begin
     (* Every node knows M and k after Initialize, so the outcome D = {root}
        is decided locally with no further communication. *)
@@ -126,7 +129,29 @@ let run ?sink g ~root ~k =
     }
   end
   else begin
-    let states, census_stats = census_run ?sink g info ~k in
+    Option.iter (fun t -> Trace.set_budget t census_max_words) trace;
+    let states, census_stats =
+      Trace.span_opt trace "diam_dom.census" (fun () ->
+          let csink = Trace.wrap ?trace ?sink () in
+          let c0 = match trace with Some t -> Trace.clock t | None -> 0 in
+          let res = census_run ~sink:csink g info ~k in
+          (* The censuses are pipelined over one execution: census(l) is
+             live from round [l] (depth-M leaves upcast) to round [l + M]
+             (the root owns its total).  Record each as a synthetic span on
+             its own track, clamped to the rounds actually executed. *)
+          Option.iter
+            (fun t ->
+              let stop_max = Trace.clock t in
+              for l = 0 to k do
+                Trace.add_span t ~track:(1 + l)
+                  ~name:(Printf.sprintf "diam_dom.census[%d]" l)
+                  ~start_round:(min (c0 + l) stop_max)
+                  ~stop_round:(min (c0 + l + info.height + 1) stop_max)
+                  ()
+              done)
+            trace;
+          res)
+    in
     let dominating = dominating_of_states states in
     {
       dominating;

@@ -45,8 +45,11 @@ val dominating_of_states : census_state array -> bool array
 val decided_level : census_state array -> root:int -> int
 (** The level class the root selected ([-1] while undecided). *)
 
-val run : ?sink:Engine.Sink.t -> Graph.t -> root:int -> k:int -> result
-(** Requires a tree ([m = n-1], connected) and [k >= 1]. *)
+val run : ?trace:Trace.t -> ?sink:Engine.Sink.t -> Graph.t -> root:int -> k:int -> result
+(** Requires a tree ([m = n-1], connected) and [k >= 1].  With [?trace]
+    the run is recorded as [diam_dom] > [diam_dom.init] + [diam_dom.census],
+    the latter carrying one synthetic [diam_dom.census[l]] span per
+    pipelined census. *)
 
 val round_bound : diam:int -> k:int -> int
 (** [5 * diam + k + 10] — the Lemma 2.3 shape with a small additive

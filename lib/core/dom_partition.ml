@@ -7,6 +7,26 @@ type result = {
   iterations : int;
 }
 
+exception
+  Partition_invariant of {
+    stage : string;
+    k : int;
+    size : int;
+    radius : int;
+    members : int list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Partition_invariant { stage; k; size; radius; members } ->
+      Some
+        (Printf.sprintf
+           "Dom_partition.Partition_invariant: %s left a cluster of size %d < k+1 \
+            (k = %d, radius %d, members [%s])"
+           stage size k radius
+           (String.concat "; " (List.map string_of_int members)))
+    | _ -> None)
+
 let iterations_for k = max 1 (Log_star.ceil_log2 (k + 1))
 
 let validate g ~k =
@@ -24,17 +44,20 @@ let finish ledger iterations clusters =
 (* ------------------------------------------------------------------ *)
 (* DOM_Partition_1 (Fig. 5) *)
 
-let run_1 ?small g ~k =
+let run_1 ?small ?trace g ~k =
   validate g ~k;
+  Kdom_congest.Trace.span_opt trace "dom_partition" @@ fun () ->
   let ledger = Ledger.create () in
   let iters = iterations_for k in
   let clusters = ref (Array.of_list (Forest.singletons g)) in
   for i = 1 to iters do
+    Kdom_congest.Trace.span_opt trace (Printf.sprintf "dom_partition.iter[%d]" i)
+    @@ fun () ->
     let rmax = max_radius_of !clusters in
     let merged, bd_rounds = Forest.balanced_contraction ?small g !clusters in
-    Ledger.charge ledger
-      (Printf.sprintf "iteration %d" i)
-      (bd_rounds * Forest.simulation_factor ~radius_bound:rmax);
+    let cost = bd_rounds * Forest.simulation_factor ~radius_bound:rmax in
+    Ledger.charge ledger (Printf.sprintf "iteration %d" i) cost;
+    Kdom_congest.Trace.charge_opt trace cost;
     clusters := merged
   done;
   finish ledger iters (Array.to_list !clusters)
@@ -42,7 +65,7 @@ let run_1 ?small g ~k =
 (* ------------------------------------------------------------------ *)
 (* Shared S-set resolution (step 4 of Fig. 6). *)
 
-let resolve_s g ~k ~out ~s_set ledger =
+let resolve_s ?trace g ~k ~out ~s_set ledger =
   let out = Array.of_list (List.rev out) in
   let owner = Array.make (Graph.n g) (-1) in
   Array.iteri
@@ -70,38 +93,51 @@ let resolve_s g ~k ~out ~s_set ledger =
       end)
     (List.rev s_set);
   (* The star merges happen in parallel in O(k) time. *)
-  if !merges > 0 || !extra <> [] then Ledger.charge ledger "S-set merge" ((2 * k) + 2);
+  if !merges > 0 || !extra <> [] then begin
+    Ledger.charge ledger "S-set merge" ((2 * k) + 2);
+    Kdom_congest.Trace.span_opt trace "dom_partition.s_merge" (fun () ->
+        Kdom_congest.Trace.charge_opt trace ((2 * k) + 2))
+  end;
   Array.to_list out @ List.rev !extra
 
-let flush_in_play ~k ~out in_play =
+let flush_in_play ~stage ~k ~out in_play =
   List.iter
     (fun (c : Forest.cluster) ->
       if Forest.size c < k + 1 then
-        invalid_arg
-          (Printf.sprintf "Dom_partition: leftover in-play cluster of size %d < k+1"
-             (Forest.size c)))
+        raise
+          (Partition_invariant
+             {
+               stage;
+               k;
+               size = Forest.size c;
+               radius = c.radius;
+               members = List.sort compare c.members;
+             }))
     in_play;
   in_play @ out
 
 (* ------------------------------------------------------------------ *)
 (* DOM_Partition_2 (Fig. 6) *)
 
-let run_2 ?small g ~k =
+let run_2 ?small ?trace g ~k =
   validate g ~k;
+  Kdom_congest.Trace.span_opt trace "dom_partition" @@ fun () ->
   let ledger = Ledger.create () in
   let iters = iterations_for k in
   let in_play = ref (Forest.singletons g) in
   let out = ref [] in
   let s_set = ref [] in
   for i = 1 to iters do
+    Kdom_congest.Trace.span_opt trace (Printf.sprintf "dom_partition.iter[%d]" i)
+    @@ fun () ->
     let arr = Array.of_list !in_play in
     if Array.length arr > 0 then begin
       let rmax = max_radius_of arr in
       (* (3a) contract each tree of the forest *)
       let merged, bd_rounds = Forest.balanced_contraction ?small g arr in
-      Ledger.charge ledger
-        (Printf.sprintf "iteration %d" i)
-        ((bd_rounds * Forest.simulation_factor ~radius_bound:rmax) + (2 * k) + 2);
+      let cost = (bd_rounds * Forest.simulation_factor ~radius_bound:rmax) + (2 * k) + 2 in
+      Ledger.charge ledger (Printf.sprintf "iteration %d" i) cost;
+      Kdom_congest.Trace.charge_opt trace cost;
       (* (3b) retire clusters that reached radius k+1 *)
       let stay = ref [] in
       Array.iter
@@ -121,14 +157,15 @@ let run_2 ?small g ~k =
       in_play := List.rev !keep
     end
   done;
-  let out = flush_in_play ~k ~out:!out !in_play in
-  finish ledger iters (resolve_s g ~k ~out ~s_set:!s_set ledger)
+  let out = flush_in_play ~stage:"DOM_Partition_2" ~k ~out:!out !in_play in
+  finish ledger iters (resolve_s ?trace g ~k ~out ~s_set:!s_set ledger)
 
 (* ------------------------------------------------------------------ *)
 (* DOM_Partition (Fig. 7 additions) *)
 
-let run ?small g ~k =
+let run ?small ?trace g ~k =
   validate g ~k;
+  Kdom_congest.Trace.span_opt trace "dom_partition" @@ fun () ->
   let ledger = Ledger.create () in
   let iters = iterations_for k in
   let in_play = ref (Forest.singletons g) in
@@ -136,6 +173,8 @@ let run ?small g ~k =
   let out = ref [] in
   let s_set = ref [] in
   for i = 1 to iters do
+    Kdom_congest.Trace.span_opt trace (Printf.sprintf "dom_partition.iter[%d]" i)
+    @@ fun () ->
     let cap = 2 * (1 lsl i) in
     (* (3-I) waiting clusters return to the forest *)
     let candidates = !in_play @ !waiting in
@@ -197,9 +236,9 @@ let run ?small g ~k =
        simulation runs at the speed of the actual largest participant *)
     let rmax = min (max_radius_of !parts) (min cap k) in
     let merged, bd_rounds = Forest.balanced_contraction ?small g !parts in
-    Ledger.charge ledger
-      (Printf.sprintf "iteration %d" i)
-      ((bd_rounds * Forest.simulation_factor ~radius_bound:rmax) + cap + 2);
+    let cost = (bd_rounds * Forest.simulation_factor ~radius_bound:rmax) + cap + 2 in
+    Ledger.charge ledger (Printf.sprintf "iteration %d" i) cost;
+    Kdom_congest.Trace.charge_opt trace cost;
     (* (3b) retire clusters that reached radius k+1 *)
     let stay = ref [] in
     Array.iter
@@ -210,8 +249,8 @@ let run ?small g ~k =
   done;
   if !waiting <> [] then
     invalid_arg "Dom_partition.run: waiting set non-empty after the last iteration";
-  let out = flush_in_play ~k ~out:!out !in_play in
-  finish ledger iters (resolve_s g ~k ~out ~s_set:!s_set ledger)
+  let out = flush_in_play ~stage:"DOM_Partition" ~k ~out:!out !in_play in
+  finish ledger iters (resolve_s ?trace g ~k ~out ~s_set:!s_set ledger)
 
 (* ------------------------------------------------------------------ *)
 

@@ -45,10 +45,30 @@ type result = {
   iterations : int;
 }
 
-val run_1 : ?small:(Tree.t -> Small_dom_set.t) -> Graph.t -> k:int -> result
-val run_2 : ?small:(Tree.t -> Small_dom_set.t) -> Graph.t -> k:int -> result
-val run : ?small:(Tree.t -> Small_dom_set.t) -> Graph.t -> k:int -> result
-(** All three require a tree with [n >= max 2 (k+1)] nodes and [k >= 1]. *)
+exception
+  Partition_invariant of {
+    stage : string;   (** the variant whose final flush caught it *)
+    k : int;
+    size : int;       (** the offending cluster's size, [< k+1] *)
+    radius : int;
+    members : int list;  (** the cluster's nodes, ascending *)
+  }
+(** Raised when a cluster still in play after the last iteration is
+    smaller than [k+1] — a violation of the doubling invariant
+    (Lemma 3.4: every surviving cluster at least doubles per iteration).
+    Carries the offending cluster so property tests can shrink to a
+    minimal witness.  A printer is registered with {!Printexc}. *)
+
+val run_1 :
+  ?small:(Tree.t -> Small_dom_set.t) -> ?trace:Kdom_congest.Trace.t -> Graph.t -> k:int -> result
+val run_2 :
+  ?small:(Tree.t -> Small_dom_set.t) -> ?trace:Kdom_congest.Trace.t -> Graph.t -> k:int -> result
+val run :
+  ?small:(Tree.t -> Small_dom_set.t) -> ?trace:Kdom_congest.Trace.t -> Graph.t -> k:int -> result
+(** All three require a tree with [n >= max 2 (k+1)] nodes and [k >= 1].
+    With [?trace] every iteration is recorded as a [dom_partition.iter[i]]
+    span charging what the ledger charges (plus a [dom_partition.s_merge]
+    span when the S-set resolution pays its [2k + 2] rounds). *)
 
 val partition : Graph.t -> result -> Cluster.partition
 (** Package the clusters as a checked {!Cluster.partition}. *)

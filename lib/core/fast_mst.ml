@@ -16,17 +16,17 @@ let isqrt_ceil n =
   let rec go k = if k * k >= n then k else go (k + 1) in
   go 1
 
-let run_with ?small g ~(bfs : Bfs_tree.info) ~tree_stage_label ~tree_stage_stats =
+let run_with ?small ?trace g ~(bfs : Bfs_tree.info) ~tree_stage_label ~tree_stage_stats =
   let n = Graph.n g in
   if n < 1 then invalid_arg "Fast_mst.run: empty graph";
   let k = isqrt_ceil n in
-  let dom = Fastdom_graph.run ?small g ~k in
+  let dom = Fastdom_graph.run ?small ?trace g ~k in
   let ledger = Ledger.create () in
   Ledger.charge ledger "FastDOM_G (k = ceil sqrt n)" dom.rounds;
   let fragment_of = Simple_mst.fragment_of_array g dom.forest in
   let (bfs_stats : Runtime.stats) = tree_stage_stats in
   Ledger.charge ledger tree_stage_label bfs_stats.rounds;
-  let pipe = Pipeline.run g ~bfs ~fragment_of in
+  let pipe = Pipeline.run ?trace g ~bfs ~fragment_of in
   Ledger.charge ledger "Pipeline upcast" pipe.upcast_stats.rounds;
   Ledger.charge ledger "Result broadcast" pipe.broadcast_rounds;
   let mst =
@@ -44,17 +44,19 @@ let run_with ?small g ~(bfs : Bfs_tree.info) ~tree_stage_label ~tree_stage_stats
     rounds = Ledger.total ledger;
   }
 
-let run ?(root = 0) ?small g =
-  let bfs, bfs_stats = Bfs_tree.run g ~root in
-  run_with ?small g ~bfs ~tree_stage_label:"BFS tree" ~tree_stage_stats:bfs_stats
+let run ?(root = 0) ?small ?trace g =
+  Trace.span_opt trace "fast_mst" @@ fun () ->
+  let bfs, bfs_stats = Bfs_tree.run ?trace g ~root in
+  run_with ?small ?trace g ~bfs ~tree_stage_label:"BFS tree" ~tree_stage_stats:bfs_stats
 
-let run_elected ?small g =
-  let elected = Leader.elect g in
+let run_elected ?small ?trace g =
+  Trace.span_opt trace "fast_mst" @@ fun () ->
+  let elected = Leader.elect ?trace g in
   let bfs =
     Bfs_tree.of_parents g ~root:elected.leader ~parent:elected.parent
       ~depth:elected.depth
   in
-  run_with ?small g ~bfs ~tree_stage_label:"Leader election + BFS tree"
+  run_with ?small ?trace g ~bfs ~tree_stage_label:"Leader election + BFS tree"
     ~tree_stage_stats:elected.stats
 
 let round_bound ~n ~diam =

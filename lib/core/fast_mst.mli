@@ -27,12 +27,20 @@ type result = {
   rounds : int;
 }
 
-val run : ?root:int -> ?small:(Tree.t -> Small_dom_set.t) -> Graph.t -> result
+val run :
+  ?root:int ->
+  ?small:(Tree.t -> Small_dom_set.t) ->
+  ?trace:Kdom_congest.Trace.t ->
+  Graph.t ->
+  result
 (** Requires a connected graph with distinct weights and [n >= 1].
     [root] (default 0) plays the paper's designated-leader role; a leader
-    election would add [O(Diam)] rounds. *)
+    election would add [O(Diam)] rounds.  With [?trace] the whole
+    composition is recorded under a [fast_mst] span (BFS, forest,
+    per-fragment FastDOM_T and pipeline sub-spans included). *)
 
-val run_elected : ?small:(Tree.t -> Small_dom_set.t) -> Graph.t -> result
+val run_elected :
+  ?small:(Tree.t -> Small_dom_set.t) -> ?trace:Kdom_congest.Trace.t -> Graph.t -> result
 (** Fully self-contained variant: run {!Leader.elect} first ([O(Diam)]
     extra rounds, charged in the ledger), and reuse the election's BFS
     tree for the pipeline instead of rebuilding one. *)

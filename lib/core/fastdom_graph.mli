@@ -24,10 +24,15 @@ val run :
   ?small:(Tree.t -> Small_dom_set.t) ->
   ?variant:Fastdom_tree.variant ->
   ?stage:Fastdom_tree.stage ->
+  ?trace:Kdom_congest.Trace.t ->
   Graph.t ->
   k:int ->
   result
-(** Requires a connected graph with distinct weights and [k >= 1]. *)
+(** Requires a connected graph with distinct weights and [k >= 1].  With
+    [?trace] the run is recorded as [fastdom_g] > [fastdom_g.forest]
+    followed by one synthetic, overlapping [fastdom_g.fragment[f]] span
+    per fragment (the per-fragment stages run in parallel; the clock is
+    charged their maximum). *)
 
 val round_bound : n:int -> k:int -> int
 (** [SimpleMST charge + FastDOM_T bound] — the Theorem 4.4 shape. *)

@@ -11,25 +11,27 @@ type result = {
   rounds : int;
 }
 
-let run ?small ?(variant = Fast) ?(stage = Census) g ~k =
+let run ?small ?(variant = Fast) ?(stage = Census) ?trace g ~k =
   if k < 1 then invalid_arg "Fastdom_tree.run: k must be >= 1";
   if not (Tree.is_tree g) then invalid_arg "Fastdom_tree.run: graph must be a tree";
+  Kdom_congest.Trace.span_opt trace "fastdom_t" @@ fun () ->
   let n = Graph.n g in
   let cluster_forest, ledger =
     if n < max 2 (k + 1) then
       (* the whole tree is one cluster; DiamDOM alone suffices *)
       ([ Forest.make g ~center:0 (List.init n Fun.id) ], Ledger.create ())
-    else begin
+    else
+      Kdom_congest.Trace.span_opt trace "fastdom_t.partition" @@ fun () ->
       let stage =
         match variant with
-        | Fast -> Dom_partition.run ?small
-        | Capped -> Dom_partition.run_2 ?small
-        | Quadratic -> Dom_partition.run_1 ?small
+        | Fast -> Dom_partition.run ?small ?trace
+        | Capped -> Dom_partition.run_2 ?small ?trace
+        | Quadratic -> Dom_partition.run_1 ?small ?trace
       in
       let r = stage g ~k in
       (r.clusters, r.ledger)
-    end
   in
+  Kdom_congest.Trace.span_opt trace "fastdom_t.diam_dom" @@ fun () ->
   (* Run DiamDOM inside every cluster; the clusters are disjoint so the
      executions are parallel and the stage costs the maximum round count. *)
   let dominating = ref [] in
@@ -68,6 +70,9 @@ let run ?small ?(variant = Fast) ?(stage = Census) g ~k =
         groups)
     cluster_forest;
   Ledger.charge ledger "DiamDOM within clusters" !diamdom_rounds;
+  (* The per-cluster executions are disjoint, hence parallel: the trace is
+     charged the maximum, matching the ledger. *)
+  Kdom_congest.Trace.charge_opt trace !diamdom_rounds;
   {
     dominating = List.sort compare !dominating;
     partition = Cluster.partition g !final_clusters;

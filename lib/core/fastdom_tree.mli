@@ -37,12 +37,15 @@ val run :
   ?small:(Tree.t -> Small_dom_set.t) ->
   ?variant:variant ->
   ?stage:stage ->
+  ?trace:Kdom_congest.Trace.t ->
   Graph.t ->
   k:int ->
   result
 (** Requires a tree and [k >= 1].  Trees with fewer than [k+1] nodes skip
     the partition stage (the whole tree is one cluster and the root
-    dominates it). *)
+    dominates it).  With [?trace] the run is recorded as [fastdom_t] >
+    [fastdom_t.partition] + [fastdom_t.diam_dom], the latter charging the
+    maximum over the (parallel, disjoint) per-cluster executions. *)
 
 val round_bound : n:int -> k:int -> int
 (** [c * k * max 1 (log* n)] with a generous constant — the Theorem 3.2

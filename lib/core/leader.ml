@@ -152,9 +152,12 @@ let result_of_states states stats =
     stats;
   }
 
-let elect ?sink g =
+let elect ?trace ?sink g =
   if not (Graph.is_connected g) then invalid_arg "Leader.elect: graph must be connected";
-  let states, stats = Engine.run ~max_words ?sink g (algorithm g) in
-  result_of_states states stats
+  Option.iter (fun t -> Trace.set_budget t max_words) trace;
+  let sink = Trace.wrap ?trace ?sink () in
+  Trace.span_opt trace "leader.elect" (fun () ->
+      let states, stats = Engine.run ~max_words ~sink g (algorithm g) in
+      result_of_states states stats)
 
 let round_bound ~diam = (5 * diam) + 10

@@ -40,8 +40,9 @@ val result_of_states : state array -> Runtime.stats -> result
     state vector, whichever executor produced it; raises
     [Invalid_argument] if any node disagrees on the leader. *)
 
-val elect : ?sink:Engine.Sink.t -> Graph.t -> result
-(** Requires a connected graph. *)
+val elect : ?trace:Trace.t -> ?sink:Engine.Sink.t -> Graph.t -> result
+(** Requires a connected graph.  With [?trace] the run is recorded under
+    a [leader.elect] span. *)
 
 val round_bound : diam:int -> int
 (** [5 * diam + 10] — the O(Diam) shape checked by the tests. *)

@@ -167,14 +167,20 @@ let selected_of_states g ~fragment_of ~root states =
   in
   List.map (Graph.edge g) (Mst.mst_of_multigraph ~n:nf edges_at_root)
 
-let run ?(eliminate_cycles = true) ?sink g ~(bfs : Bfs_tree.info) ~fragment_of =
+let run ?(eliminate_cycles = true) ?trace ?sink g ~(bfs : Bfs_tree.info) ~fragment_of =
   if not (Graph.has_distinct_weights g) then
     invalid_arg "Pipeline.run: edge weights must be distinct";
   let algo, stalls = algorithm ~eliminate_cycles g ~bfs ~fragment_of in
-  let states, upcast_stats = Engine.run ~max_words ?sink g algo in
+  Option.iter (fun t -> Trace.set_budget t max_words) trace;
+  let sink = Trace.wrap ?trace ?sink () in
+  let states, upcast_stats =
+    Trace.span_opt trace "pipeline.upcast" (fun () -> Engine.run ~max_words ~sink g algo)
+  in
   let root_state = states.(bfs.root) in
   let selected = selected_of_states g ~fragment_of ~root:bfs.root states in
   let broadcast_rounds = max 0 (List.length selected - 1) + bfs.height + 1 in
+  Trace.span_opt trace "pipeline.broadcast" (fun () ->
+      Trace.charge_opt trace broadcast_rounds);
   {
     selected;
     upcast_stats;

@@ -64,13 +64,16 @@ val selected_of_states :
 
 val run :
   ?eliminate_cycles:bool ->
+  ?trace:Trace.t ->
   ?sink:Engine.Sink.t ->
   Graph.t ->
   bfs:Bfs_tree.info ->
   fragment_of:int array ->
   result
 (** [fragment_of] labels every node with its fragment; edges between
-    distinct fragments are the candidates.  Requires distinct weights. *)
+    distinct fragments are the candidates.  Requires distinct weights.
+    With [?trace] the run is recorded as [pipeline.upcast] (message-level)
+    followed by a [pipeline.broadcast] span charging [broadcast_rounds]. *)
 
 val round_bound : diam:int -> fragments:int -> int
 (** [O(N + Diam)] in the explicit form [2 * diam + fragments + 12] used by

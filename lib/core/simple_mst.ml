@@ -52,7 +52,7 @@ let tree_depth root members tree_edges =
     members;
   !maxd
 
-let run g ~k =
+let run ?trace g ~k =
   if k < 1 then invalid_arg "Simple_mst.run: k must be >= 1";
   if not (Graph.is_connected g) then invalid_arg "Simple_mst.run: graph must be connected";
   if not (Graph.has_distinct_weights g) then
@@ -65,6 +65,8 @@ let run g ~k =
   in
   let frag_of = Array.init n (fun v -> v) in
   for i = 1 to phases do
+    Kdom_congest.Trace.span_opt trace (Printf.sprintf "simple_mst.phase[%d]" i)
+    @@ fun () ->
     let cap = 1 lsl i in
     let frags = !fragments in
     let nf = Array.length frags in
@@ -146,7 +148,9 @@ let run g ~k =
     Array.iteri
       (fun idx f -> List.iter (fun v -> frag_of.(v) <- idx) f.members)
       !fragments;
-    Ledger.charge ledger (Printf.sprintf "phase %d" i) ((5 * (1 lsl i)) + 2)
+    let phase_rounds = (5 * (1 lsl i)) + 2 in
+    Ledger.charge ledger (Printf.sprintf "phase %d" i) phase_rounds;
+    Kdom_congest.Trace.charge_opt trace phase_rounds
   done;
   {
     fragments = Array.to_list !fragments;

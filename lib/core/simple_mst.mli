@@ -36,8 +36,10 @@ val tree_depth : int -> int list -> Graph.edge list -> int
     on [members] with the given edges; raises when the edges do not span
     the members.  Shared with the {!Ghs} baseline. *)
 
-val run : Graph.t -> k:int -> result
-(** Requires a connected graph with distinct edge weights and [k >= 1]. *)
+val run : ?trace:Kdom_congest.Trace.t -> Graph.t -> k:int -> result
+(** Requires a connected graph with distinct edge weights and [k >= 1].
+    With [?trace] each phase is recorded as a [simple_mst.phase[i]] span
+    charging the paper's [5 * 2^i + 2] rounds (Lemma 4.3). *)
 
 val spanning_forest_edges : result -> Graph.edge list
 (** All fragment tree edges. *)

@@ -327,12 +327,32 @@ let fragments_of_states g states =
         ({ root; members; tree_edges; depth } : Simple_mst.fragment) :: acc)
       groups []
 
-let run ?sink g ~k =
+let run ?trace ?sink g ~k =
   if k < 1 then invalid_arg "Simple_mst_congest.run: k must be >= 1";
   if not (Graph.is_connected g) then
     invalid_arg "Simple_mst_congest.run: graph must be connected";
   if not (Graph.has_distinct_weights g) then
     invalid_arg "Simple_mst_congest.run: edge weights must be distinct";
   let phases = phases_for k in
-  let states, stats = Engine.run ~max_words ?sink g (algorithm g ~k) in
-  { fragments = fragments_of_states g states; stats; phases }
+  Option.iter (fun t -> Trace.set_budget t max_words) trace;
+  let sink = Trace.wrap ?trace ?sink () in
+  Trace.span_opt trace "simple_mst" (fun () ->
+      let c0 = match trace with Some t -> Trace.clock t | None -> 0 in
+      let states, stats = Engine.run ~max_words ~sink g (algorithm g ~k) in
+      (* The phase boundaries are a fixed global schedule ({!locate}); lay
+         each phase down as a synthetic span, clamped to the rounds the
+         execution actually used (it quiesces after the last real merge). *)
+      Option.iter
+        (fun t ->
+          let stop_max = Trace.clock t in
+          let start = ref c0 in
+          for i = 1 to phases do
+            Trace.add_span t
+              ~name:(Printf.sprintf "simple_mst.phase[%d]" i)
+              ~start_round:(min !start stop_max)
+              ~stop_round:(min (!start + phase_len i) stop_max)
+              ();
+            start := !start + phase_len i
+          done)
+        trace;
+      { fragments = fragments_of_states g states; stats; phases })

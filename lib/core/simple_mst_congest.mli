@@ -53,8 +53,10 @@ val fragments_of_states : Graph.t -> state array -> Simple_mst.fragment list
     vector, whichever executor produced it; raises [Invalid_argument] if
     the remembered tree edges do not form a single-rooted forest. *)
 
-val run : ?sink:Engine.Sink.t -> Graph.t -> k:int -> result
-(** Requires a connected graph with distinct weights and [k >= 1]. *)
+val run : ?trace:Trace.t -> ?sink:Engine.Sink.t -> Graph.t -> k:int -> result
+(** Requires a connected graph with distinct weights and [k >= 1].  With
+    [?trace] the run is recorded under a [simple_mst] span carrying one
+    synthetic [simple_mst.phase[i]] span per scheduled phase. *)
 
 val schedule_length : k:int -> int
 (** Total rounds of the fixed schedule: [sum over phases of 5*2^i + 10]. *)

@@ -321,6 +321,34 @@ let test_sink_consistency_under_faults () =
     (sum (fun (i : Engine.Sink.round_info) -> i.duplicated));
   if frep.dropped = 0 then Alcotest.fail "regime at drop=0.2 dropped nothing"
 
+(* Regression: a duplicated frame must be delivered to the algorithm exactly
+   once.  On a link that duplicates every frame, the per-pulse [delivered]
+   totals (and the report's [alg_messages]) must still equal the message
+   count of the synchronous run — the sequence-number filter absorbs every
+   copy, and only the counters record that copies existed. *)
+let test_duplicates_not_delivered_twice () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 83) ~n:14 ~p:0.25 in
+  let _, sync_stats =
+    Runtime.run ~max_words:Kdom.Leader.max_words g (Kdom.Leader.algorithm g)
+  in
+  let counters, rounds_info = Engine.Sink.counters () in
+  let faults = Faults.lossy ~duplicate:1.0 ~seed:19 () in
+  let _, frep =
+    Async.run_reliable ~rng:(Rng.create 21) ~faults ~sink:counters
+      ~max_words:Kdom.Leader.max_words g (Kdom.Leader.algorithm g)
+  in
+  let delivered =
+    List.fold_left
+      (fun a (i : Engine.Sink.round_info) -> a + i.delivered)
+      0 (rounds_info ())
+  in
+  if frep.duplicated = 0 then
+    Alcotest.fail "a 100%-duplication link duplicated nothing";
+  Alcotest.(check int) "alg_messages = synchronous message count"
+    sync_stats.Runtime.messages frep.report.alg_messages;
+  Alcotest.(check int) "sink delivered = synchronous message count"
+    sync_stats.Runtime.messages delivered
+
 (* Determinism: same seeds, same everything. *)
 let test_deterministic () =
   let g = Generators.gnp_connected ~rng:(Rng.create 61) ~n:14 ~p:0.25 in
@@ -365,6 +393,8 @@ let () =
           Alcotest.test_case "delay sampler interval" `Quick test_delay_sampler;
           Alcotest.test_case "sink consistency under faults" `Quick
             test_sink_consistency_under_faults;
+          Alcotest.test_case "duplicates delivered exactly once" `Quick
+            test_duplicates_not_delivered_twice;
           Alcotest.test_case "determinism" `Quick test_deterministic;
         ] );
     ]

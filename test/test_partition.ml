@@ -195,6 +195,78 @@ let test_partition_matching_variant () =
   let r = Dom_partition.run ~small:Small_dom_set.via_matching g ~k:4 in
   check_partition_result "matching-variant" g 4 r ~radius_bound:22
 
+(* The typed invariant error (replaces a bare [invalid_arg]): it must be
+   catchable by constructor, carry the offending cluster, and render through
+   the registered printer. *)
+let test_partition_invariant_payload () =
+  let exn =
+    Dom_partition.Partition_invariant
+      { stage = "DOM_Partition_2"; k = 3; size = 2; radius = 1; members = [ 4; 7 ] }
+  in
+  (match exn with
+  | Dom_partition.Partition_invariant { stage; k; size; radius; members } ->
+    Alcotest.(check string) "stage" "DOM_Partition_2" stage;
+    Alcotest.(check int) "k" 3 k;
+    Alcotest.(check int) "size" 2 size;
+    Alcotest.(check int) "radius" 1 radius;
+    Alcotest.(check (list int)) "members" [ 4; 7 ] members
+  | _ -> Alcotest.fail "wrong constructor");
+  let s = Printexc.to_string exn in
+  let contains needle =
+    let ls = String.length s and ln = String.length needle in
+    let rec find i = i + ln <= ls && (String.sub s i ln = needle || find (i + 1)) in
+    find 0
+  in
+  List.iter
+    (fun needle ->
+      if not (contains needle) then
+        Alcotest.failf "printer output %S misses %S" s needle)
+    [ "DOM_Partition_2"; "size 2"; "k = 3"; "[4; 7]" ]
+
+(* Invariant hunt on the degenerate end: paths and stars with n barely above
+   k+1 are where a flush could plausibly leave an undersized cluster.  Every
+   variant must either succeed with a valid partition or surface the typed
+   witness — and in this repository they must succeed. *)
+let prop_partition_edge =
+  QCheck2.Test.make ~name:"DOM_Partition near n = k+1 (paths/stars)" ~count:120
+    QCheck2.Gen.(triple (int_bound 10_000) (int_range 1 7) (int_range 0 4))
+    (fun (seed, k, slack) ->
+      let n = max 2 (k + 1 + slack) in
+      let graphs =
+        [
+          ("path", Generators.path ~rng:(Rng.create seed) n);
+          ("star", Generators.star ~rng:(Rng.create (seed + 1)) n);
+          ("tree", Generators.random_tree ~rng:(Rng.create (seed + 2)) n);
+        ]
+      in
+      let variants =
+        [
+          ("run", fun g -> Dom_partition.run g ~k);
+          ("run_1", fun g -> Dom_partition.run_1 g ~k);
+          ("run_2", fun g -> Dom_partition.run_2 g ~k);
+        ]
+      in
+      List.iter
+        (fun (fam, g) ->
+          List.iter
+            (fun (vname, run) ->
+              match run g with
+              | r ->
+                if Dom_partition.min_size r < k + 1 then
+                  QCheck2.Test.fail_reportf
+                    "%s %s n=%d k=%d: cluster of size %d < k+1" fam vname n k
+                    (Dom_partition.min_size r);
+                ignore (Dom_partition.partition g r)
+              | exception Dom_partition.Partition_invariant
+                  { stage; size; radius; members; _ } ->
+                QCheck2.Test.fail_reportf
+                  "%s %s n=%d k=%d: %s flushed size=%d radius=%d members=[%s]"
+                  fam vname n k stage size radius
+                  (String.concat ";" (List.map string_of_int members)))
+            variants)
+        graphs;
+      true)
+
 let prop_partition =
   QCheck2.Test.make ~name:"DOM_Partition valid on random trees" ~count:60
     QCheck2.Gen.(triple (int_bound 10_000) (int_range 20 150) (int_range 1 6))
@@ -298,6 +370,8 @@ let () =
           Alcotest.test_case "round-count shapes" `Quick test_partition_round_shapes;
           Alcotest.test_case "matching small-dom-set variant" `Quick
             test_partition_matching_variant;
+          Alcotest.test_case "Partition_invariant payload" `Quick
+            test_partition_invariant_payload;
         ] );
       ( "fastdom_tree",
         [
@@ -306,5 +380,6 @@ let () =
           Alcotest.test_case "all variants valid" `Quick test_fastdom_variants_agree_on_validity;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_partition; prop_fastdom_tree ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_partition; prop_partition_edge; prop_fastdom_tree ] );
     ]
