@@ -554,6 +554,8 @@ let flood_algorithm ~rounds : int Kdom_congest.Engine.algorithm =
           (round, !out)
         end);
     halted = (fun st -> st > rounds);
+    (* every node sends every round: the schedule is genuinely dense *)
+    wake = Kdom_congest.Engine.always;
   }
 
 let token_algorithm : int Kdom_congest.Engine.algorithm =
@@ -561,11 +563,14 @@ let token_algorithm : int Kdom_congest.Engine.algorithm =
     Kdom_congest.Engine.init = (fun _ v -> if v = 0 then 1 else 0);
     step =
       (fun g ~round:_ ~node st inbox ->
-        if st = 1 || inbox <> [] then
+        if st = 1 || not (Kdom_congest.Engine.Inbox.is_empty inbox) then
           let next = node + 1 in
           if next < Graph.n g then (2, [ (next, [| node |]) ]) else (2, [])
         else (0, []));
     halted = (fun st -> st = 2);
+    (* [always] on purpose: this kernel measures the dense per-round
+       machinery; the hinted variant lives in the sched bench below *)
+    wake = Kdom_congest.Engine.always;
   }
 
 let wall f =
@@ -674,7 +679,10 @@ let engine_json rows =
                ", \"reference_secs\": %.6f, \"reference_msgs_per_sec\": \
                 %.0f, \"speedup\": %.2f}"
                secs (msgs_per_sec secs) (secs /. r.er_engine))
-      | None -> Buffer.add_string b ", \"reference_secs\": null}"))
+      | None ->
+          (* explicit marker, never a bare null float: consumers can test
+             row.reference == "skipped" without a schema special case *)
+          Buffer.add_string b ", \"reference\": \"skipped\"}"))
     rows;
   Buffer.add_string b "\n]\n";
   Buffer.contents b
@@ -724,6 +732,207 @@ let smoke () =
   pf "smoke OK: flood %d msgs, token %d rounds, diamdom |D|=%d@."
     r1.er_messages r2.er_rounds
     (List.length (Diam_dom.dominating_list d))
+
+(* ------------------------------------------------------------------ *)
+(* SCHED — the sparse event-driven scheduler against the dense schedule
+   ([~degrade:true] on the same engine: wake hints ignored, every live
+   node stepped every round).  Three kernels whose active frontier is far
+   below the live set:
+
+   - [token]: a token walks a path, wake = OnMessage — one node acts per
+     round, the canonical O(1) frontier;
+   - [cast]: convergecast up a BFS tree — a node acts only when a child's
+     partial aggregate arrives;
+   - [census]: DiamDOM's census stage — a depth-d node acts only inside
+     its [M-d, M-d+k] window (wake = At), so ~k+1 depth classes are
+     active per round.
+
+   Sparse and dense runs must produce identical final stats (checked —
+   the hints are sound, so eliding sleeping nodes cannot change the
+   execution); a third, untimed instrumented run collects the
+   stepped/woken counters.  Results go to BENCH_sched.json. *)
+
+type sched_row = {
+  sr_kernel : string;
+  sr_family : string;
+  sr_n : int;
+  sr_m : int;
+  sr_rounds : int;
+  sr_messages : int;
+  sr_stepped : int;  (* total node steps under hints, init round included *)
+  sr_woken : int;    (* timer-driven wake-ups *)
+  sr_sparse : float;
+  sr_dense : float;
+}
+
+let sched_case ~kernel ~family ?max_words g mk =
+  let open Kdom_congest in
+  let eng = Engine.create g in
+  let (_, sstats), sparse = wall (fun () -> Engine.exec eng ?max_words (mk ())) in
+  let (_, dstats), dense =
+    wall (fun () -> Engine.exec eng ?max_words ~degrade:true (mk ()))
+  in
+  if sstats <> dstats then
+    failwith
+      (Printf.sprintf "sched bench %s/%s: sparse and dense stats disagree"
+         kernel family);
+  let sink, rounds_info = Engine.Sink.counters () in
+  ignore (Engine.exec eng ?max_words ~sink (mk ()));
+  let stepped, woken =
+    List.fold_left
+      (fun (s, w) (i : Engine.Sink.round_info) -> (s + i.stepped, w + i.woken))
+      (0, 0) (rounds_info ())
+  in
+  {
+    sr_kernel = kernel;
+    sr_family = family;
+    sr_n = Graph.n g;
+    sr_m = Graph.m g;
+    sr_rounds = sstats.Runtime.rounds;
+    sr_messages = sstats.Runtime.messages;
+    sr_stepped = stepped;
+    sr_woken = woken;
+    sr_sparse = sparse;
+    sr_dense = dense;
+  }
+
+let sparse_token_algorithm : int Kdom_congest.Engine.algorithm =
+  { token_algorithm with wake = (fun _ -> Kdom_congest.Engine.OnMessage) }
+
+let convergecast_algorithm (info : Bfs_tree.info) :
+    (int * int) Kdom_congest.Engine.algorithm =
+  let open Kdom_congest in
+  {
+    (* state: (children still to hear from, best id seen); leaves fire on
+       the init round, inner nodes when the last child reports *)
+    Engine.init = (fun _ v -> (List.length info.children.(v), v));
+    step =
+      (fun _g ~round:_ ~node (pending, best) inbox ->
+        let pending, best =
+          Engine.Inbox.fold
+            (fun (p, b) _ payload -> (p - 1, max b payload.(0)))
+            (pending, best) inbox
+        in
+        if pending = 0 then
+          ( (-1, best),
+            if info.parent.(node) >= 0 then [ (info.parent.(node), [| best |]) ]
+            else [] )
+        else ((pending, best), []));
+    halted = (fun (pending, _) -> pending < 0);
+    wake = (fun _ -> Engine.OnMessage);
+  }
+
+let sched_rows () =
+  let path n = Generators.path ~rng:(seeded (83 + n)) n in
+  let tree n = Generators.random_tree ~rng:(seeded (79 + n)) n in
+  let cast ~family g =
+    let info, _ = Bfs_tree.run g ~root:0 in
+    sched_case ~kernel:"cast" ~family g (fun () -> convergecast_algorithm info)
+  in
+  let census ~family ~k g =
+    let info, _ = Bfs_tree.run g ~root:0 in
+    sched_case ~kernel:"census" ~family
+      ~max_words:Diam_dom.census_max_words g (fun () ->
+        Diam_dom.census_algorithm info ~k)
+  in
+  [
+    sched_case ~kernel:"token" ~family:"path" (path 10_000) (fun () ->
+        sparse_token_algorithm);
+    cast ~family:"path" (path 10_000);
+    cast ~family:"random" (tree 10_000);
+    census ~family:"path" ~k:2 (path 4_096);
+    census ~family:"random" ~k:8 (tree 4_096);
+  ]
+
+let sched_json rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let rps secs = float_of_int r.sr_rounds /. secs in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"kernel\": %S, \"family\": %S, \"n\": %d, \"m\": %d, \
+            \"rounds\": %d, \"messages\": %d, \"stepped\": %d, \
+            \"woken\": %d, \"stepped_per_round\": %.2f, \
+            \"sparse_secs\": %.6f, \"dense_secs\": %.6f, \
+            \"sparse_rounds_per_sec\": %.0f, \"dense_rounds_per_sec\": %.0f, \
+            \"speedup\": %.2f}"
+           r.sr_kernel r.sr_family r.sr_n r.sr_m r.sr_rounds r.sr_messages
+           r.sr_stepped r.sr_woken
+           (float_of_int r.sr_stepped /. float_of_int (max 1 r.sr_rounds))
+           r.sr_sparse r.sr_dense (rps r.sr_sparse) (rps r.sr_dense)
+           (r.sr_dense /. r.sr_sparse)))
+    rows;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let sched_bench () =
+  header "SCHED  sparse event-driven scheduler"
+    "a round costs O(receivers + woken), not O(live): hinted engine vs the \
+     same engine degraded to the dense schedule; token >= 5x at n=10k";
+  pf "%-7s %-7s %7s %8s %8s %8s %9s %10s %10s %8s@." "kernel" "family" "n"
+    "rounds" "stepped" "st/rnd" "woken" "sparse r/s" "dense r/s" "speedup";
+  let rows = sched_rows () in
+  List.iter
+    (fun r ->
+      pf "%-7s %-7s %7d %8d %8d %8.2f %9d %10.0f %10.0f %7.2fx@." r.sr_kernel
+        r.sr_family r.sr_n r.sr_rounds r.sr_stepped
+        (float_of_int r.sr_stepped /. float_of_int (max 1 r.sr_rounds))
+        r.sr_woken
+        (float_of_int r.sr_rounds /. r.sr_sparse)
+        (float_of_int r.sr_rounds /. r.sr_dense)
+        (r.sr_dense /. r.sr_sparse))
+    rows;
+  let oc = open_out "BENCH_sched.json" in
+  output_string oc (sched_json rows);
+  close_out oc;
+  pf "@.wrote BENCH_sched.json (%d rows)@." (List.length rows)
+
+(* CI gate: the token kernel must step O(1) nodes per round (exactly one
+   after the init round), sparse and dense stats must agree, and the
+   census window kernel must keep its frontier near k+1. *)
+let sched_smoke () =
+  let open Kdom_congest in
+  let p = Generators.path ~rng:(seeded 2) 2_000 in
+  let eng = Engine.create p in
+  let sink, rounds_info = Engine.Sink.counters () in
+  let _, sstats = Engine.exec eng ~sink sparse_token_algorithm in
+  let _, dstats = Engine.exec eng ~degrade:true sparse_token_algorithm in
+  if sstats <> dstats then
+    failwith "sched-smoke: sparse and dense token stats disagree";
+  let infos = rounds_info () in
+  let total =
+    List.fold_left (fun a (i : Engine.Sink.round_info) -> a + i.stepped) 0 infos
+  in
+  let spr = float_of_int total /. float_of_int (max 1 sstats.Runtime.rounds) in
+  if spr > 3.0 then
+    failwith (Printf.sprintf "sched-smoke: token steps %.2f nodes/round > 3" spr);
+  List.iter
+    (fun (i : Engine.Sink.round_info) ->
+      if i.round >= 1 && i.stepped > 1 then
+        failwith
+          (Printf.sprintf
+             "sched-smoke: token round %d stepped %d nodes (exactly 1 expected)"
+             i.round i.stepped))
+    infos;
+  let t = Generators.path ~rng:(seeded 5) 600 in
+  let info, _ = Bfs_tree.run t ~root:0 in
+  let k = 2 in
+  let r =
+    sched_case ~kernel:"census" ~family:"path"
+      ~max_words:Diam_dom.census_max_words t (fun () ->
+        Diam_dom.census_algorithm info ~k)
+  in
+  let cspr = float_of_int r.sr_stepped /. float_of_int (max 1 r.sr_rounds) in
+  if cspr > float_of_int (4 * (k + 1)) then
+    failwith
+      (Printf.sprintf "sched-smoke: census steps %.2f nodes/round (O(k) expected)"
+         cspr);
+  pf "sched-smoke OK: token %.2f stepped/round (1 after init), census %.2f \
+      stepped/round over %d rounds@."
+    spr cspr r.sr_rounds
 
 (* ------------------------------------------------------------------ *)
 (* FAULTS — reliable delivery under loss: throughput and retransmission
@@ -1024,6 +1233,8 @@ let () =
   else if List.mem "faults-smoke" args then faults_smoke ()
   else if List.mem "faults" args then faults_bench ()
   else if List.mem "engine" args then engine_bench ()
+  else if List.mem "sched-smoke" args then sched_smoke ()
+  else if List.mem "sched" args then sched_bench ()
   else begin
     let tables_only = List.mem "tables" args in
     let selected = List.filter (fun a -> List.mem_assoc a experiments) args in

@@ -154,7 +154,13 @@ let run ~rng ?(max_delay = 1.0) ?max_words g algo =
           []
         end
         else begin
-          let st, outbox = algo.Engine.step g ~round:p ~node:v nd.state inbox in
+          (* the synchronizer steps every node every pulse — a pulse is only
+             declared safe once all its messages are acked, so wake hints
+             are not consulted here: the event queue itself is the wake
+             source (a node runs only when an event arrives for it) *)
+          let st, outbox =
+            algo.Engine.step g ~round:p ~node:v nd.state (Engine.Inbox.of_list inbox)
+          in
           nd.state <- st;
           if (not nd.is_halted) && algo.Engine.halted st then begin
             nd.is_halted <- true;
@@ -418,7 +424,9 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
             Tally.add t_stepped p 1;
             if inbox <> [] then Tally.add t_receivers p 1
           end;
-          let st, outbox = algo.Engine.step g ~round:p ~node:v nd.state inbox in
+          let st, outbox =
+            algo.Engine.step g ~round:p ~node:v nd.state (Engine.Inbox.of_list inbox)
+          in
           nd.state <- st;
           if (not nd.is_halted) && algo.Engine.halted st then begin
             nd.is_halted <- true;
@@ -555,6 +563,8 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
           delivered_words = Tally.get t_words p;
           receivers = Tally.get t_receivers p;
           stepped = Tally.get t_stepped p;
+          skipped = 0;
+          woken = 0;
           sent = Tally.get t_sent p;
           dropped = Tally.get t_dropped p;
           duplicated = Tally.get t_duplicated p;

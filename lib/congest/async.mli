@@ -17,7 +17,15 @@
     Because a neighbor's safety certifies that its pulse-[r] messages were
     delivered, every node's pulse-[r+1] inbox equals the synchronous one,
     so the final states are {e identical} to {!Runtime.run}'s — the tests
-    check this bit for bit on the paper's algorithms. *)
+    check this bit for bit on the paper's algorithms.
+
+    Scheduling note: the synchronizer steps {e every} node at {e every}
+    pulse — its correctness argument needs each node to certify safety
+    per pulse — so the engine's {!Engine.algorithm.wake} hints are not
+    consulted here.  The discrete-event queue (message arrivals, acks,
+    SAFE announcements, and the retransmit timers of {!run_reliable}) is
+    this executor's wake source; the sparse scheduling happens at event
+    granularity instead of round granularity. *)
 
 open Kdom_graph
 

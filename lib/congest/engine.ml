@@ -3,16 +3,11 @@ open Kdom_graph
 type payload = int array
 type inbox = (int * payload) list
 
-type 'st algorithm = {
-  init : Graph.t -> int -> 'st;
-  step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
-  halted : 'st -> bool;
-}
-
 type stats = { rounds : int; messages : int; max_inflight : int }
 
 exception Round_limit_exceeded of int
 exception Congestion_violation of string
+exception Duplicate_edge of { src : int; dst : int }
 
 (* The model's word is 16 bits; a message of O(log n) bits is a constant
    number of words for any practical n (= the historical default of 4) and
@@ -31,6 +26,85 @@ let default_max_rounds n = 10_000 + (100 * n)
    atom, so the sentinel is a private 1-element array instead. *)
 let none : payload = Array.make 1 min_int
 
+(* A zero-copy view over the engine's reusable inbox arena: flat sender and
+   payload arrays, filled in sender-ascending order.  The engine reuses one
+   arena for every step, so a view is only valid for the duration of the
+   [step] call it was passed to. *)
+module Inbox = struct
+  type t = {
+    mutable src : int array;
+    mutable pay : payload array;
+    mutable len : int;
+  }
+
+  let create ~cap () =
+    { src = Array.make (max 1 cap) 0; pay = Array.make (max 1 cap) none; len = 0 }
+
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let check t i =
+    if i < 0 || i >= t.len then invalid_arg "Engine.Inbox: index out of bounds"
+
+  let sender t i =
+    check t i;
+    t.src.(i)
+
+  let payload t i =
+    check t i;
+    t.pay.(i)
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.src.(i) t.pay.(i)
+    done
+
+  let fold f init t =
+    let acc = ref init in
+    for i = 0 to t.len - 1 do
+      acc := f !acc t.src.(i) t.pay.(i)
+    done;
+    !acc
+
+  let to_list t =
+    let acc = ref [] in
+    for i = t.len - 1 downto 0 do
+      acc := (t.src.(i), t.pay.(i)) :: !acc
+    done;
+    !acc
+
+  let of_list l =
+    let n = List.length l in
+    let t = create ~cap:(max 1 n) () in
+    List.iter
+      (fun (u, p) ->
+        t.src.(t.len) <- u;
+        t.pay.(t.len) <- p;
+        t.len <- t.len + 1)
+      l;
+    t
+end
+
+(* Wake-up hints: when does a node need to be stepped again?  Consulted
+   after every [step]; the latest hint replaces any earlier one.  In every
+   mode a delivered message wakes the node — the hint only controls whether
+   it is also stepped on message-free rounds. *)
+type wake =
+  | Always  (* step every round while live (the legacy dense schedule) *)
+  | Next  (* step in the next round even without messages *)
+  | At of int  (* step at that absolute round; past rounds schedule nothing *)
+  | OnMessage  (* step only when a message arrives *)
+
+type 'st algorithm = {
+  init : Graph.t -> int -> 'st;
+  step : Graph.t -> round:int -> node:int -> 'st -> Inbox.t -> 'st * (int * payload) list;
+  halted : 'st -> bool;
+  wake : 'st -> wake;
+}
+
+let always _ = Always
+let list_step step g ~round ~node st ib = step g ~round ~node st (Inbox.to_list ib)
+
 module Sink = struct
   type round_info = {
     round : int;
@@ -38,6 +112,8 @@ module Sink = struct
     delivered_words : int;
     receivers : int;
     stepped : int;
+    skipped : int;
+    woken : int;
     sent : int;
     dropped : int;
     duplicated : int;
@@ -113,9 +189,10 @@ module Sink = struct
           in
           Printf.fprintf oc
             "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
-             \"receivers\":%d,\"stepped\":%d,\"sent\":%d%s}\n"
+             \"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\"woken\":%d,\
+             \"sent\":%d%s}\n"
             ri.round ri.delivered ri.delivered_words ri.receivers ri.stepped
-            ri.sent fault_fields);
+            ri.skipped ri.woken ri.sent fault_fields);
       on_finish = (fun () -> flush oc);
     }
 end
@@ -138,15 +215,22 @@ type t = {
   n : int;
   ports : int;  (* 2m directed slots *)
   out_off : int array;  (* n+1: slot range of each source *)
-  out_dst : int array;  (* destination of each slot, sorted per source *)
+  out_dst : int array;  (* destination of each slot, strictly ascending per source *)
   in_off : int array;   (* n+1: in-port range of each destination *)
   in_slot : int array;  (* slots delivering to v, sender-ascending *)
   in_src : int array;   (* sender of in_slot.(j) *)
-  slot_of : (int, int) Hashtbl.t;  (* src * n + dst -> slot *)
   buf_a : buf;
   buf_b : buf;
   live : int array;     (* scratch: live node ids, ascending *)
   is_live : bool array;
+  (* activation frontier: the nodes stepped in the current round *)
+  frontier : int array;
+  fstamp : int array;   (* fstamp.(v) = r  <=>  v already in round r's frontier *)
+  is_always : bool array;
+  always : int array;   (* nodes in Always mode, ascending when clean *)
+  wake_at : int array;  (* pending timer round per node, -1 = none *)
+  mutable buckets : int list array;  (* buckets.(r) = nodes to wake at round r *)
+  ib : Inbox.t;         (* reusable inbox arena, sized for the max in-degree *)
   mutable running : bool;
   mutable dirty : bool;
 }
@@ -171,14 +255,27 @@ let create g =
     out_off.(v + 1) <- out_off.(v) + Graph.degree g v
   done;
   let out_dst = Array.make (max 1 ports) (-1) in
-  let slot_of = Hashtbl.create (max 16 (2 * ports)) in
   for v = 0 to n - 1 do
     let base = out_off.(v) in
-    Array.iteri
-      (fun i (u, _) ->
-        out_dst.(base + i) <- u;
-        Hashtbl.replace slot_of ((v * n) + u) (base + i))
-      (Graph.neighbors g v)
+    Array.iteri (fun i (u, _) -> out_dst.(base + i) <- u) (Graph.neighbors g v)
+  done;
+  (* The send path binary-searches each source's [out_dst] segment, so the
+     port map is only correct on simple graphs: per source the destinations
+     must be strictly ascending.  {!Graph} guarantees this for its public
+     constructors; verify anyway so a duplicated (src, dst) port can never
+     be silently shadowed (with the old hashtable map the last duplicate
+     won), and so self-loops cannot alias a slot to its own inbox. *)
+  for v = 0 to n - 1 do
+    let base = out_off.(v) and stop = out_off.(v + 1) in
+    for s = base to stop - 1 do
+      if out_dst.(s) = v then
+        invalid_arg (Printf.sprintf "Engine.create: self-loop at node %d" v);
+      if s > base && out_dst.(s) = out_dst.(s - 1) then
+        raise (Duplicate_edge { src = v; dst = out_dst.(s) });
+      if s > base && out_dst.(s) < out_dst.(s - 1) then
+        invalid_arg
+          (Printf.sprintf "Engine.create: adjacency of node %d not sorted" v)
+    done
   done;
   let in_off = Array.make (n + 1) 0 in
   for s = 0 to ports - 1 do
@@ -201,6 +298,10 @@ let create g =
       fill.(d) <- fill.(d) + 1
     done
   done;
+  let max_indeg = ref 0 in
+  for v = 0 to n - 1 do
+    max_indeg := max !max_indeg (in_off.(v + 1) - in_off.(v))
+  done;
   {
     g;
     n;
@@ -210,11 +311,17 @@ let create g =
     in_off;
     in_slot;
     in_src;
-    slot_of;
     buf_a = make_buf ~n ~ports;
     buf_b = make_buf ~n ~ports;
     live = Array.make (max 1 n) 0;
     is_live = Array.make (max 1 n) false;
+    frontier = Array.make (max 1 n) 0;
+    fstamp = Array.make (max 1 n) (-1);
+    is_always = Array.make (max 1 n) false;
+    always = Array.make (max 1 n) 0;
+    wake_at = Array.make (max 1 n) (-1);
+    buckets = Array.make 16 [];
+    ib = Inbox.create ~cap:!max_indeg ();
     running = false;
     dirty = false;
   }
@@ -228,10 +335,21 @@ let iter_neighbors e v f =
     f e.out_dst.(s)
   done
 
+(* Binary search over the per-source sorted CSR segment: O(log deg src), no
+   hashing, no O(m) side table.  Any [dst] outside the segment — including
+   ids outside [0, n) — comes back as -1. *)
 let find_port e ~src ~dst =
-  match Hashtbl.find e.slot_of ((src * e.n) + dst) with
-  | s -> s
-  | exception Not_found -> -1
+  if src < 0 || src >= e.n then -1
+  else begin
+    let lo = ref e.out_off.(src) and hi = ref e.out_off.(src + 1) in
+    let res = ref (-1) in
+    while !res < 0 && !lo < !hi do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      let d = e.out_dst.(mid) in
+      if d = dst then res := mid else if d < dst then lo := mid + 1 else hi := mid
+    done;
+    !res
+  end
 
 let reset_buf b =
   Array.fill b.slots 0 (Array.length b.slots) none;
@@ -241,7 +359,44 @@ let reset_buf b =
   b.total <- 0;
   b.words <- 0
 
-let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
+(* In-place heapsort of [a.(0) .. a.(len-1)]: the frontier must be stepped
+   in ascending node id (the reference's visiting order), and its three
+   sources — timer buckets, receiver stack, always-list — append out of
+   order.  Heapsort keeps the cost a guaranteed O(f log f) with zero
+   allocation. *)
+let sort_prefix a len =
+  if len > 1 then begin
+    let sift root stop =
+      let r = ref root in
+      let continue = ref true in
+      while !continue do
+        let child = (2 * !r) + 1 in
+        if child >= stop then continue := false
+        else begin
+          let c = if child + 1 < stop && a.(child + 1) > a.(child) then child + 1 else child in
+          if a.(c) > a.(!r) then begin
+            let tmp = a.(c) in
+            a.(c) <- a.(!r);
+            a.(!r) <- tmp;
+            r := c
+          end
+          else continue := false
+        end
+      done
+    in
+    for root = (len / 2) - 1 downto 0 do
+      sift root len
+    done;
+    for stop = len - 1 downto 1 do
+      let tmp = a.(0) in
+      a.(0) <- a.(stop);
+      a.(stop) <- tmp;
+      sift 0 stop
+    done
+  end
+
+let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false) e
+    algo =
   let n = e.n in
   let g = e.g in
   let max_rounds =
@@ -268,6 +423,57 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
       incr live_len
     end
   done;
+  (* Frontier state.  Every node starts in Always mode: hints are consulted
+     only after a step, and round 0 (the init round) steps every live node
+     regardless.  [hinted] stays false — and the engine stays on the dense
+     legacy path, byte-for-byte — until some step returns a non-Always
+     hint. *)
+  Array.fill e.fstamp 0 (max 1 n) (-1);
+  Array.fill e.wake_at 0 (max 1 n) (-1);
+  for v = 0 to n - 1 do
+    e.is_always.(v) <- is_live.(v)
+  done;
+  Array.fill e.buckets 0 (Array.length e.buckets) [];
+  let alen = ref 0 in
+  let hinted = ref false in
+  let transition = ref false in
+  let always_dirty = ref false in
+  let always_unsorted = ref false in
+  let schedule v k =
+    e.wake_at.(v) <- k;
+    let len = Array.length e.buckets in
+    if k >= len then begin
+      let b = Array.make (max (k + 1) (2 * len)) [] in
+      Array.blit e.buckets 0 b 0 len;
+      e.buckets <- b
+    end;
+    e.buckets.(k) <- v :: e.buckets.(k)
+  in
+  let apply_wake v st r =
+    match algo.wake st with
+    | Always ->
+      if not e.is_always.(v) then begin
+        e.is_always.(v) <- true;
+        e.always.(!alen) <- v;
+        incr alen;
+        always_unsorted := true
+      end;
+      e.wake_at.(v) <- -1
+    | hint ->
+      if not !hinted then begin
+        hinted := true;
+        transition := true
+      end;
+      if e.is_always.(v) then begin
+        e.is_always.(v) <- false;
+        always_dirty := true
+      end;
+      (match hint with
+      | Next -> schedule v (r + 1)
+      | At k -> if k > r then schedule v k else e.wake_at.(v) <- -1
+      | OnMessage -> e.wake_at.(v) <- -1
+      | Always -> assert false)
+  in
   let cur = ref e.buf_a and nxt = ref e.buf_b in
   let messages = ref 0 and max_inflight = ref 0 and round = ref 0 in
   let instrumented = sink != Sink.null in
@@ -281,7 +487,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
     max_inflight := max !max_inflight this_round;
     messages := !messages + this_round;
     let r = !round in
-    let stepped = !live_len in
+    let live_snapshot = !live_len in
     (* The reference semantics raise at the first offending node in id
        order; a halted receiver competes with live-node send violations.
        [v_min] is the smallest halted node holding undeliverable mail. *)
@@ -292,37 +498,33 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
         v_min := v
     done;
     let compacted = ref false in
-    for i = 0 to !live_len - 1 do
-      let v = live.(i) in
+    let step_node v =
       if !v_min >= 0 && !v_min < v then
         raise
           (Congestion_violation
              (Printf.sprintf "round %d: halted node %d received a message" r !v_min));
-      let inbox =
-        if dv.count.(v) = 0 then []
-        else begin
-          (* in-ports are sender-ascending; prepend while scanning
-             backwards so the list comes out ascending too *)
-          let acc = ref [] in
-          for j = e.in_off.(v + 1) - 1 downto e.in_off.(v) do
-            let p = dv.slots.(e.in_slot.(j)) in
-            if p != none then acc := (e.in_src.(j), p) :: !acc
-          done;
-          !acc
-        end
-      in
-      let st, outbox = algo.step g ~round:r ~node:v states.(v) inbox in
+      (* fill the inbox arena from the in-ports; forward order is
+         sender-ascending, preserving the inbox ordering guarantee *)
+      let ib = e.ib in
+      ib.Inbox.len <- 0;
+      if dv.count.(v) > 0 then
+        for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
+          let p = dv.slots.(e.in_slot.(j)) in
+          if p != none then begin
+            ib.Inbox.src.(ib.Inbox.len) <- e.in_src.(j);
+            ib.Inbox.pay.(ib.Inbox.len) <- p;
+            ib.Inbox.len <- ib.Inbox.len + 1
+          end
+        done;
+      let st, outbox = algo.step g ~round:r ~node:v states.(v) ib in
       states.(v) <- st;
       List.iter
         (fun (u, p) ->
-          let slot =
-            match Hashtbl.find e.slot_of ((v * n) + u) with
-            | s -> s
-            | exception Not_found ->
-              raise
-                (Congestion_violation
-                   (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r v u))
-          in
+          let slot = find_port e ~src:v ~dst:u in
+          if slot < 0 then
+            raise
+              (Congestion_violation
+                 (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r v u));
           if sd.slots.(slot) != none then
             raise
               (Congestion_violation
@@ -347,9 +549,64 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
         outbox;
       if algo.halted st then begin
         is_live.(v) <- false;
-        compacted := true
+        compacted := true;
+        if e.is_always.(v) then begin
+          e.is_always.(v) <- false;
+          always_dirty := true
+        end;
+        e.wake_at.(v) <- -1
       end
-    done;
+      else if not degrade then apply_wake v st r
+    in
+    let stepped = ref 0 in
+    let woken = ref 0 in
+    if not !hinted then begin
+      (* dense path: every live node steps, exactly the legacy schedule *)
+      stepped := live_snapshot;
+      for i = 0 to !live_len - 1 do
+        step_node live.(i)
+      done
+    end
+    else begin
+      (* sparse path: frontier = valid timer wake-ups + receivers + the
+         Always set, stepped in ascending node id *)
+      let plen = ref 0 in
+      let push v =
+        if e.fstamp.(v) <> r then begin
+          e.fstamp.(v) <- r;
+          e.frontier.(!plen) <- v;
+          incr plen
+        end
+      in
+      if r < Array.length e.buckets then begin
+        let fired = e.buckets.(r) in
+        e.buckets.(r) <- [];
+        List.iter
+          (fun v ->
+            (* lazy invalidation: a rescheduled or cancelled wake leaves a
+               stale entry behind; only the latest hint counts *)
+            if e.wake_at.(v) = r then begin
+              e.wake_at.(v) <- -1;
+              if is_live.(v) then begin
+                incr woken;
+                push v
+              end
+            end)
+          fired
+      end;
+      for i = 0 to dv.alen - 1 do
+        let v = dv.active.(i) in
+        if is_live.(v) then push v
+      done;
+      for i = 0 to !alen - 1 do
+        push e.always.(i)
+      done;
+      sort_prefix e.frontier !plen;
+      stepped := !plen;
+      for i = 0 to !plen - 1 do
+        step_node e.frontier.(i)
+      done
+    end;
     if !v_min >= 0 then
       raise
         (Congestion_violation
@@ -377,6 +634,35 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
       done;
       live_len := !w
     end;
+    if !transition then begin
+      (* first non-Always hint this run: seed the Always set from the live
+         list (ascending, so it starts sorted) *)
+      transition := false;
+      alen := 0;
+      for i = 0 to !live_len - 1 do
+        let v = live.(i) in
+        if e.is_always.(v) then begin
+          e.always.(!alen) <- v;
+          incr alen
+        end
+      done;
+      always_dirty := false;
+      always_unsorted := false
+    end
+    else if !always_dirty || !always_unsorted then begin
+      let w = ref 0 in
+      for i = 0 to !alen - 1 do
+        let v = e.always.(i) in
+        if is_live.(v) && e.is_always.(v) then begin
+          e.always.(!w) <- v;
+          incr w
+        end
+      done;
+      alen := !w;
+      if !always_unsorted then sort_prefix e.always !alen;
+      always_dirty := false;
+      always_unsorted := false
+    end;
     if instrumented then
       sink.on_round
         {
@@ -384,7 +670,9 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
           delivered = this_round;
           delivered_words;
           receivers;
-          stepped;
+          stepped = !stepped;
+          skipped = live_snapshot - !stepped;
+          woken = !woken;
           sent = sd.total;
           dropped = 0;
           duplicated = 0;
@@ -397,15 +685,15 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) e algo =
   if instrumented then sink.on_finish ();
   (states, { rounds = !round; messages = !messages; max_inflight = !max_inflight })
 
-let exec ?max_rounds ?max_words ?sink e algo =
+let exec ?max_rounds ?max_words ?sink ?degrade e algo =
   if e.running then
     invalid_arg "Engine.exec: engine already running (re-entrant call)";
   (* clear [running] on abnormal exit so the engine stays usable; [dirty]
      stays set, forcing a buffer scrub on the next exec *)
-  try exec_unguarded ?max_rounds ?max_words ?sink e algo
+  try exec_unguarded ?max_rounds ?max_words ?sink ?degrade e algo
   with exn ->
     e.running <- false;
     raise exn
 
-let run ?max_rounds ?max_words ?sink g algo =
-  exec ?max_rounds ?max_words ?sink (create g) algo
+let run ?max_rounds ?max_words ?sink ?degrade g algo =
+  exec ?max_rounds ?max_words ?sink ?degrade (create g) algo

@@ -5,16 +5,20 @@
     two swapped, slot-indexed payload buffers.  Compared to the list-based
     reference runtime ({!Runtime.run_reference}) this gives:
 
-    - O(1) neighbor validation, duplicate-send detection and width checks
-      per outbound message (a port-map lookup plus a slot-occupancy test),
-      instead of a per-message edge search and a per-step scratch table;
-    - zero per-round allocation in the delivery machinery: the only values
-      allocated on the hot path are the inbox cells handed to [step] (and
-      whatever [step] itself allocates);
-    - per-round work proportional to the number of {e live} nodes and
-      {e delivered} messages — quiescent regions of the graph cost nothing,
-      so long sparse executions (token walks, deep convergecasts) no longer
-      pay an O(n) sweep every round;
+    - O(log deg) neighbor validation, duplicate-send detection and width
+      checks per outbound message (binary search of the sender's sorted CSR
+      segment plus a slot-occupancy test), instead of a per-message edge
+      search and a per-step scratch table — and no O(m) hash table;
+    - zero per-round allocation in the delivery machinery: inboxes are a
+      zero-copy {!Inbox.t} view over a reusable arena, so the hot path
+      allocates only what [step] itself allocates;
+    - {e event-driven rounds}: with {!wake} hints, a round costs
+      O(receivers + woken), not O(live) — a node is stepped only when it
+      received a message, its self-scheduled timer fired, it declared
+      [Always], or it is in the init round.  Quiescent regions of the graph
+      cost nothing, so long sparse executions (token walks, deep pipelined
+      convergecasts, fixed-schedule phase windows) no longer pay an O(n)
+      sweep every round;
     - a pluggable instrumentation {!Sink} observing every delivery round
       and, optionally, every message.
 
@@ -22,7 +26,8 @@
     convention, same inbox ordering (sender-ascending — see below), same
     [stats], same [Congestion_violation] cases with identical messages.
     The differential tests in [test_engine_diff.ml] check this on all six
-    message-level algorithms.
+    message-level algorithms, with wake hints both honored and degraded to
+    [Always].
 
     {b Inbox ordering guarantee.}  Messages delivered to a node in a round
     are presented in strictly increasing sender id, regardless of the order
@@ -37,20 +42,95 @@ type payload = int array
     [n], §1.2 of the paper). *)
 
 type inbox = (int * payload) list
-(** [(sender, payload)] messages delivered this round, in increasing
-    sender id. *)
+(** The legacy list shape of an inbox: [(sender, payload)] in increasing
+    sender id.  [step] now receives an {!Inbox.t} view instead; use
+    {!Inbox.to_list} / {!list_step} to keep list-based code working. *)
+
+(** Zero-copy view over the engine's reusable inbox arena: the messages
+    delivered to the node being stepped, as flat sender / payload arrays in
+    strictly increasing sender id.
+
+    {b Lifetime.}  The engine reuses one arena for every step, so a view
+    (and the payload arrays it exposes) is only valid for the duration of
+    the [step] call it was passed to.  Retain {!to_list} (or copies), never
+    the [t] itself. *)
+module Inbox : sig
+  type t
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val sender : t -> int -> int
+  (** [sender ib i] is the sender id of the [i]-th message ([i < length]).
+      Ascending in [i]. *)
+
+  val payload : t -> int -> payload
+  (** [payload ib i] is the [i]-th payload.  The array belongs to the
+      sender and must not be mutated. *)
+
+  val iter : (int -> payload -> unit) -> t -> unit
+  val fold : ('a -> int -> payload -> 'a) -> 'a -> t -> 'a
+
+  val to_list : t -> (int * payload) list
+  (** Materialize as the legacy list shape (allocates). *)
+
+  val of_list : (int * payload) list -> t
+  (** Build a standalone view from a list (for reference runtimes, tests
+      and synchronizers; the result owns fresh arrays and has no lifetime
+      restriction).  The list must already be sender-ascending. *)
+end
+
+(** Wake-up hints: when must this node be stepped again?  The engine
+    consults [wake] after every [step] (never on the untouched init state);
+    the latest hint replaces any earlier one, and a halted node's pending
+    wake-up is discarded.  In every mode a delivered message steps the node
+    — the hint only controls whether it {e also} steps on message-free
+    rounds.  Round 0 steps every live node regardless. *)
+type wake =
+  | Always
+      (** Step every round while live — the legacy dense schedule, and the
+          default ({!always}): any algorithm declaring it runs
+          bit-identically to the pre-event-driven engine. *)
+  | Next  (** Step next round even if no message arrives. *)
+  | At of int
+      (** Step at that absolute round.  A round [<=] the current one
+          schedules nothing (equivalent to [OnMessage]). *)
+  | OnMessage
+      (** Step only on message arrival.  Sound for any message-driven
+          stage: in CONGEST a node with an empty inbox and no timer has
+          exactly the information it had last round, so stepping it could
+          only repeat a state transition it already made (DESIGN.md §9). *)
 
 type 'st algorithm = {
   init : Graph.t -> int -> 'st;
       (** Initial state of each node.  A node knows [n], its own id, its
           incident edges and their weights — nothing else. *)
-  step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
-      (** One synchronous step: consume the inbox, return the new state and
-          the outbox as [(neighbor, payload)] pairs. *)
+  step :
+    Graph.t -> round:int -> node:int -> 'st -> Inbox.t -> 'st * (int * payload) list;
+      (** One synchronous step: consume the inbox view, return the new
+          state and the outbox as [(neighbor, payload)] pairs. *)
   halted : 'st -> bool;
       (** A halted node no longer steps; it is an error for a halted node
           to receive a message. *)
+  wake : 'st -> wake;
+      (** Scheduling hint derived from the post-step state; see {!wake}.
+          Use {!always} when unsure — it is always sound. *)
 }
+
+val always : 'st -> wake
+(** [always _ = Always] — the default wake hint; reproduces the legacy
+    every-round schedule exactly. *)
+
+val list_step :
+  (Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list) ->
+  Graph.t ->
+  round:int ->
+  node:int ->
+  'st ->
+  Inbox.t ->
+  'st * (int * payload) list
+(** [list_step f] adapts a legacy list-based step function to the
+    {!Inbox.t} interface (materializes the view with {!Inbox.to_list}). *)
 
 type stats = {
   rounds : int;  (** rounds executed until quiescence *)
@@ -64,6 +144,12 @@ exception Congestion_violation of string
 (** Raised when a [step] tries to send two messages over one edge in one
     round, sends to a non-neighbor, exceeds the word budget, or a halted
     node receives a message. *)
+
+exception Duplicate_edge of { src : int; dst : int }
+(** Raised by {!create} when the graph presents two ports for the same
+    directed edge.  {!Graph}'s public constructors reject multigraphs, so
+    this guards hand-built adjacency: a duplicated port would otherwise be
+    silently shadowed by the binary-search port map. *)
 
 val default_max_words : int -> int
 (** [default_max_words n] is the per-message word budget implied by the
@@ -92,6 +178,13 @@ module Sink : sig
     delivered_words : int;  (** total payload words delivered *)
     receivers : int;  (** nodes with a non-empty inbox *)
     stepped : int;  (** live nodes that executed [step] *)
+    skipped : int;
+        (** live nodes the sparse scheduler did {e not} step this round
+            (no mail, no timer, not [Always]); always 0 on the dense path,
+            under [degrade], and for the reference runtime *)
+    woken : int;
+        (** nodes stepped because a [Next]/[At] timer fired this round
+            (they may also have received mail); 0 on the dense path *)
     sent : int;  (** messages emitted (deliver next round) *)
     dropped : int;
         (** frames lost by a fault layer ({!Faults}); always 0 for the
@@ -125,9 +218,10 @@ module Sink : sig
 
   val jsonl : ?messages:bool -> ?faults:bool -> out_channel -> t
   (** A sink emitting one JSON object per line: a ["round"] record per
-      delivery round and, when [messages] is true, a ["msg"] record per
-      message.  With [faults] (pass it whenever a fault layer is attached,
-      e.g. under {!Async.run_reliable}) the fault counters
+      delivery round (including the [skipped]/[woken] frontier counters)
+      and, when [messages] is true, a ["msg"] record per message.  With
+      [faults] (pass it whenever a fault layer is attached, e.g. under
+      {!Async.run_reliable}) the fault counters
       ([dropped]/[duplicated]/[retransmits]) appear in {e every} round
       record, so the stream is schema-homogeneous for columnar parsers;
       without it they appear only when non-zero, keeping synchronous engine
@@ -137,12 +231,18 @@ module Sink : sig
 end
 
 type t
-(** An engine instance: the port map for one graph plus reusable mailbox
-    buffers.  Building one costs [O(n + m)]; [exec] reuses it across runs
-    with no further setup.  Not re-entrant: a [step] function must not
-    call [exec] on the engine currently executing it. *)
+(** An engine instance: the port map for one graph plus reusable mailbox,
+    frontier and inbox-arena buffers.  Building one costs [O(n + m)];
+    [exec] reuses it across runs with no further setup.  Not re-entrant: a
+    [step] function must not call [exec] on the engine currently executing
+    it. *)
 
 val create : Graph.t -> t
+(** Build the port map.  Verifies the simple-graph invariants the
+    binary-search send path relies on — raises {!Duplicate_edge} on a
+    duplicated [(src, dst)] port and [Invalid_argument] on a self-loop or
+    unsorted adjacency.  Sound for [n = 0] and [n = 1] (no ports). *)
+
 val graph : t -> Graph.t
 
 val port_count : t -> int
@@ -155,23 +255,29 @@ val iter_neighbors : t -> int -> (int -> unit) -> unit
 
 val find_port : t -> src:int -> dst:int -> int
 (** The slot of directed edge [(src, dst)], or [-1] when [dst] is not a
-    neighbor of [src].  O(1). *)
+    neighbor of [src] (including ids outside [0, n)).  O(log deg src) by
+    binary search of the source's sorted CSR segment. *)
 
 val exec :
   ?max_rounds:int ->
   ?max_words:int ->
   ?sink:Sink.t ->
+  ?degrade:bool ->
   t ->
   'st algorithm ->
   'st array * stats
 (** Execute to quiescence on a prebuilt engine.  [max_rounds] defaults to
     [default_max_rounds n]; [max_words] defaults to
-    [default_max_words n]. *)
+    [default_max_words n].  [degrade] (default [false]) ignores the
+    algorithm's wake hints and runs the legacy dense schedule, as if every
+    hint were [Always] — the differential-testing and baseline-benchmark
+    mode. *)
 
 val run :
   ?max_rounds:int ->
   ?max_words:int ->
   ?sink:Sink.t ->
+  ?degrade:bool ->
   Graph.t ->
   'st algorithm ->
   'st array * stats

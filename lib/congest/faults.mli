@@ -27,7 +27,13 @@
 
     The consumer is {!Async.run_reliable}, which layers a sequence-numbered
     ack/retransmit protocol on top so that any algorithm still reaches
-    quiescence with final states bit-identical to {!Runtime.run}'s. *)
+    quiescence with final states bit-identical to {!Runtime.run}'s.
+
+    Scheduling note: under fault injection, frame deliveries and the
+    retransmit timers they arm are events in {!Async}'s discrete-event
+    queue — the wake sources of the asynchronous executor.  The engine's
+    round-level {!Engine.algorithm.wake} hints play no role here (the
+    synchronizer steps every node every pulse; see {!Async}). *)
 
 type link = {
   drop : float;       (** probability a frame on this link is lost *)

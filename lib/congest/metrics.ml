@@ -5,6 +5,8 @@ type span_report = {
   r_max_rounds : int;
   r_delivered : int;
   r_words : int;
+  r_skipped : int;
+  r_woken : int;
   r_dropped : int;
   r_duplicated : int;
   r_retransmits : int;
@@ -17,6 +19,8 @@ type t = {
   words : int;
   peak_words : int;
   budget : int option;
+  skipped : int;
+  woken : int;
   dropped : int;
   duplicated : int;
   retransmits : int;
@@ -43,6 +47,8 @@ let report tr =
             r_max_rounds = 0;
             r_delivered = 0;
             r_words = 0;
+            r_skipped = 0;
+            r_woken = 0;
             r_dropped = 0;
             r_duplicated = 0;
             r_retransmits = 0;
@@ -56,6 +62,8 @@ let report tr =
           r_max_rounds = max r.r_max_rounds st.Trace.s_rounds;
           r_delivered = r.r_delivered + st.Trace.s_delivered;
           r_words = r.r_words + st.Trace.s_words;
+          r_skipped = r.r_skipped + st.Trace.s_skipped;
+          r_woken = r.r_woken + st.Trace.s_woken;
           r_dropped = r.r_dropped + st.Trace.s_dropped;
           r_duplicated = r.r_duplicated + st.Trace.s_duplicated;
           r_retransmits = r.r_retransmits + st.Trace.s_retransmits;
@@ -63,6 +71,8 @@ let report tr =
     (Trace.spans tr);
   let delivered = ref 0
   and words = ref 0
+  and skipped = ref 0
+  and woken = ref 0
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0 in
@@ -70,6 +80,8 @@ let report tr =
     (fun (ri : Engine.Sink.round_info) ->
       delivered := !delivered + ri.delivered;
       words := !words + ri.delivered_words;
+      skipped := !skipped + ri.skipped;
+      woken := !woken + ri.woken;
       dropped := !dropped + ri.dropped;
       duplicated := !duplicated + ri.duplicated;
       retransmits := !retransmits + ri.retransmits)
@@ -81,6 +93,8 @@ let report tr =
     words = !words;
     peak_words = Trace.peak_words tr;
     budget = Trace.budget tr;
+    skipped = !skipped;
+    woken = !woken;
     dropped = !dropped;
     duplicated = !duplicated;
     retransmits = !retransmits;
@@ -117,6 +131,8 @@ let pp ppf r =
         Format.fprintf ppf " / budget %d%s" b
           (if r.peak_words <= b then "" else "  EXCEEDED"))
     r.budget;
+  if r.skipped + r.woken > 0 then
+    Format.fprintf ppf "@,frontier: skipped %d  woken %d" r.skipped r.woken;
   if r.dropped + r.duplicated + r.retransmits > 0 then
     Format.fprintf ppf "@,faults: dropped %d  duplicated %d  retransmits %d"
       r.dropped r.duplicated r.retransmits;

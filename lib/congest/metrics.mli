@@ -9,6 +9,8 @@ type span_report = {
   r_max_rounds : int;   (** longest single span *)
   r_delivered : int;
   r_words : int;
+  r_skipped : int;   (** live-node steps the sparse scheduler elided *)
+  r_woken : int;     (** timer-driven wake-ups *)
   r_dropped : int;
   r_duplicated : int;
   r_retransmits : int;
@@ -21,6 +23,8 @@ type t = {
   words : int;          (** payload words delivered *)
   peak_words : int;     (** widest single message *)
   budget : int option;  (** declared word budget, if any *)
+  skipped : int;        (** total elided steps (frontier saving) *)
+  woken : int;          (** total timer-driven wake-ups *)
   dropped : int;
   duplicated : int;
   retransmits : int;

@@ -2,11 +2,14 @@ open Kdom_graph
 
 type payload = Engine.payload
 type inbox = Engine.inbox
+type wake = Engine.wake = Always | Next | At of int | OnMessage
 
 type 'st algorithm = 'st Engine.algorithm = {
   init : Graph.t -> int -> 'st;
-  step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
+  step :
+    Graph.t -> round:int -> node:int -> 'st -> Engine.Inbox.t -> 'st * (int * payload) list;
   halted : 'st -> bool;
+  wake : 'st -> wake;
 }
 
 type stats = Engine.stats = { rounds : int; messages : int; max_inflight : int }
@@ -14,17 +17,19 @@ type stats = Engine.stats = { rounds : int; messages : int; max_inflight : int }
 exception Round_limit_exceeded = Engine.Round_limit_exceeded
 exception Congestion_violation = Engine.Congestion_violation
 
-let run ?max_rounds ?max_words ?sink g algo =
-  Engine.run ?max_rounds ?max_words ?sink g algo
+let run ?max_rounds ?max_words ?sink ?degrade g algo =
+  Engine.run ?max_rounds ?max_words ?sink ?degrade g algo
 
 (* ------------------------------------------------------------------ *)
 (* The original list-based simulator, kept verbatim as the executable
    specification of the engine's semantics.  Every constraint check and its
    message, the round/timing convention and the stats must match
    [Engine.exec] exactly; [test_engine_diff.ml] enforces this
-   differentially on all six message-level algorithms. *)
+   differentially on all six message-level algorithms.  It ignores wake
+   hints — it IS the dense schedule the sparse scheduler must be
+   indistinguishable from. *)
 
-let run_reference ?max_rounds ?max_words g algo =
+let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) g algo =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> Engine.default_max_rounds n
@@ -32,11 +37,13 @@ let run_reference ?max_rounds ?max_words g algo =
   let max_words =
     match max_words with Some w -> w | None -> Engine.default_max_words n
   in
+  let instrumented = sink != Engine.Sink.null in
   let states = Array.init n (fun v -> algo.init g v) in
   (* in_flight.(v) = messages to deliver to v next round, accumulated in
      reverse sender order. *)
   let in_flight : (int * payload) list array = Array.make n [] in
   let pending = ref 0 in
+  let pending_words = ref 0 in
   let messages = ref 0 in
   let max_inflight = ref 0 in
   let round = ref 0 in
@@ -49,11 +56,16 @@ let run_reference ?max_rounds ?max_words g algo =
     let delivered = Array.map List.rev in_flight in
     Array.fill in_flight 0 n [];
     let this_round = !pending in
+    let this_round_words = !pending_words in
     max_inflight := max !max_inflight this_round;
     messages := !messages + this_round;
     pending := 0;
+    pending_words := 0;
+    let stepped = ref 0 in
+    let receivers = ref 0 in
     for v = 0 to n - 1 do
       let inbox = delivered.(v) in
+      if inbox <> [] then incr receivers;
       if algo.halted states.(v) then begin
         if inbox <> [] then
           raise
@@ -61,7 +73,10 @@ let run_reference ?max_rounds ?max_words g algo =
                (Printf.sprintf "round %d: halted node %d received a message" !round v))
       end
       else begin
-        let st, outbox = algo.step g ~round:!round ~node:v states.(v) inbox in
+        incr stepped;
+        let st, outbox =
+          algo.step g ~round:!round ~node:v states.(v) (Engine.Inbox.of_list inbox)
+        in
         states.(v) <- st;
         let used = Hashtbl.create (List.length outbox) in
         List.iter
@@ -80,11 +95,30 @@ let run_reference ?max_rounds ?max_words g algo =
                 (Congestion_violation
                    (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
                       !round v (Array.length p) max_words));
+            if instrumented then
+              sink.on_message ~round:!round ~src:v ~dst:u ~words:(Array.length p);
             in_flight.(u) <- (v, p) :: in_flight.(u);
-            incr pending)
+            incr pending;
+            pending_words := !pending_words + Array.length p)
           outbox
       end
     done;
+    if instrumented then
+      sink.on_round
+        {
+          round = !round;
+          delivered = this_round;
+          delivered_words = this_round_words;
+          receivers = !receivers;
+          stepped = !stepped;
+          skipped = 0;
+          woken = 0;
+          sent = !pending;
+          dropped = 0;
+          duplicated = 0;
+          retransmits = 0;
+        };
     incr round
   done;
+  if instrumented then sink.on_finish ();
   (states, { rounds = !round; messages = !messages; max_inflight = !max_inflight })

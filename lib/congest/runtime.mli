@@ -28,19 +28,28 @@ type payload = Engine.payload
     [max_words]. *)
 
 type inbox = Engine.inbox
-(** [(neighbor, payload)] messages delivered this round, ordered by sender
-    id (ascending — the engine's inbox-ordering guarantee). *)
+(** The legacy list shape of an inbox — [(neighbor, payload)] ordered by
+    sender id (ascending).  [step] receives an {!Engine.Inbox.t} view; see
+    {!Engine.list_step}. *)
+
+type wake = Engine.wake = Always | Next | At of int | OnMessage
+(** Re-export of the engine's wake-up hints; see {!Engine.wake}. *)
 
 type 'st algorithm = 'st Engine.algorithm = {
   init : Graph.t -> int -> 'st;
     (** Initial state of each node. A node knows [n], its own id, its
         incident edges and their weights — nothing else. *)
-  step : Graph.t -> round:int -> node:int -> 'st -> inbox -> 'st * (int * payload) list;
-    (** One synchronous step: consume the inbox, return the new state and
-        the outbox as [(neighbor, payload)] pairs. *)
+  step :
+    Graph.t -> round:int -> node:int -> 'st -> Engine.Inbox.t -> 'st * (int * payload) list;
+    (** One synchronous step: consume the inbox view, return the new state
+        and the outbox as [(neighbor, payload)] pairs. *)
   halted : 'st -> bool;
     (** A halted node no longer steps; it is an error for a halted node to
         receive a message. *)
+  wake : 'st -> wake;
+    (** Scheduling hint; {!Engine.always} is always sound.  Honored by
+        {!run} (the engine); ignored by {!run_reference}, which is the
+        dense schedule the hints must be indistinguishable from. *)
 }
 
 type stats = Engine.stats = {
@@ -56,12 +65,13 @@ exception Congestion_violation of string
     {!Engine}.) *)
 
 val run :
-  ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t ->
+  ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t -> ?degrade:bool ->
   Graph.t -> 'st algorithm -> 'st array * stats
 (** Execute to quiescence on the mailbox engine. [max_rounds] defaults to
     [Engine.default_max_rounds n]; [max_words] defaults to
     [Engine.default_max_words n] (4 for any practical [n]); [sink]
-    defaults to {!Engine.Sink.null}.
+    defaults to {!Engine.Sink.null}; [degrade] (default [false]) ignores
+    wake hints and runs the dense legacy schedule.
 
     Robustness note: this runtime (like {!Engine}) models perfectly
     reliable links.  To execute the same [algorithm] value on a lossy,
@@ -70,9 +80,12 @@ val run :
     invariant checkers in {!Oracle}. *)
 
 val run_reference :
-  ?max_rounds:int -> ?max_words:int -> Graph.t -> 'st algorithm -> 'st array * stats
+  ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t ->
+  Graph.t -> 'st algorithm -> 'st array * stats
 (** The original list-based simulator — O(deg) neighbor validation, a
-    scratch table per step, an O(n) sweep per round.  Semantically
-    identical to {!run}; kept as the reference for differential tests and
-    as the baseline for the engine throughput bench.  Do not use on large
-    instances. *)
+    scratch table per step, an O(n) sweep per round, wake hints ignored.
+    Semantically identical to {!run}; kept as the reference for
+    differential tests (its [sink] reports [skipped = 0], [woken = 0] —
+    the projection the sparse scheduler's round records must agree with
+    modulo those counters) and as the baseline for the engine throughput
+    bench.  Do not use on large instances. *)

@@ -12,6 +12,8 @@ type span_stats = {
   s_rounds : int;
   s_delivered : int;
   s_words : int;
+  s_skipped : int;
+  s_woken : int;
   s_dropped : int;
   s_duplicated : int;
   s_retransmits : int;
@@ -27,6 +29,8 @@ let dummy_round : Engine.Sink.round_info =
     delivered_words = 0;
     receivers = 0;
     stepped = 0;
+    skipped = 0;
+    woken = 0;
     sent = 0;
     dropped = 0;
     duplicated = 0;
@@ -191,6 +195,8 @@ let span_stats t s =
   let i0 = lower_bound t s.start_round and i1 = lower_bound t stop in
   let delivered = ref 0
   and words = ref 0
+  and skipped = ref 0
+  and woken = ref 0
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0 in
@@ -198,6 +204,8 @@ let span_stats t s =
     let r = t.buf.rb.(i) in
     delivered := !delivered + r.delivered;
     words := !words + r.delivered_words;
+    skipped := !skipped + r.skipped;
+    woken := !woken + r.woken;
     dropped := !dropped + r.dropped;
     duplicated := !duplicated + r.duplicated;
     retransmits := !retransmits + r.retransmits
@@ -206,6 +214,8 @@ let span_stats t s =
     s_rounds = stop - s.start_round;
     s_delivered = !delivered;
     s_words = !words;
+    s_skipped = !skipped;
+    s_woken = !woken;
     s_dropped = !dropped;
     s_duplicated = !duplicated;
     s_retransmits = !retransmits;
@@ -238,7 +248,7 @@ let notes t = List.rev t.notes_rev
 (* ------------------------------------------------------------------ *)
 (* export *)
 
-let schema_version = "kdom.trace.v1"
+let schema_version = "kdom.trace.v1.1"
 
 let escape name =
   let b = Buffer.create (String.length name) in
@@ -255,6 +265,8 @@ let escape name =
 type totals = {
   t_delivered : int;
   t_words : int;
+  t_skipped : int;
+  t_woken : int;
   t_dropped : int;
   t_duplicated : int;
   t_retransmits : int;
@@ -263,6 +275,8 @@ type totals = {
 let totals t =
   let delivered = ref 0
   and words = ref 0
+  and skipped = ref 0
+  and woken = ref 0
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0 in
@@ -270,6 +284,8 @@ let totals t =
     let r = t.buf.rb.(i) in
     delivered := !delivered + r.delivered;
     words := !words + r.delivered_words;
+    skipped := !skipped + r.skipped;
+    woken := !woken + r.woken;
     dropped := !dropped + r.dropped;
     duplicated := !duplicated + r.duplicated;
     retransmits := !retransmits + r.retransmits
@@ -277,6 +293,8 @@ let totals t =
   {
     t_delivered = !delivered;
     t_words = !words;
+    t_skipped = !skipped;
+    t_woken = !woken;
     t_dropped = !dropped;
     t_duplicated = !duplicated;
     t_retransmits = !retransmits;
@@ -297,21 +315,22 @@ let to_jsonl t =
         (Printf.sprintf
            "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"depth\":%d,\
             \"track\":%d,\"start\":%d,\"end\":%d,\"rounds\":%d,\"delivered\":%d,\
-            \"words\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d}\n"
+            \"words\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
+            \"duplicated\":%d,\"retransmits\":%d}\n"
            s.id s.parent (escape s.name) s.depth s.track s.start_round
            (if s.stop_round < 0 then t.clock else s.stop_round)
-           st.s_rounds st.s_delivered st.s_words st.s_dropped st.s_duplicated
-           st.s_retransmits))
+           st.s_rounds st.s_delivered st.s_words st.s_skipped st.s_woken
+           st.s_dropped st.s_duplicated st.s_retransmits))
     spans;
   for i = 0 to t.buf.rlen - 1 do
     let r = t.buf.rb.(i) in
     Buffer.add_string b
       (Printf.sprintf
          "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
-          \"receivers\":%d,\"stepped\":%d,\"sent\":%d,\"dropped\":%d,\
-          \"duplicated\":%d,\"retransmits\":%d}\n"
-         r.round r.delivered r.delivered_words r.receivers r.stepped r.sent
-         r.dropped r.duplicated r.retransmits)
+          \"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\"woken\":%d,\
+          \"sent\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d}\n"
+         r.round r.delivered r.delivered_words r.receivers r.stepped r.skipped
+         r.woken r.sent r.dropped r.duplicated r.retransmits)
   done;
   List.iter
     (fun (name, v) ->
@@ -324,9 +343,11 @@ let to_jsonl t =
     (Printf.sprintf
        "{\"type\":\"summary\",\"clock\":%d,\"rounds\":%d,\"spans\":%d,\
         \"messages\":%d,\"delivered\":%d,\"words\":%d,\"peak_words\":%d,\
-        \"budget\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d}\n"
+        \"budget\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
+        \"duplicated\":%d,\"retransmits\":%d}\n"
        t.clock t.buf.rlen (List.length spans) t.msgs tt.t_delivered tt.t_words
-       t.peak t.budget tt.t_dropped tt.t_duplicated tt.t_retransmits);
+       t.peak t.budget tt.t_skipped tt.t_woken tt.t_dropped tt.t_duplicated
+       tt.t_retransmits);
   Buffer.contents b
 
 let export_jsonl t oc =
@@ -417,20 +438,20 @@ let int_fields = function
     Some
       [
         "id"; "parent"; "depth"; "track"; "start"; "end"; "rounds"; "delivered";
-        "words"; "dropped"; "duplicated"; "retransmits";
+        "words"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
       ]
   | "round" ->
     Some
       [
-        "round"; "delivered"; "words"; "receivers"; "stepped"; "sent"; "dropped";
-        "duplicated"; "retransmits";
+        "round"; "delivered"; "words"; "receivers"; "stepped"; "skipped"; "woken";
+        "sent"; "dropped"; "duplicated"; "retransmits";
       ]
   | "note" -> Some [ "value" ]
   | "summary" ->
     Some
       [
         "clock"; "rounds"; "spans"; "messages"; "delivered"; "words"; "peak_words";
-        "budget"; "dropped"; "duplicated"; "retransmits";
+        "budget"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
       ]
   | _ -> None
 

@@ -45,6 +45,10 @@ type span_stats = {
   s_rounds : int;       (** [stop_round - start_round] *)
   s_delivered : int;    (** messages delivered during the span *)
   s_words : int;        (** payload words delivered during the span *)
+  s_skipped : int;
+      (** live-node steps the sparse scheduler elided during the span —
+          [s_skipped / s_rounds] is the average frontier saving *)
+  s_woken : int;        (** timer-driven wake-ups during the span *)
   s_dropped : int;
   s_duplicated : int;
   s_retransmits : int;
@@ -141,8 +145,10 @@ val notes : t -> (string * int) list
 (** {2 Export} *)
 
 val schema_version : string
-(** The JSONL schema identifier, ["kdom.trace.v1"].  Any change to the
-    record shapes below bumps this string and the golden files. *)
+(** The JSONL schema identifier, ["kdom.trace.v1.1"].  v1.1 adds the
+    frontier counters ([skipped]/[woken]) to the [round], [span] and
+    [summary] records.  Any change to the record shapes below bumps this
+    string and the golden files. *)
 
 val to_jsonl : t -> string
 (** The versioned JSONL trace: a [meta] line, one [span] line per span

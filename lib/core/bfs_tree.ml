@@ -56,8 +56,8 @@ let algorithm g ~root =
     (* 1. Consume the inbox. *)
     let explore_senders = ref [] in
     let st =
-      List.fold_left
-        (fun st (u, payload) ->
+      Engine.Inbox.fold
+        (fun st u payload ->
           match payload.(0) with
           | t when t = tag_explore ->
             if st.depth = -1 then begin
@@ -143,7 +143,15 @@ let algorithm g ~root =
     (st, !out)
   in
   let halted st = st.halted in
-  ({ init; step; halted } : state Runtime.algorithm)
+  (* Wake hints: everything after adoption is message-driven, except the
+     children-known echo check, which first becomes true at
+     [adopted_round + 2] and can fire on an empty inbox (leaf with no
+     unclassified neighbors). *)
+  let wake st =
+    if st.depth >= 0 && not st.echo_sent then Engine.At (st.adopted_round + 2)
+    else Engine.OnMessage
+  in
+  ({ init; step; halted; wake } : state Runtime.algorithm)
 
 let info_of_states _g root states =
   let info =

@@ -164,12 +164,16 @@ let congest_algorithm g ~root =
             done_ = false;
           });
       halted = (fun st -> st.done_);
+      (* Genuinely dense: every node recolors every round of the fixed
+         [last_round]-length schedule, so the legacy schedule is the right
+         one. *)
+      wake = Engine.always;
       step =
         (fun _g ~round ~node:_ st inbox ->
           let parent_color =
-            match inbox with
-            | [ (_, payload) ] -> payload.(0)
-            | [] -> st.parent_color
+            match Engine.Inbox.length inbox with
+            | 1 -> (Engine.Inbox.payload inbox 0).(0)
+            | 0 -> st.parent_color
             | _ -> invalid_arg "three_color_congest: more than one parent message"
           in
           let st = { st with parent_color } in

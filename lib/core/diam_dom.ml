@@ -22,6 +22,7 @@ type census_state = {
   member : bool;
   totals : int array;   (* root only: census totals per level *)
   decided : int;        (* selected level, -1 until known *)
+  wake_round : int;     (* next round this node must act without mail; -1 = none *)
   halted : bool;
 }
 
@@ -40,6 +41,7 @@ let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
       member = false;
       totals = (if v = info.root then Array.make (k + 1) 0 else [||]);
       decided = -1;
+      wake_round = m - info.depth.(v);
       halted = false;
     }
   in
@@ -47,8 +49,8 @@ let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
     let out = ref [] in
     let below = ref 0 in
     let result = ref (-1) in
-    List.iter
-      (fun (_u, payload) ->
+    Engine.Inbox.iter
+      (fun _u payload ->
         match payload.(0) with
         | t when t = tag_census -> below := !below + payload.(2)
         | t when t = tag_result -> result := payload.(1)
@@ -92,10 +94,22 @@ let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
       end
       else st
     in
-    (st, !out)
+    (* Outside its census window [M - depth, M - depth + k] a node is
+       purely message-driven (the decision broadcast); inside it, a node —
+       leaves included — must upcast every round even on an empty inbox. *)
+    let start = st.m - st.depth in
+    let wake_round =
+      if round < start then start
+      else if round < start + st.k then round + 1
+      else -1
+    in
+    ({ st with wake_round }, !out)
   in
   let halted st = st.halted in
-  { Engine.init; step; halted }
+  let wake st =
+    if st.wake_round >= 0 then Engine.At st.wake_round else Engine.OnMessage
+  in
+  { Engine.init; step; halted; wake }
 
 (* Word budget: the widest message is [| tag_census; l; counter |] — 3
    words. *)

@@ -48,13 +48,16 @@ let algorithm g : state Engine.algorithm =
     let send u payload = out := (u, payload) :: !out in
     if round = 0 then begin
       List.iter (fun u -> send u [| tag_offer; node; 0 |]) st.neighbors;
-      (st, !out)
+      (* [just_adopted] doubles as "check settledness next round even with
+         an empty inbox" — a node with no neighbors (n = 1) gets no offers
+         and must still reach the leader check at round 1 *)
+      ({ st with just_adopted = true }, !out)
     end
     else begin
       (* the strongest wave offered this round, if it beats the current *)
       let upgrade = ref None in
-      List.iter
-        (fun (u, payload) ->
+      Engine.Inbox.iter
+        (fun u payload ->
           if payload.(0) = tag_offer && payload.(1) > st.best then
             match !upgrade with
             | Some (w, d, _) when (w, -d) >= (payload.(1), -payload.(2)) -> ()
@@ -82,8 +85,8 @@ let algorithm g : state Engine.algorithm =
       in
       (* bookkeeping for the (possibly new) current wave *)
       let st =
-        List.fold_left
-          (fun st (u, payload) ->
+        Engine.Inbox.fold
+          (fun st u payload ->
             match payload.(0) with
             | t when t = tag_offer ->
               if payload.(1) = st.best && not (List.mem u st.same_wave) then
@@ -132,7 +135,12 @@ let algorithm g : state Engine.algorithm =
     end
   in
   let halted st = st.halted in
-  { Engine.init; step; halted }
+  (* Wake hints: wave adoption, bookkeeping and the final broadcast are all
+     message-driven.  The one empty-inbox transition is the echo check the
+     round after an adoption ([just_adopted] suppresses the same-round
+     echo), so an adopter asks to be stepped next round. *)
+  let wake st = if st.just_adopted then Engine.Next else Engine.OnMessage in
+  { Engine.init; step; halted; wake }
 
 (* Word budget: the widest message is [| tag_offer; wave id; depth |] — 3
    words. *)

@@ -87,8 +87,8 @@ let algorithm ?(eliminate_cycles = true) g ~(bfs : Bfs_tree.info) ~fragment_of =
         (Graph.neighbors g node)
     else if round = 1 then
       (* learn neighbor fragments; incident inter-fragment edges seed Q *)
-      List.iter
-        (fun (u, payload) ->
+      Engine.Inbox.iter
+        (fun u payload ->
           match payload.(0) with
           | t when t = tag_frag ->
             let nfrag = payload.(1) in
@@ -101,8 +101,8 @@ let algorithm ?(eliminate_cycles = true) g ~(bfs : Bfs_tree.info) ~fragment_of =
         inbox
     else begin
       (* consume child messages *)
-      List.iter
-        (fun (u, payload) ->
+      Engine.Inbox.iter
+        (fun u payload ->
           match payload.(0) with
           | t when t = tag_edge ->
             Hashtbl.replace st.heard u ();
@@ -156,7 +156,16 @@ let algorithm ?(eliminate_cycles = true) g ~(bfs : Bfs_tree.info) ~fragment_of =
     (st, !out)
   in
   let halted st = st.done_ in
-  (({ Engine.init; step; halted } : node_state Engine.algorithm), stalls)
+  (* A node that has started upcasting drains one queued candidate per
+     round with no further input, and a leaf starts vacuously — both need
+     stepping every round until done.  Everything else (fragment exchange,
+     hearing children, termination) arrives as a message. *)
+  let wake st =
+    if st.done_ then Engine.OnMessage
+    else if st.started || st.children = [] then Engine.Next
+    else Engine.OnMessage
+  in
+  (({ Engine.init; step; halted; wake } : node_state Engine.algorithm), stalls)
 
 let selected_of_states g ~fragment_of ~root states =
   let nf = 1 + Array.fold_left max 0 fragment_of in

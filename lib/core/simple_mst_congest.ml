@@ -31,7 +31,31 @@ let locate round =
   in
   go 1 0
 
+(* The next round at which a node may have to act on an empty inbox.  The
+   §4.3 schedule is global and fixed, so the checkpoints are too: the
+   phase-start reset (every node), the verdict / fragment-id exchange /
+   classification / rootship / connect / absorption slots, and the final
+   halting round.  Everything between checkpoints (probe propagation, echo
+   and candidate convergecasts, rootship walks) is message-driven. *)
+let next_checkpoint ~total round =
+  let i, r = locate round in
+  let cap = 1 lsl i in
+  let offsets =
+    [
+      (2 * cap) + 2;  (* verdict *)
+      (3 * cap) + 4;  (* fragment-id exchange *)
+      (3 * cap) + 5;  (* classification *)
+      (4 * cap) + 6;  (* rootship launch *)
+      (5 * cap) + 7;  (* connect *)
+      (5 * cap) + 8;  (* absorption-by-silence *)
+      phase_len i;    (* next phase start *)
+    ]
+  in
+  let next_off = List.find (fun o -> o > r) offsets in
+  min (round - r + next_off) (total - 1)
+
 type state = {
+  wake_round : int;            (* next schedule checkpoint this node must attend *)
   tree : int list;             (* fragment tree neighbors *)
   parent : int;                (* -1 at the fragment root *)
   frag_id : int;               (* latest root identity heard (may be stale) *)
@@ -81,6 +105,7 @@ let algorithm g ~k : state Engine.algorithm =
   let init _g v =
     fresh_phase
       {
+        wake_round = 0;
         tree = [];
         parent = -1;
         frag_id = v;
@@ -123,8 +148,8 @@ let algorithm g ~k : state Engine.algorithm =
     in
     (* consume the inbox *)
     let st =
-      List.fold_left
-        (fun st (u, payload) ->
+      Engine.Inbox.fold
+        (fun st u payload ->
           match payload.(0) with
           | t when t = tag_probe ->
             let hop = payload.(1) and id = payload.(2) in
@@ -270,17 +295,20 @@ let algorithm g ~k : state Engine.algorithm =
     (* silence on the connect edge means absorption into the other side *)
     let st =
       if r = connect_at + 1 && st.connect_to >= 0 && st.parent = -1 then begin
-        let mutual = List.exists (fun (u, _) -> u = st.connect_to) inbox in
+        let mutual = ref false in
+        Engine.Inbox.iter (fun u _ -> if u = st.connect_to then mutual := true) inbox;
+        let mutual = !mutual in
         if mutual then st (* resolved while consuming the inbox *)
         else { st with parent = st.connect_to }
       end
       else st
     in
     let st = if round = total - 1 then { st with halted = true } else st in
-    (st, !out)
+    ({ st with wake_round = next_checkpoint ~total round }, !out)
   in
   let halted st = st.halted in
-  { Engine.init; step; halted }
+  let wake st = Engine.At st.wake_round in
+  { Engine.init; step; halted; wake }
 
 (* Word budget: the widest messages are [| tag_probe; hop; root id |] and
    [| tag_verdict; active?; hop |] — 3 words. *)

@@ -73,7 +73,7 @@ let flood_algorithm rounds : flood Runtime.algorithm =
     step =
       (fun _g ~round:_ ~node:_ st inbox ->
         let best =
-          List.fold_left (fun acc (_, p) -> max acc p.(0)) st.best inbox
+          Engine.Inbox.fold (fun acc _ p -> max acc p.(0)) st.best inbox
         in
         let st = { st with best; rounds_left = st.rounds_left - 1 } in
         let out =
@@ -81,6 +81,8 @@ let flood_algorithm rounds : flood Runtime.algorithm =
           else List.map (fun u -> (u, [| st.best |])) st.neighbors
         in
         (st, out));
+    (* genuinely dense: every node floods every round until the deadline *)
+    wake = Engine.always;
   }
 
 let test_flood_same_states () =

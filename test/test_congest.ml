@@ -29,7 +29,7 @@ let token_algorithm : token_state Runtime.algorithm =
         if node = 0 && round = 0 then
           ({ st with seen = true; halted = true }, [ (1, [| 42 |]) ])
         else
-          match inbox with
+          match Engine.Inbox.to_list inbox with
           | [ (from, payload) ] ->
             let next = List.filter (fun u -> u > node) st.neighbors in
             ignore from;
@@ -38,7 +38,13 @@ let token_algorithm : token_state Runtime.algorithm =
             ({ st with seen = true; halted = true }, out)
           | [] -> (st, [])
           | _ -> assert false);
+    wake = Engine.always;
   }
+
+(* The same walk with an honest hint: a node acts only when the token
+   arrives, so the sparse scheduler should step O(1) nodes per round. *)
+let sparse_token : token_state Runtime.algorithm =
+  { token_algorithm with wake = (fun _ -> Runtime.OnMessage) }
 
 let test_delivery_and_stats () =
   let g = path3 () in
@@ -53,6 +59,7 @@ let fixed_step out_of step =
     Runtime.init = (fun _ _ -> 0);
     halted = (fun r -> r >= out_of);
     step;
+    wake = Engine.always;
   }
 
 let test_rejects_double_send () =
@@ -97,6 +104,7 @@ let test_rejects_message_to_halted () =
           if node = 1 && round = 1 then (2, [ (2, [| 7 |]) ])
           else if round >= 3 then (2, [])
           else (st, []));
+      wake = Engine.always;
     }
   in
   Alcotest.check_raises "halted receiver"
@@ -111,6 +119,7 @@ let test_round_limit () =
       Runtime.init = (fun _ _ -> 0);
       halted = (fun _ -> false);
       step = (fun _g ~round:_ ~node:_ st _ -> (st, []));
+      wake = Engine.always;
     }
   in
   Alcotest.check_raises "round limit" (Runtime.Round_limit_exceeded 11) (fun () ->
@@ -129,15 +138,109 @@ let test_inbox_sender_order () =
         (fun _g ~round ~node st inbox ->
           if round = 0 && node > 0 then (1, [ (0, [| node |]) ])
           else if node = 0 && round = 1 then begin
-            received := List.map fst inbox;
+            received := List.map fst (Engine.Inbox.to_list inbox);
             (1, [])
           end
           else if round >= 1 then (1, [])
           else (st, []));
+      wake = Engine.always;
     }
   in
   ignore (Runtime.run g algo);
   Alcotest.(check (list int)) "sender order" [ 1; 2; 3; 4 ] !received
+
+(* ------------------------------------------------------------------ *)
+(* Sparse scheduler and engine edge cases *)
+
+let test_sparse_token_frontier () =
+  let g =
+    Graph.of_edges ~n:6 [ (0, 1, 1); (1, 2, 2); (2, 3, 3); (3, 4, 4); (4, 5, 5) ]
+  in
+  let sink, rounds = Engine.Sink.counters () in
+  let states, stats = Runtime.run ~sink g sparse_token in
+  (* bit-identical to the dense schedule (wake hints degraded to Always) *)
+  let dstates, dstats = Runtime.run ~degrade:true g sparse_token in
+  Alcotest.(check bool) "states match dense run" true (states = dstates);
+  Alcotest.(check bool) "stats match dense run" true (stats = dstats);
+  List.iter
+    (fun (ri : Engine.Sink.round_info) ->
+      if ri.round >= 1 then begin
+        Alcotest.(check int)
+          (Printf.sprintf "round %d steps only the token holder" ri.round)
+          1 ri.stepped;
+        Alcotest.(check int)
+          (Printf.sprintf "round %d skips the rest of the live set" ri.round)
+          (5 - ri.round) ri.skipped;
+        Alcotest.(check int) "no timers in a message-driven walk" 0 ri.woken
+      end
+      else begin
+        (* the init round steps every node and skips none *)
+        Alcotest.(check int) "init round steps all" 6 ri.stepped;
+        Alcotest.(check int) "init round skips none" 0 ri.skipped
+      end)
+    (rounds ())
+
+let test_wake_timer () =
+  (* one isolated-by-silence node: sends nothing, wakes itself at round 3
+     via an [At] hint and only then halts *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let algo : int Runtime.algorithm =
+    {
+      init = (fun _ _ -> 0);
+      halted = (fun st -> st >= 1);
+      step = (fun _g ~round ~node:_ st _ -> if round >= 3 then (1, []) else (st, []));
+      wake = (fun _ -> Runtime.At 3);
+    }
+  in
+  let sink, rounds = Engine.Sink.counters () in
+  let _states, stats = Runtime.run ~sink g algo in
+  Alcotest.(check int) "four rounds" 4 stats.rounds;
+  List.iter
+    (fun (ri : Engine.Sink.round_info) ->
+      match ri.round with
+      | 0 -> Alcotest.(check int) "init round steps all" 2 ri.stepped
+      | 1 | 2 ->
+        Alcotest.(check int) "quiet rounds step nobody" 0 ri.stepped;
+        Alcotest.(check int) "quiet rounds skip the live set" 2 ri.skipped
+      | 3 ->
+        Alcotest.(check int) "timer round steps both" 2 ri.stepped;
+        Alcotest.(check int) "both wake by timer" 2 ri.woken
+      | r -> Alcotest.failf "unexpected round %d" r)
+    (rounds ())
+
+let test_engine_empty_and_singleton () =
+  let algo = fixed_step 1 (fun _g ~round:_ ~node:_ st _ -> (max st 1, [])) in
+  let g0 = Graph.of_edges ~n:0 [] in
+  let states0, stats0 = Runtime.run g0 algo in
+  Alcotest.(check int) "n=0: no states" 0 (Array.length states0);
+  Alcotest.(check int) "n=0: no rounds" 0 stats0.rounds;
+  let g1 = Graph.of_edges ~n:1 [] in
+  let states1, stats1 = Runtime.run g1 algo in
+  Alcotest.(check int) "n=1: one state" 1 (Array.length states1);
+  Alcotest.(check int) "n=1: one round" 1 stats1.rounds;
+  Alcotest.(check int) "n=1: no messages" 0 stats1.messages
+
+let test_find_port_bounds () =
+  let e = Engine.create (path3 ()) in
+  Alcotest.(check int) "port count" 4 (Engine.port_count e);
+  Alcotest.(check bool) "neighbor found" true (Engine.find_port e ~src:0 ~dst:1 >= 0);
+  Alcotest.(check bool) "reverse edge found" true (Engine.find_port e ~src:1 ~dst:0 >= 0);
+  Alcotest.(check int) "non-neighbor" (-1) (Engine.find_port e ~src:0 ~dst:2);
+  Alcotest.(check int) "self" (-1) (Engine.find_port e ~src:1 ~dst:1);
+  Alcotest.(check int) "dst out of range" (-1) (Engine.find_port e ~src:0 ~dst:7);
+  Alcotest.(check int) "negative dst" (-1) (Engine.find_port e ~src:0 ~dst:(-3));
+  Alcotest.(check int) "src out of range" (-1) (Engine.find_port e ~src:9 ~dst:0);
+  Alcotest.(check int) "negative src" (-1) (Engine.find_port e ~src:(-1) ~dst:0);
+  (* every slot is distinct and recovered by search *)
+  let seen = Hashtbl.create 8 in
+  for v = 0 to 2 do
+    Engine.iter_neighbors e v (fun u ->
+        let s = Engine.find_port e ~src:v ~dst:u in
+        Alcotest.(check bool) "slot in range" true (s >= 0 && s < Engine.port_count e);
+        Alcotest.(check bool) "slot unique" false (Hashtbl.mem seen s);
+        Hashtbl.replace seen s ())
+  done;
+  Alcotest.(check int) "all slots covered" (Engine.port_count e) (Hashtbl.length seen)
 
 (* ------------------------------------------------------------------ *)
 (* Ledger *)
@@ -247,6 +350,13 @@ let () =
             test_rejects_message_to_halted;
           Alcotest.test_case "round limit" `Quick test_round_limit;
           Alcotest.test_case "inbox sender order" `Quick test_inbox_sender_order;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "sparse token frontier" `Quick test_sparse_token_frontier;
+          Alcotest.test_case "wake timer buckets" `Quick test_wake_timer;
+          Alcotest.test_case "n=0 and n=1 engines" `Quick test_engine_empty_and_singleton;
+          Alcotest.test_case "find_port bounds" `Quick test_find_port_bounds;
         ] );
       ("ledger", [ Alcotest.test_case "charges and merges" `Quick test_ledger ]);
       ( "cluster",

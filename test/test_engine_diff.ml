@@ -151,6 +151,7 @@ let test_violations_agree () =
               (fun _ ~round:_ ~node st _ ->
                 (st, if node = 2 then [ (5, [| 0 |]) ] else []));
             halted = (fun _ -> false);
+            wake = Engine.always;
           } );
       ( "duplicate",
         fun () ->
@@ -160,6 +161,7 @@ let test_violations_agree () =
               (fun _ ~round:_ ~node st _ ->
                 (st, if node = 3 then [ (4, [| 0 |]); (4, [| 1 |]) ] else []));
             halted = (fun _ -> false);
+            wake = Engine.always;
           } );
       ( "width",
         fun () ->
@@ -169,6 +171,7 @@ let test_violations_agree () =
               (fun _ ~round:_ ~node st _ ->
                 (st, if node = 2 then [ (3, [| 1; 2; 3; 4; 5 |]) ] else []));
             halted = (fun _ -> false);
+            wake = Engine.always;
           } );
       ( "halted receiver",
         fun () ->
@@ -178,6 +181,7 @@ let test_violations_agree () =
               (fun _ ~round:_ ~node st _ ->
                 (st, if node = 1 then [ (0, [| 7 |]) ] else []));
             halted = (fun v -> v = 0);
+            wake = Engine.always;
           } );
     ]
   in
@@ -190,6 +194,137 @@ let test_violations_agree () =
           Alcotest.(check string) (name ^ ": same violation") mr me
       | _ -> Alcotest.failf "%s: expected violations from both backends" name)
     cases
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler differentials: the sparse event-driven scheduler against the
+   reference, round for round.  [~degrade:true] makes the engine ignore
+   wake hints entirely, so its per-round sink records must be bit-identical
+   to [run_reference]'s 0-projection (skipped = woken = 0, stepped = live)
+   for ARBITRARY — even dishonest — hints.  Without [degrade] the hints are
+   honored, and the per-round traffic (sent / delivered / words /
+   receivers) plus stepped+skipped = reference stepped must still agree. *)
+
+type flood = { best : int; left : int }
+
+let flood_algorithm ?(wake = Engine.always) g rounds : flood Runtime.algorithm =
+  {
+    init = (fun _ v -> { best = v; left = rounds });
+    halted = (fun st -> st.left = 0);
+    step =
+      (fun _ ~round:_ ~node st inbox ->
+        let best = Engine.Inbox.fold (fun a _ p -> max a p.(0)) st.best inbox in
+        let st = { best; left = st.left - 1 } in
+        let out =
+          if st.left = 0 then []
+          else
+            Array.to_list
+              (Array.map (fun (u, _) -> (u, [| st.best |])) (Graph.neighbors g node))
+        in
+        (st, out));
+    wake;
+  }
+
+(* a token walking a path: the canonical O(1)-frontier kernel *)
+let token_algorithm ?(wake = Engine.always) g : bool Runtime.algorithm =
+  let n = Graph.n g in
+  {
+    init = (fun _ _ -> false);
+    halted = (fun st -> st);
+    step =
+      (fun _ ~round ~node _ inbox ->
+        if node = 0 && round = 0 then
+          (true, if n > 1 then [ (1, [| 1 |]) ] else [])
+        else if not (Engine.Inbox.is_empty inbox) then
+          (true, if node + 1 < n then [ (node + 1, [| 1 |]) ] else [])
+        else (false, []));
+    wake;
+  }
+
+let degraded_round_diff what ~max_words g mk =
+  let es, er = Engine.Sink.counters () in
+  let e_states, e_stats = Engine.run ~max_words ~sink:es ~degrade:true g (mk ()) in
+  let rs, rr = Engine.Sink.counters () in
+  let r_states, r_stats = Runtime.run_reference ~max_words ~sink:rs g (mk ()) in
+  if e_states <> r_states then Alcotest.failf "%s: final states differ" what;
+  check_stats what e_stats r_stats;
+  let e = er () and r = rr () in
+  Alcotest.(check int) (what ^ ": round record count") (List.length r)
+    (List.length e);
+  List.iter2
+    (fun (ei : Engine.Sink.round_info) (ri : Engine.Sink.round_info) ->
+      if ei <> ri then Alcotest.failf "%s: round %d records differ" what ri.round)
+    e r
+
+let sparse_round_diff what ~max_words g mk =
+  let es, er = Engine.Sink.counters () in
+  let e_states, e_stats = Engine.run ~max_words ~sink:es g (mk ()) in
+  let rs, rr = Engine.Sink.counters () in
+  let r_states, r_stats = Runtime.run_reference ~max_words ~sink:rs g (mk ()) in
+  if e_states <> r_states then Alcotest.failf "%s: final states differ" what;
+  check_stats what e_stats r_stats;
+  List.iter2
+    (fun (ei : Engine.Sink.round_info) (ri : Engine.Sink.round_info) ->
+      let ctx = Printf.sprintf "%s round %d: " what ri.round in
+      Alcotest.(check int) (ctx ^ "stepped+skipped = reference stepped")
+        ri.stepped (ei.stepped + ei.skipped);
+      Alcotest.(check int) (ctx ^ "sent") ri.sent ei.sent;
+      Alcotest.(check int) (ctx ^ "delivered") ri.delivered ei.delivered;
+      Alcotest.(check int) (ctx ^ "delivered_words") ri.delivered_words
+        ei.delivered_words;
+      Alcotest.(check int) (ctx ^ "receivers") ri.receivers ei.receivers)
+    (er ()) (rr ())
+
+let prop_degrade_bit_identical =
+  QCheck2.Test.make
+    ~name:"degraded engine = reference round-for-round under random hints"
+    ~count:20
+    QCheck2.Gen.(pair seed_gen (int_bound 1000))
+    (fun (seed, hseed) ->
+      (* arbitrary — even dishonest — hints must be invisible under degrade *)
+      let wake _ =
+        match hseed mod 4 with
+        | 0 -> Runtime.Always
+        | 1 -> Runtime.Next
+        | 2 -> Runtime.OnMessage
+        | _ -> Runtime.At (hseed mod 17)
+      in
+      List.iter
+        (fun (fam, g) ->
+          degraded_round_diff ("flood/" ^ fam) ~max_words:4 g (fun () ->
+              flood_algorithm ~wake g (2 + (seed mod 4)));
+          degraded_round_diff ("bfs/" ^ fam) ~max_words:Kdom.Bfs_tree.max_words
+            g (fun () -> { (Kdom.Bfs_tree.algorithm g ~root:0) with wake });
+          degraded_round_diff ("smc/" ^ fam)
+            ~max_words:Kdom.Simple_mst_congest.max_words g (fun () ->
+              { (Kdom.Simple_mst_congest.algorithm g ~k:2) with wake }))
+        (graph_families seed);
+      let p = Generators.path ~rng:(Rng.create seed) (2 + (seed mod 30)) in
+      degraded_round_diff "token/path" ~max_words:4 p (fun () ->
+          token_algorithm ~wake p);
+      true)
+
+let prop_sparse_round_consistency =
+  QCheck2.Test.make
+    ~name:"sparse scheduler: per-round traffic matches the reference"
+    ~count:20 seed_gen
+    (fun seed ->
+      List.iter
+        (fun (fam, g) ->
+          sparse_round_diff ("bfs/" ^ fam) ~max_words:Kdom.Bfs_tree.max_words g
+            (fun () -> Kdom.Bfs_tree.algorithm g ~root:0);
+          sparse_round_diff ("smc/" ^ fam)
+            ~max_words:Kdom.Simple_mst_congest.max_words g (fun () ->
+              Kdom.Simple_mst_congest.algorithm g ~k:2))
+        (graph_families seed);
+      let t = Generators.random_tree ~rng:(Rng.create seed) (10 + (seed mod 40)) in
+      let info, _ = Kdom.Bfs_tree.run t ~root:0 in
+      if info.height > 2 then
+        sparse_round_diff "census/tree" ~max_words:Kdom.Diam_dom.census_max_words
+          t (fun () -> Kdom.Diam_dom.census_algorithm info ~k:2);
+      let p = Generators.path ~rng:(Rng.create seed) (2 + (seed mod 30)) in
+      sparse_round_diff "token/path" ~max_words:4 p (fun () ->
+          token_algorithm ~wake:(fun _ -> Runtime.OnMessage) p);
+      true)
 
 (* ------------------------------------------------------------------ *)
 (* Async vs Engine across delay regimes *)
@@ -269,6 +404,9 @@ let () =
             prop_simple_mst;
             prop_pipeline;
           ] );
+      ( "scheduler",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_degrade_bit_identical; prop_sparse_round_consistency ] );
       ( "deterministic",
         [
           Alcotest.test_case "fixed instances" `Quick test_fixed_instances;
