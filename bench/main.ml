@@ -1128,6 +1128,202 @@ let faults_smoke () =
     !trials
 
 (* ------------------------------------------------------------------ *)
+(* REPAIR — the self-healing maintenance layer under permanent churn:
+   detection latency and repair rounds vs k (scenario A: a dominator
+   fail-stop; scenario B: a tree-edge cut, which on a tree host severs the
+   whole subtree and forces a takeover election), plus the steady-state
+   heartbeat overhead, appended to BENCH_repair.json.  Both latencies are
+   asserted against their configured lease multiples: detection within
+   (lease+1) heartbeat periods plus the wave's propagation slack, repair
+   within two lease cycles plus the takeover flood — all O(k) for
+   beta = k+1 and the partition's O(k) radius. *)
+
+type repair_row = {
+  rp_scenario : string;
+  rp_n : int;
+  rp_k : int;
+  rp_beta : int;
+  rp_lease : int;
+  rp_dmax : int;
+  rp_detect : int;       (* first suspicion - fault round; -1 = steady *)
+  rp_detect_bound : int;
+  rp_repair : int;       (* last repair - first suspicion; -1 = steady *)
+  rp_repair_bound : int;
+  rp_hb : int;
+  rp_repair_frames : int;
+  rp_rounds : int;
+  rp_secs : float;
+}
+
+let repair_case ~scenario g ~k ~events ~fault_round =
+  let open Kdom_congest in
+  let plan = Dom_partition.repair_plan g (Dom_partition.run g ~k) in
+  let maxdepth = Array.fold_left max 0 plan.Repair.depth in
+  let beta = max 2 (k + 1) and lease = 2 in
+  let dmax = Repair.default_dmax plan in
+  let detect_bound = ((lease + 1) * beta) + (2 * maxdepth) + 2 in
+  let repair_bound = (2 * lease * beta) + (4 * dmax) + 18 in
+  let horizon = fault_round + detect_bound + repair_bound + beta + 2 in
+  let cfg = { Repair.plan; beta; lease; dmax; horizon } in
+  let e = Engine.create g in
+  let churn = Engine.Churn.compile e events in
+  let (states, stats), secs = wall (fun () -> Repair.run ~churn e cfg) in
+  let rep = Repair.decode states in
+  let alive = Engine.Churn.final_alive churn in
+  let centers = ref [] in
+  Array.iteri
+    (fun v d -> if alive.(v) && d = v then centers := v :: !centers)
+    rep.Repair.dominator_of;
+  Oracle.expect_ok
+    (Printf.sprintf "repair bench (%s, k=%d)" scenario k)
+    (Oracle.eventual_k_domination g ~alive
+       ~dead_edges:(Engine.Churn.final_edges_down churn)
+       ~centers:!centers ~bound:(Graph.n g));
+  let detect, repair =
+    if events = [] then begin
+      if rep.Repair.suspicions > 0 || rep.Repair.repair_frames > 0 then
+        failwith
+          (Printf.sprintf
+             "repair bench: steady run at k=%d generated repair traffic" k);
+      (-1, -1)
+    end
+    else begin
+      if rep.Repair.first_suspect < 0 then
+        failwith
+          (Printf.sprintf "repair bench: %s at k=%d was never detected"
+             scenario k);
+      let detect = rep.Repair.first_suspect - fault_round in
+      let repair = max 0 (rep.Repair.last_repair - rep.Repair.first_suspect) in
+      if detect > detect_bound then
+        failwith
+          (Printf.sprintf
+             "repair bench: %s at k=%d detected in %d rounds > bound %d"
+             scenario k detect detect_bound);
+      if repair > repair_bound then
+        failwith
+          (Printf.sprintf
+             "repair bench: %s at k=%d repaired in %d rounds > bound %d"
+             scenario k repair repair_bound);
+      (detect, repair)
+    end
+  in
+  {
+    rp_scenario = scenario;
+    rp_n = Graph.n g;
+    rp_k = k;
+    rp_beta = beta;
+    rp_lease = lease;
+    rp_dmax = dmax;
+    rp_detect = detect;
+    rp_detect_bound = detect_bound;
+    rp_repair = repair;
+    rp_repair_bound = repair_bound;
+    rp_hb = rep.Repair.hb_frames;
+    rp_repair_frames = rep.Repair.repair_frames;
+    rp_rounds = stats.Kdom_congest.Engine.rounds;
+    rp_secs = secs;
+  }
+
+(* The two faulty scenarios target the structure, not random nodes: the
+   busiest dominator, and the deepest cluster-tree edge. *)
+let busiest_dominator g (plan : Kdom_congest.Repair.plan) =
+  let count = Array.make (Graph.n g) 0 in
+  Array.iter (fun d -> count.(d) <- count.(d) + 1) plan.dominator;
+  let dom = ref 0 in
+  Array.iteri (fun v c -> if c > count.(!dom) then dom := v) count;
+  !dom
+
+let deepest_tree_edge (plan : Kdom_congest.Repair.plan) =
+  let child = ref (-1) in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 && (!child < 0 || plan.depth.(v) > plan.depth.(!child)) then
+        child := v)
+    plan.parent;
+  (!child, plan.parent.(!child))
+
+let repair_rows ~n ~ks ~seed =
+  let fault_round = 7 in
+  List.concat_map
+    (fun k ->
+      let g = Generators.random_tree ~rng:(seeded (seed + k)) n in
+      let plan = Dom_partition.repair_plan g (Dom_partition.run g ~k) in
+      let dom = busiest_dominator g plan in
+      let child, parent = deepest_tree_edge plan in
+      let open Kdom_congest.Engine in
+      [
+        repair_case ~scenario:"steady" g ~k ~events:[] ~fault_round;
+        repair_case ~scenario:"dominator-crash" g ~k
+          ~events:[ Churn.Crash { node = dom; at = fault_round } ]
+          ~fault_round;
+        repair_case ~scenario:"edge-cut" g ~k
+          ~events:
+            [
+              Churn.Edge_down { src = parent; dst = child; at = fault_round };
+              Churn.Edge_down { src = child; dst = parent; at = fault_round };
+            ]
+          ~fault_round;
+      ])
+    ks
+
+let repair_json rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"scenario\": %S, \"n\": %d, \"k\": %d, \"beta\": %d, \
+            \"lease\": %d, \"dmax\": %d, \"detection_latency\": %d, \
+            \"detection_bound\": %d, \"repair_rounds\": %d, \
+            \"repair_bound\": %d, \"hb_frames\": %d, \"repair_frames\": %d, \
+            \"rounds\": %d, \"hb_per_round\": %.2f, \"wall_secs\": %.3f}"
+           r.rp_scenario r.rp_n r.rp_k r.rp_beta r.rp_lease r.rp_dmax
+           r.rp_detect r.rp_detect_bound r.rp_repair r.rp_repair_bound r.rp_hb
+           r.rp_repair_frames r.rp_rounds
+           (float_of_int r.rp_hb /. float_of_int (max 1 r.rp_rounds))
+           r.rp_secs))
+    rows;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let repair_bench () =
+  header "REPAIR  self-healing k-dominating sets under churn"
+    "detection within (lease+1) heartbeat periods + wave slack; repair \
+     within two lease cycles + the takeover flood; heartbeat overhead \
+     identical steady vs faulty (beta-periodic waves)";
+  pf "%-16s %6s %3s %5s %5s %7s %7s %7s %7s %9s %8s %7s@." "scenario" "n" "k"
+    "beta" "dmax" "detect" "bound" "repair" "bound" "hb/round" "rep-frm" "secs";
+  let n = try int_of_string (Sys.getenv "KDOM_REPAIR_N") with Not_found -> 2048 in
+  let rows = repair_rows ~n ~ks:[ 1; 2; 4; 8 ] ~seed:217 in
+  List.iter
+    (fun r ->
+      pf "%-16s %6d %3d %5d %5d %7d %7d %7d %7d %9.2f %8d %7.2f@." r.rp_scenario
+        r.rp_n r.rp_k r.rp_beta r.rp_dmax r.rp_detect r.rp_detect_bound
+        r.rp_repair r.rp_repair_bound
+        (float_of_int r.rp_hb /. float_of_int (max 1 r.rp_rounds))
+        r.rp_repair_frames r.rp_secs)
+    rows;
+  let oc = open_out "BENCH_repair.json" in
+  output_string oc (repair_json rows);
+  close_out oc;
+  pf "@.wrote BENCH_repair.json (%d rows)@." (List.length rows)
+
+(* Churn/repair smoke for CI: small trees, both fault scenarios plus the
+   steady baseline, every latency within its configured lease bound and
+   every final state oracle-clean. *)
+let repair_smoke () =
+  let rows = repair_rows ~n:192 ~ks:[ 2; 4 ] ~seed:611 in
+  let faulty = List.filter (fun r -> r.rp_detect >= 0) rows in
+  let worst f = List.fold_left (fun a r -> max a (f r)) 0 faulty in
+  pf
+    "repair-smoke OK: %d scenarios (n=192, k=2,4); worst detection %d rounds, \
+     worst repair %d rounds, all within lease bounds, oracle-clean@."
+    (List.length rows) (worst (fun r -> r.rp_detect))
+    (worst (fun r -> r.rp_repair))
+
+(* ------------------------------------------------------------------ *)
 (* TRACE-OVERHEAD — the engine's zero-dispatch guarantee: running with the
    default sink and with an explicit [Sink.null] take the same hot path
    (physical-equality guard in [exec]), so their times must agree to noise.
@@ -1232,6 +1428,8 @@ let () =
   else if List.mem "smoke" args then smoke ()
   else if List.mem "faults-smoke" args then faults_smoke ()
   else if List.mem "faults" args then faults_bench ()
+  else if List.mem "repair-smoke" args then repair_smoke ()
+  else if List.mem "repair" args then repair_bench ()
   else if List.mem "engine" args then engine_bench ()
   else if List.mem "sched-smoke" args then sched_smoke ()
   else if List.mem "sched" args then sched_bench ()

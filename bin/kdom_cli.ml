@@ -248,10 +248,77 @@ let fault_case g ~k algo =
          "unknown algorithm %S (bfs, coloring, census, leader, smc, pipeline)"
          other)
 
-let faults_cmd family n k seed algo drop dup slow fifo max_delay trace_file =
+(* --repair: run the self-healing maintenance layer under a seeded churn
+   schedule instead of a message-level algorithm under link faults. *)
+let repair_cmd g ~k ~seed ~crashes ~cuts ~trace_file =
+  let open Kdom_congest in
+  if not (Tree.is_tree g) then
+    invalid_arg "--repair needs a tree family (the partition host is a tree)";
+  let plan = Kdom.Dom_partition.repair_plan g (Kdom.Dom_partition.run g ~k) in
+  let beta = max 2 (k + 1) and lease = 2 in
+  let dmax = Repair.default_dmax plan in
+  let last = 3 * beta in
+  let events =
+    Faults.random_churn g ~seed:(seed + 3) ~crashes ~edge_cuts:cuts ~last
+  in
+  let horizon =
+    last + (2 * ((lease * beta) + (3 * dmax) + 12)) + Graph.n g
+  in
+  let cfg = { Repair.plan; beta; lease; dmax; horizon } in
+  let e = Engine.create g in
+  let churn = Engine.Churn.compile e events in
+  let tr = make_trace trace_file in
+  let states, stats = Repair.run ?trace:tr ~churn e cfg in
+  let rep = Repair.decode states in
+  write_trace tr trace_file;
+  let clusters = Array.fold_left (fun a p -> if p = -1 then a + 1 else a) 0 plan.parent in
+  Format.printf "plan: %d clusters, max depth %d; beta=%d lease=%d dmax=%d horizon=%d@."
+    clusters
+    (Array.fold_left max 0 plan.depth)
+    beta lease dmax horizon;
+  let first_event =
+    List.fold_left
+      (fun a (ev : Engine.Churn.event) ->
+        match ev with
+        | Engine.Churn.Crash { at; _ }
+        | Engine.Churn.Edge_down { at; _ }
+        | Engine.Churn.Edge_up { at; _ } -> min a at)
+      max_int events
+  in
+  Format.printf "churn: %d crashes, %d edge cuts over rounds %s..%d@." crashes
+    cuts
+    (if events = [] then "-" else string_of_int first_event)
+    last;
+  Format.printf
+    "run: %d rounds, %d heartbeat frames, %d repair frames, %d suspicions@."
+    stats.Engine.rounds rep.hb_frames rep.repair_frames rep.suspicions;
+  (if rep.first_suspect >= 0 then
+     Format.printf "detection latency: %d rounds; repair: %d rounds@."
+       (rep.first_suspect - first_event)
+       (max 0 (rep.last_repair - rep.first_suspect))
+   else Format.printf "detection latency: - (nothing suspected)@.");
+  let alive = Engine.Churn.final_alive churn in
+  let dead_edges = Engine.Churn.final_edges_down churn in
+  let centers = ref [] in
+  Array.iteri
+    (fun v d -> if alive.(v) && d = v then centers := v :: !centers)
+    rep.dominator_of;
+  let verdict =
+    Oracle.describe
+      (Oracle.eventual_k_domination g ~alive ~dead_edges ~centers:!centers
+         ~bound:(Graph.n g))
+  in
+  Format.printf "oracle (eventual k-domination, %d live centers): %s@."
+    (List.length !centers) verdict;
+  if verdict <> "ok" then exit 1
+
+let faults_cmd family n k seed algo drop dup slow fifo max_delay crashes cuts
+    repair trace_file =
   let open Kdom_congest in
   let g = make_graph ~family ~n ~seed in
   describe g;
+  if repair then repair_cmd g ~k ~seed ~crashes ~cuts ~trace_file
+  else begin
   let (Fault_case (max_words, mk, verdict)) = fault_case g ~k algo in
   let faults =
     Faults.lossy ~drop ~duplicate:dup ~slow ~reorder:(not fifo) ~seed:(seed + 1) ()
@@ -293,6 +360,7 @@ let faults_cmd family n k seed algo drop dup slow fifo max_delay trace_file =
     (states = sync_states);
   Format.printf "oracle: %s@." (verdict states);
   if states <> sync_states then exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* trace: record a run as a span trace (versioned JSONL or Chrome JSON) *)
@@ -415,16 +483,42 @@ let trace_file_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Also record the run as a versioned JSONL span trace into $(docv).")
 
+let churn_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "churn" ] ~docv:"N"
+        ~doc:"With --repair: number of permanent node fail-stops in the seeded churn schedule.")
+
+let cuts_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "cuts" ] ~docv:"M"
+        ~doc:"With --repair: number of undirected edge cuts in the seeded churn schedule.")
+
+let repair_arg =
+  Arg.(
+    value & flag
+    & info [ "repair" ]
+        ~doc:
+          "Run the self-healing maintenance layer instead: build the \
+           k-dominating partition, apply the churn schedule on the \
+           synchronous engine, and report detection latency, repair rounds \
+           and the eventual-k-domination oracle verdict.")
+
 let faults_t =
   Cmd.v
     (Cmd.info "faults"
        ~doc:
          "Run an algorithm to quiescence on a lossy network (reliable \
           delivery over fault injection) and verify it against the \
-          synchronous execution.")
+          synchronous execution; with $(b,--repair), run the self-healing \
+          k-dominating-set maintenance layer under topology churn instead.")
     Term.(
       const faults_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ algo_arg
-      $ drop_arg $ dup_arg $ slow_arg $ fifo_arg $ max_delay_arg $ trace_file_arg)
+      $ drop_arg $ dup_arg $ slow_arg $ fifo_arg $ max_delay_arg $ churn_arg
+      $ cuts_arg $ repair_arg $ trace_file_arg)
 
 let trace_out_arg =
   Arg.(

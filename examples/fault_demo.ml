@@ -96,4 +96,92 @@ let () =
   pf "same run, fault-free network:@.";
   show "smc" clean;
   pf "  retransmits = %d (ack timeout 4x max_delay never fires)@."
-    clean.retransmits
+    clean.retransmits;
+
+  (* 4. Permanent churn: crash the busiest dominator mid-run and let the
+     self-healing layer (heartbeats, leases, reattach, takeover) restore
+     the k-domination invariant on the survivors (DESIGN.md §10). *)
+  let plan = Dom_partition.repair_plan t (Dom_partition.run t ~k) in
+  let count = Array.make n 0 in
+  Array.iter (fun d -> count.(d) <- count.(d) + 1) plan.dominator;
+  let dom = ref 0 in
+  Array.iteri (fun v c -> if c > count.(!dom) then dom := v) count;
+  let crash_at = 7 in
+  let beta = k + 1 and lease = 2 in
+  let cfg =
+    {
+      Repair.plan;
+      beta;
+      lease;
+      dmax = Repair.default_dmax plan;
+      horizon = 160;
+    }
+  in
+  let e = Engine.create t in
+  let churn =
+    Engine.Churn.compile e [ Engine.Churn.Crash { node = !dom; at = crash_at } ]
+  in
+  let states, stats = Repair.run ~churn e cfg in
+  let rep = Repair.decode states in
+  pf "@.self-healing: dominator %d (cluster of %d) crashes at round %d:@."
+    !dom count.(!dom) crash_at;
+  pf
+    "  %d rounds | hb frames %d | repair frames %d | suspicions %d | \
+     detection %d rounds | repair %d rounds@."
+    stats.Engine.rounds rep.hb_frames rep.repair_frames rep.suspicions
+    (rep.first_suspect - crash_at)
+    (max 0 (rep.last_repair - rep.first_suspect));
+  let alive = Engine.Churn.final_alive churn in
+  let centers = ref [] in
+  Array.iteri
+    (fun v d -> if alive.(v) && d = v then centers := v :: !centers)
+    rep.dominator_of;
+  pf "  oracle (eventual k-domination on the survivors): %s@."
+    (Oracle.describe
+       (Oracle.eventual_k_domination t ~alive
+          ~dead_edges:(Engine.Churn.final_edges_down churn)
+          ~centers:!centers ~bound:n));
+  (* the distributed takeover vs the centralized DiamDOM re-run on each
+     severed fragment of the dead cluster *)
+  let members =
+    List.filter (fun v -> v <> !dom)
+      (List.init n (fun v -> if plan.dominator.(v) = !dom then v else -1)
+      |> List.filter (fun v -> v >= 0))
+  in
+  let in_cluster = Array.make n false in
+  List.iter (fun v -> in_cluster.(v) <- true) members;
+  let seen = Array.make n false in
+  let fragments = ref [] in
+  List.iter
+    (fun v0 ->
+      if not seen.(v0) then begin
+        let frag = ref [] in
+        let q = Queue.create () in
+        seen.(v0) <- true;
+        Queue.add v0 q;
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          frag := v :: !frag;
+          Array.iter
+            (fun (u, _) ->
+              if in_cluster.(u) && not seen.(u) then begin
+                seen.(u) <- true;
+                Queue.add u q
+              end)
+            (Graph.neighbors t v)
+        done;
+        fragments := !frag :: !fragments
+      end)
+    members;
+  let central =
+    List.fold_left
+      (fun acc frag -> acc + List.length (Diam_dom.redominate t ~members:frag ~k))
+      0 !fragments
+  in
+  let elected =
+    List.length (List.filter (fun c -> List.mem c members) !centers)
+  in
+  pf
+    "  dead cluster split into %d fragments; takeover elected %d dominators \
+     (centralized DiamDOM re-run: %d)@."
+    (List.length !fragments) elected central

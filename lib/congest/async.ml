@@ -569,6 +569,7 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
           dropped = Tally.get t_dropped p;
           duplicated = Tally.get t_duplicated p;
           retransmits = Tally.get t_retransmits p;
+          crashed = 0;
         }
     done;
   if instrumented then sink.Engine.Sink.on_finish ();

@@ -118,6 +118,7 @@ module Sink = struct
     dropped : int;
     duplicated : int;
     retransmits : int;
+    crashed : int;
   }
 
   type t = {
@@ -181,10 +182,13 @@ module Sink = struct
              can ingest; without it they appear only when non-zero, keeping
              synchronous engine traces byte-stable. *)
           let fault_fields =
-            if faults || ri.dropped <> 0 || ri.duplicated <> 0 || ri.retransmits <> 0
+            if
+              faults || ri.dropped <> 0 || ri.duplicated <> 0
+              || ri.retransmits <> 0 || ri.crashed <> 0
             then
-              Printf.sprintf ",\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d"
-                ri.dropped ri.duplicated ri.retransmits
+              Printf.sprintf
+                ",\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d"
+                ri.dropped ri.duplicated ri.retransmits ri.crashed
             else ""
           in
           Printf.fprintf oc
@@ -351,6 +355,135 @@ let find_port e ~src ~dst =
     !res
   end
 
+(* ------------------------------------------------------------------ *)
+(* Topology churn: a deterministic schedule of permanent node fail-stops
+   and directed-edge down/up events, compiled against the engine's port map
+   into a mutable liveness view.  The CSR arrays are never rebuilt — a dead
+   port merely drops the frames routed through it, and a crashed node's
+   slots are skipped like any other empty slot by the arena inbox fill. *)
+module Churn = struct
+  type event =
+    | Crash of { node : int; at : int }
+    | Edge_down of { src : int; dst : int; at : int }
+    | Edge_up of { src : int; dst : int; at : int }
+
+  let round_of = function
+    | Crash { at; _ } | Edge_down { at; _ } | Edge_up { at; _ } -> at
+
+  (* Pre-resolved form: the port lookup happens once, at compile time. *)
+  type op = Op_crash of int | Op_down of int | Op_up of int
+
+  type t = {
+    events : event array;  (* sorted by round, compile-order stable *)
+    ops : op array;        (* events.(i) resolved against the port map *)
+    pairs : (int * int) array;  (* (src, dst) of edge events; (-1, -1) else *)
+    crashed : bool array;  (* n: current liveness view *)
+    edge_down : bool array;  (* ports: current per-slot view *)
+    down_pairs : (int * int, unit) Hashtbl.t;
+        (* the (src, dst) view [advance] maintains for port-map-less
+           consumers (the reference runtime) *)
+    mutable cursor : int;
+  }
+
+  let compile e events =
+    let n = e.n in
+    let resolve ev =
+      match ev with
+      | Crash { node; at } ->
+        if node < 0 || node >= n then
+          invalid_arg (Printf.sprintf "Engine.Churn: crash of non-node %d" node);
+        if at < 0 then
+          invalid_arg (Printf.sprintf "Engine.Churn: crash at negative round %d" at);
+        Op_crash node
+      | Edge_down { src; dst; at } | Edge_up { src; dst; at } ->
+        if at < 0 then
+          invalid_arg
+            (Printf.sprintf "Engine.Churn: edge event at negative round %d" at);
+        let slot = find_port e ~src ~dst in
+        if slot < 0 then
+          invalid_arg
+            (Printf.sprintf "Engine.Churn: event on non-edge (%d, %d)" src dst);
+        (match ev with Edge_down _ -> Op_down slot | _ -> Op_up slot)
+    in
+    let tagged = List.mapi (fun i ev -> (round_of ev, i, ev)) events in
+    let sorted =
+      List.sort (fun (r1, i1, _) (r2, i2, _) -> compare (r1, i1) (r2, i2)) tagged
+    in
+    let events = Array.of_list (List.map (fun (_, _, ev) -> ev) sorted) in
+    {
+      events;
+      ops = Array.map resolve events;
+      pairs =
+        Array.map
+          (function
+            | Edge_down { src; dst; _ } | Edge_up { src; dst; _ } -> (src, dst)
+            | Crash _ -> (-1, -1))
+          events;
+      crashed = Array.make (max 1 n) false;
+      edge_down = Array.make (max 1 e.ports) false;
+      down_pairs = Hashtbl.create 8;
+      cursor = 0;
+    }
+
+  let events t = Array.to_list t.events
+
+  let last_round t =
+    let len = Array.length t.events in
+    if len = 0 then -1 else round_of t.events.(len - 1)
+
+  let reset t =
+    Array.fill t.crashed 0 (Array.length t.crashed) false;
+    Array.fill t.edge_down 0 (Array.length t.edge_down) false;
+    Hashtbl.reset t.down_pairs;
+    t.cursor <- 0
+
+  let crashed t v = t.crashed.(v)
+  let edge_down t ~src ~dst = Hashtbl.mem t.down_pairs (src, dst)
+
+  (* The buffer-less application used by the reference runtime: advance the
+     cursor through every event due by [round], updating the liveness views
+     only.  (The engine's own exec inlines this so it can also drop the
+     in-flight frames the events kill.)  Returns the nodes newly crashed. *)
+  let advance t ~round =
+    let len = Array.length t.ops in
+    let newly = ref 0 in
+    while t.cursor < len && round_of t.events.(t.cursor) <= round do
+      (match t.ops.(t.cursor) with
+      | Op_crash v ->
+        if not t.crashed.(v) then begin
+          t.crashed.(v) <- true;
+          incr newly
+        end
+      | Op_down slot ->
+        t.edge_down.(slot) <- true;
+        Hashtbl.replace t.down_pairs t.pairs.(t.cursor) ()
+      | Op_up slot ->
+        t.edge_down.(slot) <- false;
+        Hashtbl.remove t.down_pairs t.pairs.(t.cursor));
+      t.cursor <- t.cursor + 1
+    done;
+    !newly
+
+  (* Replay the whole schedule, regardless of when the run stopped: the
+     oracle judges eventual k-domination against the post-churn topology. *)
+  let final_alive t =
+    let alive = Array.make (Array.length t.crashed) true in
+    Array.iter
+      (function Crash { node; _ } -> alive.(node) <- false | _ -> ())
+      t.events;
+    alive
+
+  let final_edges_down t =
+    let down = Hashtbl.create 8 in
+    Array.iter
+      (function
+        | Edge_down { src; dst; _ } -> Hashtbl.replace down (src, dst) ()
+        | Edge_up { src; dst; _ } -> Hashtbl.remove down (src, dst)
+        | Crash _ -> ())
+      t.events;
+    Hashtbl.fold (fun e () acc -> e :: acc) down [] |> List.sort compare
+end
+
 let reset_buf b =
   Array.fill b.slots 0 (Array.length b.slots) none;
   Array.fill b.count 0 (Array.length b.count) 0;
@@ -395,10 +528,17 @@ let sort_prefix a len =
     done
   end
 
-let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false) e
-    algo =
+let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
+    ?churn e algo =
   let n = e.n in
   let g = e.g in
+  (match churn with
+  | Some (c : Churn.t) ->
+    if Array.length c.Churn.crashed <> max 1 n
+       || Array.length c.Churn.edge_down <> max 1 e.ports
+    then invalid_arg "Engine.exec: churn compiled against a different engine";
+    Churn.reset c
+  | None -> ());
   let max_rounds =
     match max_rounds with Some r -> r | None -> default_max_rounds n
   in
@@ -477,17 +617,87 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   let cur = ref e.buf_a and nxt = ref e.buf_b in
   let messages = ref 0 and max_inflight = ref 0 and round = ref 0 in
   let instrumented = sink != Sink.null in
+  (* Hoisted churn views: the empty arrays are never indexed (short-circuit
+     on [churn_on]), so the no-churn send path costs one extra branch. *)
+  let churn_edge_down, churn_crashed =
+    match churn with
+    | Some (c : Churn.t) -> (c.Churn.edge_down, c.Churn.crashed)
+    | None -> ([||], [||])
+  in
+  let churn_on = churn <> None in
   while !live_len > 0 || (!nxt).total > 0 do
     if !round > max_rounds then raise (Round_limit_exceeded !round);
     let tmp = !cur in
     cur := !nxt;
     nxt := tmp;
     let dv = !cur and sd = !nxt in
+    let r = !round in
+    (* Apply the churn events due this round before anything is delivered:
+       a node crashing at round r does not execute round r and the frames
+       already in flight to it (sent at r-1) are lost; an edge going down
+       at round r loses the frame it was carrying.  Frames a node sent
+       before its crash are still delivered — the crash kills the
+       processor, not the wires. *)
+    let churn_dropped = ref 0 in
+    let newly_crashed = ref 0 in
+    let crashed_live = ref 0 in
+    let churn_killed = ref false in
+    (match churn with
+    | Some c ->
+      let len = Array.length c.Churn.ops in
+      while
+        c.Churn.cursor < len
+        && Churn.round_of c.Churn.events.(c.Churn.cursor) <= r
+      do
+        (match c.Churn.ops.(c.Churn.cursor) with
+        | Churn.Op_crash v ->
+          if not c.Churn.crashed.(v) then begin
+            c.Churn.crashed.(v) <- true;
+            incr newly_crashed;
+            if dv.count.(v) > 0 then begin
+              for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
+                let slot = e.in_slot.(j) in
+                let p = dv.slots.(slot) in
+                if p != none then begin
+                  dv.slots.(slot) <- none;
+                  dv.total <- dv.total - 1;
+                  dv.words <- dv.words - Array.length p;
+                  incr churn_dropped
+                end
+              done;
+              dv.count.(v) <- 0
+            end;
+            if is_live.(v) then begin
+              is_live.(v) <- false;
+              incr crashed_live;
+              churn_killed := true;
+              if e.is_always.(v) then begin
+                e.is_always.(v) <- false;
+                always_dirty := true
+              end;
+              e.wake_at.(v) <- -1
+            end
+          end
+        | Churn.Op_down slot ->
+          if not c.Churn.edge_down.(slot) then begin
+            c.Churn.edge_down.(slot) <- true;
+            let p = dv.slots.(slot) in
+            if p != none then begin
+              dv.slots.(slot) <- none;
+              dv.total <- dv.total - 1;
+              dv.words <- dv.words - Array.length p;
+              dv.count.(e.out_dst.(slot)) <- dv.count.(e.out_dst.(slot)) - 1;
+              incr churn_dropped
+            end
+          end
+        | Churn.Op_up slot -> c.Churn.edge_down.(slot) <- false);
+        c.Churn.cursor <- c.Churn.cursor + 1
+      done
+    | None -> ());
     let this_round = dv.total in
     max_inflight := max !max_inflight this_round;
     messages := !messages + this_round;
-    let r = !round in
-    let live_snapshot = !live_len in
+    let live_snapshot = !live_len - !crashed_live in
     (* The reference semantics raise at the first offending node in id
        order; a halted receiver competes with live-node send violations.
        [v_min] is the smallest halted node holding undeliverable mail. *)
@@ -497,7 +707,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       if (not is_live.(v)) && dv.count.(v) > 0 && (!v_min < 0 || v < !v_min) then
         v_min := v
     done;
-    let compacted = ref false in
+    let compacted = ref !churn_killed in
     let step_node v =
       if !v_min >= 0 && !v_min < v then
         raise
@@ -525,6 +735,20 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
             raise
               (Congestion_violation
                  (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r v u));
+          if churn_on && (churn_edge_down.(slot) || churn_crashed.(u)) then begin
+            (* frame onto a dead port or to a crashed node: silently lost
+               (and counted).  The width check still applies — churn must
+               not mask an algorithm exceeding its budget — but the
+               duplicate-slot check cannot (nothing occupies the slot). *)
+            let w = Array.length p in
+            if w > max_words then
+              raise
+                (Congestion_violation
+                   (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
+                      r v w max_words));
+            incr churn_dropped
+          end
+          else begin
           if sd.slots.(slot) != none then
             raise
               (Congestion_violation
@@ -545,7 +769,8 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           sd.count.(u) <- sd.count.(u) + 1;
           sd.total <- sd.total + 1;
           sd.words <- sd.words + w;
-          if instrumented then sink.on_message ~round:r ~src:v ~dst:u ~words:w)
+          if instrumented then sink.on_message ~round:r ~src:v ~dst:u ~words:w
+          end)
         outbox;
       if algo.halted st then begin
         is_live.(v) <- false;
@@ -561,10 +786,12 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     let stepped = ref 0 in
     let woken = ref 0 in
     if not !hinted then begin
-      (* dense path: every live node steps, exactly the legacy schedule *)
+      (* dense path: every live node steps, exactly the legacy schedule
+         (the guard only skips nodes churn crashed before compaction) *)
       stepped := live_snapshot;
       for i = 0 to !live_len - 1 do
-        step_node live.(i)
+        let v = live.(i) in
+        if is_live.(v) then step_node v
       done
     end
     else begin
@@ -596,7 +823,9 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       end;
       for i = 0 to dv.alen - 1 do
         let v = dv.active.(i) in
-        if is_live.(v) then push v
+        (* the count guard matters only under churn: a receiver whose whole
+           inbox was churned away is not woken *)
+        if is_live.(v) && dv.count.(v) > 0 then push v
       done;
       for i = 0 to !alen - 1 do
         push e.always.(i)
@@ -611,7 +840,18 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       raise
         (Congestion_violation
            (Printf.sprintf "round %d: halted node %d received a message" r !v_min));
-    let receivers = dv.alen and delivered_words = dv.words in
+    let receivers =
+      (* an active entry whose inbox was entirely churned away received
+         nothing; without churn drops every entry still has its count *)
+      if !churn_dropped = 0 then dv.alen
+      else begin
+        let c = ref 0 in
+        for i = 0 to dv.alen - 1 do
+          if dv.count.(dv.active.(i)) > 0 then incr c
+        done;
+        !c
+      end
+    and delivered_words = dv.words in
     for j = 0 to dv.wlen - 1 do
       dv.slots.(dv.written.(j)) <- none
     done;
@@ -674,9 +914,10 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           skipped = live_snapshot - !stepped;
           woken = !woken;
           sent = sd.total;
-          dropped = 0;
+          dropped = !churn_dropped;
           duplicated = 0;
           retransmits = 0;
+          crashed = !newly_crashed;
         };
     incr round
   done;
@@ -685,15 +926,15 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   if instrumented then sink.on_finish ();
   (states, { rounds = !round; messages = !messages; max_inflight = !max_inflight })
 
-let exec ?max_rounds ?max_words ?sink ?degrade e algo =
+let exec ?max_rounds ?max_words ?sink ?degrade ?churn e algo =
   if e.running then
     invalid_arg "Engine.exec: engine already running (re-entrant call)";
   (* clear [running] on abnormal exit so the engine stays usable; [dirty]
      stays set, forcing a buffer scrub on the next exec *)
-  try exec_unguarded ?max_rounds ?max_words ?sink ?degrade e algo
+  try exec_unguarded ?max_rounds ?max_words ?sink ?degrade ?churn e algo
   with exn ->
     e.running <- false;
     raise exn
 
-let run ?max_rounds ?max_words ?sink ?degrade g algo =
-  exec ?max_rounds ?max_words ?sink ?degrade (create g) algo
+let run ?max_rounds ?max_words ?sink ?degrade ?churn g algo =
+  exec ?max_rounds ?max_words ?sink ?degrade ?churn (create g) algo

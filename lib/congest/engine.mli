@@ -192,6 +192,9 @@ module Sink : sig
     duplicated : int;  (** frames duplicated by a fault layer; 0 here *)
     retransmits : int;
         (** link-layer retransmissions ({!Async.run_reliable}); 0 here *)
+    crashed : int;
+        (** nodes newly fail-stopped by a {!Churn} schedule this round;
+            always 0 without churn *)
   }
 
   type t = {
@@ -258,11 +261,85 @@ val find_port : t -> src:int -> dst:int -> int
     neighbor of [src] (including ids outside [0, n)).  O(log deg src) by
     binary search of the source's sorted CSR segment. *)
 
+(** Topology churn: a deterministic schedule of {e permanent} node
+    fail-stops and directed-edge down/up events, compiled once against an
+    engine's port map into a mutable liveness view over the CSR arrays.
+    The port map is never rebuilt: a dead port silently drops the frames
+    routed through it (counted in {!Sink.round_info.dropped}) and a crashed
+    node's slots read as empty to the arena inbox fill, so churn composes
+    with the sparse scheduler and with {!Runtime.run_reference} unchanged.
+
+    Semantics, per event at round [r] (applied before round [r] executes):
+    {ul
+    {- [Crash]: the node never steps again; frames already in flight to it
+       (sent at [r-1]) and all later frames addressed to it are dropped.
+       Frames {e it} sent at [r-1] are still delivered — the crash kills
+       the processor, not the wires.  A crashed node is distinct from a
+       halted one: mail addressed to it is lost, not a
+       [Congestion_violation].  Its state array entry is frozen as of its
+       last step.}
+    {- [Edge_down]: the directed slot drops the frame it was carrying and
+       every frame subsequently sent on it ([Edge_up] restores it).  Width
+       checks still apply to dropped sends; the duplicate-slot check
+       cannot (nothing occupies a dead slot).}}
+
+    Events scheduled after quiescence never apply.  The compiled value is
+    mutable but [exec] resets it on entry, so one value can be reused
+    across runs (engine and reference) deterministically. *)
+type engine := t
+
+module Churn : sig
+  type event =
+    | Crash of { node : int; at : int }
+    | Edge_down of { src : int; dst : int; at : int }
+    | Edge_up of { src : int; dst : int; at : int }
+
+  val round_of : event -> int
+
+  type t
+
+  val compile : engine -> event list -> t
+  (** Resolve the schedule against the port map: raises [Invalid_argument]
+      on a crash of a non-node, an edge event on a non-edge, or a negative
+      round.  Events are applied in (round, list-position) order. *)
+
+  val events : t -> event list
+  (** The schedule, sorted by application order. *)
+
+  val last_round : t -> int
+  (** Round of the last scheduled event, [-1] for an empty schedule. *)
+
+  val reset : t -> unit
+  (** Rewind the mutable view to the pre-run state (also done by [exec]). *)
+
+  val crashed : t -> int -> bool
+  (** Current view: whether the node has fail-stopped. *)
+
+  val edge_down : t -> src:int -> dst:int -> bool
+  (** Current view: whether the directed edge is down.  Only tracks events
+      applied through {!advance} (the reference runtime's path); the
+      engine's own exec uses the slot-indexed view internally. *)
+
+  val advance : t -> round:int -> int
+  (** Apply every event due at or before [round] to the liveness views
+      (no frame dropping — that is the caller's job) and return the number
+      of nodes newly crashed.  For executors without a port map, i.e.
+      {!Runtime.run_reference}. *)
+
+  val final_alive : t -> bool array
+  (** Liveness after the {e whole} schedule, regardless of where the run
+      stopped — what {!Oracle.eventual_k_domination} judges against. *)
+
+  val final_edges_down : t -> (int * int) list
+  (** Directed edges down after the whole schedule, ascending. *)
+end
+
 val exec :
   ?max_rounds:int ->
   ?max_words:int ->
   ?sink:Sink.t ->
   ?degrade:bool ->
+  ?churn:Churn.t ->
   t ->
   'st algorithm ->
   'st array * stats
@@ -271,14 +348,18 @@ val exec :
     [default_max_words n].  [degrade] (default [false]) ignores the
     algorithm's wake hints and runs the legacy dense schedule, as if every
     hint were [Always] — the differential-testing and baseline-benchmark
-    mode. *)
+    mode.  [churn] (default none) applies a {!Churn} schedule compiled
+    against {e this} engine ([Invalid_argument] otherwise). *)
 
 val run :
   ?max_rounds:int ->
   ?max_words:int ->
   ?sink:Sink.t ->
   ?degrade:bool ->
+  ?churn:Churn.t ->
   Graph.t ->
   'st algorithm ->
   'st array * stats
-(** [run g algo] is [exec (create g) algo] — one-shot convenience. *)
+(** [run g algo] is [exec (create g) algo] — one-shot convenience.  (With
+    [?churn] prefer [create] + {!Churn.compile} + [exec]: the schedule must
+    be compiled against the same engine.) *)

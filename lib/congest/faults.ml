@@ -11,24 +11,46 @@ let reliable_link = { drop = 0.; duplicate = 0.; slow = 0.; slow_factor = 1. }
 
 type crash = { node : int; at : float; recover : float option }
 
+type churn_event = Engine.Churn.event =
+  | Crash of { node : int; at : int }
+  | Edge_down of { src : int; dst : int; at : int }
+  | Edge_up of { src : int; dst : int; at : int }
+
 type spec = {
   link : link;
   overrides : ((int * int) * link) list;
   reorder : bool;
   crashes : crash list;
+  churn : churn_event list;
   seed : int;
 }
 
+exception Overlapping_crashes of int
+
+let () =
+  Printexc.register_printer (function
+    | Overlapping_crashes v ->
+      Some (Printf.sprintf "Faults.Overlapping_crashes(node %d)" v)
+    | _ -> None)
+
 let none =
-  { link = reliable_link; overrides = []; reorder = false; crashes = []; seed = 0 }
+  {
+    link = reliable_link;
+    overrides = [];
+    reorder = false;
+    crashes = [];
+    churn = [];
+    seed = 0;
+  }
 
 let lossy ?(drop = 0.) ?(duplicate = 0.) ?(slow = 0.) ?(slow_factor = 10.)
-    ?(reorder = true) ?(crashes = []) ~seed () =
+    ?(reorder = true) ?(crashes = []) ?(churn = []) ~seed () =
   {
     link = { drop; duplicate; slow; slow_factor };
     overrides = [];
     reorder;
     crashes;
+    churn;
     seed;
   }
 
@@ -88,7 +110,19 @@ let compile eng spec =
     spec.crashes;
   Array.iteri
     (fun v cs ->
-      crashes_of.(v) <- List.sort (fun a b -> compare a.at b.at) cs)
+      let cs = List.sort (fun a b -> compare a.at b.at) cs in
+      (* windows are half-open [at, recover); back-to-back windows
+         (c2.at = recover1) are fine, overlap is a spec bug *)
+      let rec check = function
+        | c1 :: (c2 :: _ as rest) ->
+          (match c1.recover with
+          | None -> raise (Overlapping_crashes v)
+          | Some r -> if c2.at < r then raise (Overlapping_crashes v));
+          check rest
+        | _ -> ()
+      in
+      check cs;
+      crashes_of.(v) <- cs)
     crashes_of;
   {
     spec;
@@ -155,3 +189,37 @@ let rec next_up t ~node ~time =
   | Some { recover = Some r; _ } -> next_up t ~node ~time:r
 
 let note_crash_drop t = t.counters.crash_dropped <- t.counters.crash_dropped + 1
+
+(* ------------------------------------------------------------------ *)
+(* churn: permanent topology changes on the synchronous round clock *)
+
+let churn eng spec = Engine.Churn.compile eng spec.churn
+
+let random_churn g ~seed ~crashes ~edge_cuts ~last =
+  if crashes < 0 || edge_cuts < 0 then invalid_arg "Faults.random_churn: negative count";
+  if last < 0 then invalid_arg "Faults.random_churn: negative last round";
+  let n = Graph.n g and m = Graph.m g in
+  if crashes > n then
+    invalid_arg (Printf.sprintf "Faults.random_churn: %d crashes on %d nodes" crashes n);
+  if edge_cuts > m then
+    invalid_arg (Printf.sprintf "Faults.random_churn: %d cuts on %d edges" edge_cuts m);
+  let rng = Rng.create seed in
+  let nodes = Array.init n Fun.id in
+  Rng.shuffle rng nodes;
+  let eids = Array.init m Fun.id in
+  Rng.shuffle rng eids;
+  let round () = if last = 0 then 0 else Rng.int rng (last + 1) in
+  let evs = ref [] in
+  for i = 0 to crashes - 1 do
+    evs := Crash { node = nodes.(i); at = round () } :: !evs
+  done;
+  for i = 0 to edge_cuts - 1 do
+    let e = Graph.edge g eids.(i) in
+    let at = round () in
+    (* an undirected cut severs both directed slots at the same round *)
+    evs :=
+      Edge_down { src = e.Graph.u; dst = e.Graph.v; at }
+      :: Edge_down { src = e.Graph.v; dst = e.Graph.u; at }
+      :: !evs
+  done;
+  List.rev !evs

@@ -51,6 +51,15 @@ type crash = {
   recover : float option;  (** recovery time, or [None] for fail-stop forever *)
 }
 
+type churn_event = Engine.Churn.event =
+  | Crash of { node : int; at : int }
+  | Edge_down of { src : int; dst : int; at : int }
+  | Edge_up of { src : int; dst : int; at : int }
+(** Permanent topology churn on the synchronous round clock — re-exported
+    from {!Engine.Churn} so fault specs can carry both the float-time
+    transient model (for {!Async}) and the round-time permanent one (for
+    {!Engine.exec} / {!Runtime.run_reference}). *)
+
 type spec = {
   link : link;  (** default parameters for every directed link *)
   overrides : ((int * int) * link) list;
@@ -58,8 +67,17 @@ type spec = {
           adversarial schedule *)
   reorder : bool;  (** allow frames to overtake each other on a link *)
   crashes : crash list;
+  churn : churn_event list;
+      (** permanent fail-stops and edge down/up events for the synchronous
+          engine; compiled via {!churn}, ignored by {!Async} *)
   seed : int;
 }
+
+exception Overlapping_crashes of int
+(** Raised by {!compile} when two crash windows of the same node overlap.
+    Windows are half-open ([at <= t < recover]), so back-to-back windows
+    ([recover1 = at2]) are legal; a window after a permanent crash
+    ([recover = None]) is not. *)
 
 val none : spec
 (** The fault-free network: reliable links, FIFO, no crashes. *)
@@ -71,12 +89,13 @@ val lossy :
   ?slow_factor:float ->
   ?reorder:bool ->
   ?crashes:crash list ->
+  ?churn:churn_event list ->
   seed:int ->
   unit ->
   spec
 (** Uniform fault regime: every link gets the same parameters
     (defaults: [drop = 0.], [duplicate = 0.], [slow = 0.],
-    [slow_factor = 10.], [reorder = true], no crashes). *)
+    [slow_factor = 10.], [reorder = true], no crashes, no churn). *)
 
 type counters = {
   mutable transmitted : int;  (** frames offered to the network *)
@@ -91,7 +110,9 @@ type t
 val compile : Engine.t -> spec -> t
 (** Resolves the per-link parameter table through the port map (raises
     [Invalid_argument] on an override for a non-edge or a crash of a
-    non-node) and seeds the decision stream. *)
+    non-node, {!Overlapping_crashes} on overlapping crash windows of one
+    node) and seeds the decision stream.  The [churn] field is not
+    consumed here — compile it separately with {!churn}. *)
 
 val spec : t -> spec
 val counters : t -> counters
@@ -117,3 +138,21 @@ val next_up : t -> node:int -> time:float -> float option
 val note_crash_drop : t -> unit
 (** Record a frame discarded because its destination was down (called by
     the executor, which is the one that knows delivery times). *)
+
+(** {1 Topology churn (synchronous engine)} *)
+
+val churn : Engine.t -> spec -> Engine.Churn.t
+(** Compile the spec's [churn] schedule against the engine's port map
+    ([Engine.Churn.compile]); pass the result to [Engine.exec ?churn] or
+    [Runtime.run_reference ?churn].  Raises [Invalid_argument] on events
+    naming non-nodes or non-edges. *)
+
+val random_churn :
+  Kdom_graph.Graph.t ->
+  seed:int -> crashes:int -> edge_cuts:int -> last:int ->
+  churn_event list
+(** A seeded random churn schedule: [crashes] distinct node fail-stops and
+    [edge_cuts] distinct undirected edge cuts (each cut emits both directed
+    [Edge_down] events at the same round), all at uniform rounds in
+    [\[0, last\]].  Deterministic in [seed].  Raises [Invalid_argument] if
+    more crashes (cuts) are requested than there are nodes (edges). *)

@@ -10,6 +10,7 @@ type span_report = {
   r_dropped : int;
   r_duplicated : int;
   r_retransmits : int;
+  r_crashed : int;
 }
 
 type t = {
@@ -24,6 +25,7 @@ type t = {
   dropped : int;
   duplicated : int;
   retransmits : int;
+  crashed : int;
   edge_peaks : (int * int) list;
   span_reports : span_report list;
   notes : (string * int) list;
@@ -52,6 +54,7 @@ let report tr =
             r_dropped = 0;
             r_duplicated = 0;
             r_retransmits = 0;
+            r_crashed = 0;
           }
       in
       Hashtbl.replace by_name s.Trace.name
@@ -67,6 +70,7 @@ let report tr =
           r_dropped = r.r_dropped + st.Trace.s_dropped;
           r_duplicated = r.r_duplicated + st.Trace.s_duplicated;
           r_retransmits = r.r_retransmits + st.Trace.s_retransmits;
+          r_crashed = r.r_crashed + st.Trace.s_crashed;
         })
     (Trace.spans tr);
   let delivered = ref 0
@@ -75,7 +79,8 @@ let report tr =
   and woken = ref 0
   and dropped = ref 0
   and duplicated = ref 0
-  and retransmits = ref 0 in
+  and retransmits = ref 0
+  and crashed = ref 0 in
   List.iter
     (fun (ri : Engine.Sink.round_info) ->
       delivered := !delivered + ri.delivered;
@@ -84,7 +89,8 @@ let report tr =
       woken := !woken + ri.woken;
       dropped := !dropped + ri.dropped;
       duplicated := !duplicated + ri.duplicated;
-      retransmits := !retransmits + ri.retransmits)
+      retransmits := !retransmits + ri.retransmits;
+      crashed := !crashed + ri.crashed)
     (Trace.rounds tr);
   {
     rounds = Trace.clock tr;
@@ -98,6 +104,7 @@ let report tr =
     dropped = !dropped;
     duplicated = !duplicated;
     retransmits = !retransmits;
+    crashed = !crashed;
     edge_peaks = Trace.edge_peak_hist tr;
     span_reports = List.rev_map (Hashtbl.find by_name) !order;
     notes = Trace.notes tr;
@@ -133,9 +140,9 @@ let pp ppf r =
     r.budget;
   if r.skipped + r.woken > 0 then
     Format.fprintf ppf "@,frontier: skipped %d  woken %d" r.skipped r.woken;
-  if r.dropped + r.duplicated + r.retransmits > 0 then
-    Format.fprintf ppf "@,faults: dropped %d  duplicated %d  retransmits %d"
-      r.dropped r.duplicated r.retransmits;
+  if r.dropped + r.duplicated + r.retransmits + r.crashed > 0 then
+    Format.fprintf ppf "@,faults: dropped %d  duplicated %d  retransmits %d  crashed %d"
+      r.dropped r.duplicated r.retransmits r.crashed;
   if r.span_reports <> [] then begin
     Format.fprintf ppf "@,@[<v 2>spans:";
     List.iter

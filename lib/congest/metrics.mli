@@ -14,6 +14,7 @@ type span_report = {
   r_dropped : int;
   r_duplicated : int;
   r_retransmits : int;
+  r_crashed : int;   (** nodes fail-stopped by churn during the spans *)
 }
 
 type t = {
@@ -28,6 +29,7 @@ type t = {
   dropped : int;
   duplicated : int;
   retransmits : int;
+  crashed : int;        (** total nodes fail-stopped by churn *)
   edge_peaks : (int * int) list;
       (** congestion histogram: [(peak width, edges at that peak)] *)
   span_reports : span_report list;

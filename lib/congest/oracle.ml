@@ -71,6 +71,92 @@ let k_domination g ~k centers =
     (fun f -> { f with check = "k-domination" })
     (radius_within g ~centers ~bound:k)
 
+(* Domination of the churned graph: only surviving nodes, only edges with
+   both directions up and both endpoints alive, judged per surviving
+   component. *)
+let eventual_k_domination g ~alive ~dead_edges ~centers ~bound =
+  let check = "eventual-k-domination" in
+  let n = Graph.n g in
+  if Array.length alive <> n then
+    fail check "alive mask covers %d of %d nodes" (Array.length alive) n
+  else begin
+    let dead = Hashtbl.create 16 in
+    List.iter
+      (fun (s, d) -> Hashtbl.replace dead (min s d, max s d) ())
+      dead_edges;
+    let usable v u =
+      alive.(v) && alive.(u) && not (Hashtbl.mem dead (min v u, max v u))
+    in
+    let bfs dist seeds =
+      let q = Queue.create () in
+      List.iter
+        (fun (c, d0) ->
+          if dist.(c) < 0 then begin
+            dist.(c) <- d0;
+            Queue.add c q
+          end)
+        seeds;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Array.iter
+          (fun (u, _) ->
+            if usable v u && dist.(u) < 0 then begin
+              dist.(u) <- dist.(v) + 1;
+              Queue.add u q
+            end)
+          (Graph.neighbors g v)
+      done
+    in
+    List.iter
+      (fun c ->
+        if c < 0 || c >= n then invalid_arg "Oracle: center outside the node range")
+      centers;
+    let live_centers = List.filter (fun c -> alive.(c)) centers in
+    let dist = Array.make n (-1) in
+    bfs dist (List.map (fun c -> (c, 0)) live_centers);
+    (* label surviving components to tell "no live dominator in this
+       component" from "too far from every live dominator" *)
+    let comp = Array.make n (-1) in
+    let q = Queue.create () in
+    for v0 = 0 to n - 1 do
+      if alive.(v0) && comp.(v0) < 0 then begin
+        comp.(v0) <- v0;
+        Queue.add v0 q;
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          Array.iter
+            (fun (u, _) ->
+              if usable v u && comp.(u) < 0 then begin
+                comp.(u) <- v0;
+                Queue.add u q
+              end)
+            (Graph.neighbors g v)
+        done
+      end
+    done;
+    let fs = ref [] in
+    let orphaned_comp = Hashtbl.create 4 in
+    for v = 0 to n - 1 do
+      if alive.(v) then
+        if dist.(v) < 0 then begin
+          if not (Hashtbl.mem orphaned_comp comp.(v)) then begin
+            Hashtbl.replace orphaned_comp comp.(v) ();
+            fs :=
+              fail check
+                "surviving component of node %d has no live dominator" v
+              :: !fs
+          end
+        end
+        else if dist.(v) > bound then
+          fs :=
+            fail check
+              "node %d at distance %d > bound %d from every live dominator" v
+              dist.(v) bound
+            :: !fs
+    done;
+    List.concat (List.rev !fs)
+  end
+
 let size_within ~n ~k ?(ceil = false) centers =
   let bound =
     if ceil then Domination.size_bound_ceil ~n ~k else Domination.size_bound ~n ~k

@@ -40,6 +40,23 @@ val radius_within : Graph.t -> centers:int list -> bound:int -> failure list
 val k_domination : Graph.t -> k:int -> int list -> failure list
 (** [radius_within ~bound:k] under its paper name. *)
 
+val eventual_k_domination :
+  Graph.t ->
+  alive:bool array ->
+  dead_edges:(int * int) list ->
+  centers:int list ->
+  bound:int ->
+  failure list
+(** The self-healing invariant: after churn ([alive] =
+    [Engine.Churn.final_alive], [dead_edges] =
+    [Engine.Churn.final_edges_down] — an undirected edge counts as dead
+    when either direction is down), every {e surviving} node must be
+    within [bound] hops of a {e live} center, measured inside the
+    surviving graph, judged per surviving component.  A component with no
+    live center fails once (with a member as witness); a covered
+    component fails per node beyond the bound, with the distance as
+    witness.  Dead centers are ignored; crashed nodes are exempt. *)
+
 val size_within : n:int -> k:int -> ?ceil:bool -> int list -> failure list
 (** [|D| <= max 1 (floor (n/(k+1)))] (the paper's target), or the
     root-augmented [ceil] variant actually achieved by the census stage

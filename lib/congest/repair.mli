@@ -1,0 +1,137 @@
+(** Self-healing cluster maintenance: failure detection and local repair.
+
+    The paper's output — a [(k+1, O(k))] dominating partition with one
+    dominator per cluster and a spanning cluster tree — is computed once
+    and then assumed to hold forever.  Under permanent churn
+    ({!Engine.Churn}) that assumption silently breaks: a crashed dominator
+    or a severed tree edge leaves part of a cluster undominated and no node
+    notices.  This module layers a detector and a bounded local repair on
+    top of any such partition:
+
+    - {e Heartbeats}: every dominator emits a heartbeat wave over its
+      cluster tree every [beta] rounds; members relay it to their subtree.
+      A heartbeat carries the dominator id, so later corrections (a
+      takeover, a cluster merge) propagate at wave speed.
+    - {e Leases}: a member that misses heartbeats for [lease * beta + depth]
+      rounds declares itself {e orphaned} — its dominator, or the tree path
+      to it, is gone.  The [+ depth] slack absorbs the wave's propagation
+      delay, so detection needs no coupling between [beta] and the cluster
+      radius.
+    - {e Reattach}: an orphan broadcasts ATTACH; any neighbor that can
+      still vouch for a dominator — it heard a real heartbeat within its
+      own lease, and its tree depth is below the configured cap — answers
+      WELCOME with its dominator and depth, and the orphan adopts the
+      closest answer.  Across a cluster boundary this is the merge rule —
+      members of a cluster split by churn drain into neighboring live
+      clusters.  The vouching guard is what makes detection terminate:
+      adoption renews a lease but not heartbeat freshness, so a region
+      whose dominator is gone stops welcoming within one lease and
+      collapses into takeover together, instead of lease-renewing itself
+      pairwise forever.
+    - {e Takeover}: if no neighbor answers after the retry budget, the
+      orphan set elects a replacement dominator by flooding a takeover
+      wave — the {!Leader} flood restricted to the orphan set, using the
+      same {!wave_prefers} rule, which simultaneously rebuilds the cluster
+      tree (BFS of the winning wave).  Takeover members hold a lease too,
+      so a dead wave re-orphans them: the protocol is self-stabilizing
+      under repeated churn.
+
+    All frames fit in {!max_words} = 3 words of [O(log n)] bits, and a
+    churn-free execution generates heartbeat traffic only — zero
+    suspicions, zero repair frames, final dominator/parent/depth exactly
+    the input plan (asserted by the quiescence tests).
+
+    The run is horizon-bounded: every node halts at round [horizon], so
+    one execution observes a fixed window of churn and repair.  Use
+    {!Oracle.eventual_k_domination} on {!decode} plus the churn's final
+    liveness view to check the restored invariant. *)
+
+open Kdom_graph
+
+val wave_prefers : int * int -> int * int -> bool
+(** [wave_prefers (id1, d1) (id2, d2)]: wave 1 strictly beats wave 2 —
+    higher originator id, then smaller depth.  The flood-wave upgrade rule
+    shared with {!Leader}. *)
+
+type plan = {
+  dominator : int array;  (** dominator of each node's cluster *)
+  parent : int array;     (** cluster-tree parent; -1 for a dominator *)
+  depth : int array;      (** cluster-tree depth; 0 for a dominator *)
+}
+(** The maintained structure: a forest of cluster trees, one rooted at
+    each dominator (e.g. [Dom_partition.repair_plan]). *)
+
+type config = {
+  plan : plan;
+  beta : int;    (** heartbeat period in rounds; >= 2 *)
+  lease : int;   (** missed-wave tolerance; the lease is [lease * beta +
+                     depth] rounds; >= 2 *)
+  dmax : int;    (** deepest cluster tree a WELCOME may build (>= the
+                     plan's depth).  The cap is the termination argument
+                     for detection: in a region whose dominator is gone,
+                     every re-adoption strictly deepens the stale tree —
+                     without a cap two members can lease-renew each other
+                     forever ("doomed adoption" ping-pong), never both
+                     orphaned at once, and takeover never fires.  Capping
+                     the depth starves that cycle.  A legitimate merge
+                     refused by the cap degrades gracefully: the orphans
+                     elect their own dominator instead.
+                     {!default_dmax} picks [2 * plan depth + 2], enough
+                     for a severed subtree to re-root under a live
+                     cluster. *)
+  horizon : int; (** every node halts at this round; >= 1 *)
+}
+
+val default_dmax : plan -> int
+
+val max_words : int
+(** Declared word budget: the widest frames (WELCOME, NEWDOM) are
+    [| tag; id; depth |] — 3 words. *)
+
+type state
+(** Per-node protocol state (abstract; decode with {!decode}). *)
+
+val validate_plan : Graph.t -> plan -> unit
+(** Raises [Invalid_argument] unless the plan is a forest of rooted trees
+    over graph edges with consistent depths and per-tree dominators. *)
+
+val algorithm : Graph.t -> config -> state Engine.algorithm
+(** The node program, exposed for differential testing
+    ({!Runtime.run_reference}) and custom executions.  Validate the
+    config with {!validate_plan} (or use {!run}) first. *)
+
+type report = {
+  dominator_of : int array;
+      (** final dominator claim per node; -1 = still orphaned (or the
+          node's pre-crash value — mask with [Engine.Churn.final_alive]) *)
+  parent_of : int array;   (** final cluster-tree parent; -1 at roots *)
+  depth_of : int array;
+  suspicions : int;        (** nodes that ever declared their lease missed *)
+  first_suspect : int;     (** earliest suspicion round; -1 = none *)
+  last_repair : int;       (** latest round a node (re)gained a dominator;
+                               -1 = none *)
+  hb_frames : int;         (** heartbeat frames sent (steady-state cost) *)
+  repair_frames : int;     (** ATTACH/WELCOME/ADOPTED/NEWDOM frames sent *)
+}
+
+val decode : state array -> report
+(** Aggregate a final state vector, whichever executor produced it.
+    Crashed nodes are frozen at their pre-crash state; intersect with the
+    churn's final liveness view before drawing conclusions. *)
+
+val run :
+  ?trace:Trace.t ->
+  ?sink:Engine.Sink.t ->
+  ?degrade:bool ->
+  ?churn:Engine.Churn.t ->
+  ?max_rounds:int ->
+  Engine.t ->
+  config ->
+  state array * Engine.stats
+(** Execute the maintenance protocol on [e]'s graph until [horizon].
+    Takes the engine rather than the graph so a churn schedule compiled
+    against it ([Faults.churn]) can be threaded through.  [max_rounds]
+    defaults to [horizon + 2].  With [?trace] the run is recorded as a
+    [repair] span plus, when anything was suspected, a synthetic
+    [repair.heal] span covering first suspicion to last repair, and
+    [repair.*] notes (suspicions, frame counts, detection rounds). *)

@@ -29,7 +29,7 @@ let run ?max_rounds ?max_words ?sink ?degrade g algo =
    hints — it IS the dense schedule the sparse scheduler must be
    indistinguishable from. *)
 
-let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) g algo =
+let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g algo =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> Engine.default_max_rounds n
@@ -37,6 +37,7 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) g algo =
   let max_words =
     match max_words with Some w -> w | None -> Engine.default_max_words n
   in
+  (match churn with Some c -> Engine.Churn.reset c | None -> ());
   let instrumented = sink != Engine.Sink.null in
   let states = Array.init n (fun v -> algo.init g v) in
   (* in_flight.(v) = messages to deliver to v next round, accumulated in
@@ -47,12 +48,52 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) g algo =
   let messages = ref 0 in
   let max_inflight = ref 0 in
   let round = ref 0 in
+  let node_crashed v =
+    match churn with Some c -> Engine.Churn.crashed c v | None -> false
+  in
   let all_halted () =
-    Array.for_all algo.halted states && !pending = 0
+    !pending = 0
+    &&
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (algo.halted states.(v) || node_crashed v) then ok := false
+    done;
+    !ok
   in
   let is_neighbor v u = Option.is_some (Graph.find_edge g v u) in
   while not (all_halted ()) do
     if !round > max_rounds then raise (Round_limit_exceeded !round);
+    (* churn is applied before delivery, with the engine's semantics: a
+       crash loses the frames in flight to the node, an edge going down
+       loses the frame it was carrying *)
+    let churn_dropped = ref 0 in
+    let newly_crashed = ref 0 in
+    (match churn with
+    | Some c ->
+      newly_crashed := Engine.Churn.advance c ~round:!round;
+      for v = 0 to n - 1 do
+        if Engine.Churn.crashed c v then
+          List.iter
+            (fun (_, p) ->
+              incr churn_dropped;
+              decr pending;
+              pending_words := !pending_words - Array.length p)
+            in_flight.(v)
+          |> fun () -> in_flight.(v) <- []
+        else
+          in_flight.(v) <-
+            List.filter
+              (fun (u, p) ->
+                if Engine.Churn.edge_down c ~src:u ~dst:v then begin
+                  incr churn_dropped;
+                  decr pending;
+                  pending_words := !pending_words - Array.length p;
+                  false
+                end
+                else true)
+              in_flight.(v)
+      done
+    | None -> ());
     let delivered = Array.map List.rev in_flight in
     Array.fill in_flight 0 n [];
     let this_round = !pending in
@@ -66,7 +107,8 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) g algo =
     for v = 0 to n - 1 do
       let inbox = delivered.(v) in
       if inbox <> [] then incr receivers;
-      if algo.halted states.(v) then begin
+      if node_crashed v then ()
+      else if algo.halted states.(v) then begin
         if inbox <> [] then
           raise
             (Congestion_violation
@@ -85,21 +127,38 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) g algo =
               raise
                 (Congestion_violation
                    (Printf.sprintf "round %d: node %d sent to non-neighbor %d" !round v u));
-            if Hashtbl.mem used u then
-              raise
-                (Congestion_violation
-                   (Printf.sprintf "round %d: node %d sent twice over edge to %d" !round v u));
-            Hashtbl.add used u ();
-            if Array.length p > max_words then
-              raise
-                (Congestion_violation
-                   (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
-                      !round v (Array.length p) max_words));
-            if instrumented then
-              sink.on_message ~round:!round ~src:v ~dst:u ~words:(Array.length p);
-            in_flight.(u) <- (v, p) :: in_flight.(u);
-            incr pending;
-            pending_words := !pending_words + Array.length p)
+            let churn_dead =
+              match churn with
+              | Some c -> Engine.Churn.edge_down c ~src:v ~dst:u || Engine.Churn.crashed c u
+              | None -> false
+            in
+            if churn_dead then begin
+              (* matches the engine: width still checked, duplicate-slot
+                 not (the frame never occupies a slot) *)
+              if Array.length p > max_words then
+                raise
+                  (Congestion_violation
+                     (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
+                        !round v (Array.length p) max_words));
+              incr churn_dropped
+            end
+            else begin
+              if Hashtbl.mem used u then
+                raise
+                  (Congestion_violation
+                     (Printf.sprintf "round %d: node %d sent twice over edge to %d" !round v u));
+              Hashtbl.add used u ();
+              if Array.length p > max_words then
+                raise
+                  (Congestion_violation
+                     (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
+                        !round v (Array.length p) max_words));
+              if instrumented then
+                sink.on_message ~round:!round ~src:v ~dst:u ~words:(Array.length p);
+              in_flight.(u) <- (v, p) :: in_flight.(u);
+              incr pending;
+              pending_words := !pending_words + Array.length p
+            end)
           outbox
       end
     done;
@@ -114,9 +173,10 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) g algo =
           skipped = 0;
           woken = 0;
           sent = !pending;
-          dropped = 0;
+          dropped = !churn_dropped;
           duplicated = 0;
           retransmits = 0;
+          crashed = !newly_crashed;
         };
     incr round
   done;

@@ -81,6 +81,7 @@ val run :
 
 val run_reference :
   ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t ->
+  ?churn:Engine.Churn.t ->
   Graph.t -> 'st algorithm -> 'st array * stats
 (** The original list-based simulator — O(deg) neighbor validation, a
     scratch table per step, an O(n) sweep per round, wake hints ignored.
@@ -88,4 +89,10 @@ val run_reference :
     differential tests (its [sink] reports [skipped = 0], [woken = 0] —
     the projection the sparse scheduler's round records must agree with
     modulo those counters) and as the baseline for the engine throughput
-    bench.  Do not use on large instances. *)
+    bench.  Do not use on large instances.
+
+    [churn] applies the same fail-stop / edge-down schedule as
+    [Engine.exec ?churn] with identical semantics (the schedule is reset
+    on entry, so one compiled value can drive an engine run and a
+    reference run in sequence).  The schedule must have been compiled
+    against an engine for the same graph. *)

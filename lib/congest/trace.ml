@@ -17,6 +17,7 @@ type span_stats = {
   s_dropped : int;
   s_duplicated : int;
   s_retransmits : int;
+  s_crashed : int;
 }
 
 (* Growable buffer of round records, kept in ascending clock order. *)
@@ -35,6 +36,7 @@ let dummy_round : Engine.Sink.round_info =
     dropped = 0;
     duplicated = 0;
     retransmits = 0;
+    crashed = 0;
   }
 
 type t = {
@@ -199,7 +201,8 @@ let span_stats t s =
   and woken = ref 0
   and dropped = ref 0
   and duplicated = ref 0
-  and retransmits = ref 0 in
+  and retransmits = ref 0
+  and crashed = ref 0 in
   for i = i0 to i1 - 1 do
     let r = t.buf.rb.(i) in
     delivered := !delivered + r.delivered;
@@ -208,7 +211,8 @@ let span_stats t s =
     woken := !woken + r.woken;
     dropped := !dropped + r.dropped;
     duplicated := !duplicated + r.duplicated;
-    retransmits := !retransmits + r.retransmits
+    retransmits := !retransmits + r.retransmits;
+    crashed := !crashed + r.crashed
   done;
   {
     s_rounds = stop - s.start_round;
@@ -219,6 +223,7 @@ let span_stats t s =
     s_dropped = !dropped;
     s_duplicated = !duplicated;
     s_retransmits = !retransmits;
+    s_crashed = !crashed;
   }
 
 let messages t = t.msgs
@@ -248,7 +253,7 @@ let notes t = List.rev t.notes_rev
 (* ------------------------------------------------------------------ *)
 (* export *)
 
-let schema_version = "kdom.trace.v1.1"
+let schema_version = "kdom.trace.v1.2"
 
 let escape name =
   let b = Buffer.create (String.length name) in
@@ -270,6 +275,7 @@ type totals = {
   t_dropped : int;
   t_duplicated : int;
   t_retransmits : int;
+  t_crashed : int;
 }
 
 let totals t =
@@ -279,7 +285,8 @@ let totals t =
   and woken = ref 0
   and dropped = ref 0
   and duplicated = ref 0
-  and retransmits = ref 0 in
+  and retransmits = ref 0
+  and crashed = ref 0 in
   for i = 0 to t.buf.rlen - 1 do
     let r = t.buf.rb.(i) in
     delivered := !delivered + r.delivered;
@@ -288,7 +295,8 @@ let totals t =
     woken := !woken + r.woken;
     dropped := !dropped + r.dropped;
     duplicated := !duplicated + r.duplicated;
-    retransmits := !retransmits + r.retransmits
+    retransmits := !retransmits + r.retransmits;
+    crashed := !crashed + r.crashed
   done;
   {
     t_delivered = !delivered;
@@ -298,6 +306,7 @@ let totals t =
     t_dropped = !dropped;
     t_duplicated = !duplicated;
     t_retransmits = !retransmits;
+    t_crashed = !crashed;
   }
 
 let to_jsonl t =
@@ -316,11 +325,11 @@ let to_jsonl t =
            "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"depth\":%d,\
             \"track\":%d,\"start\":%d,\"end\":%d,\"rounds\":%d,\"delivered\":%d,\
             \"words\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
-            \"duplicated\":%d,\"retransmits\":%d}\n"
+            \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d}\n"
            s.id s.parent (escape s.name) s.depth s.track s.start_round
            (if s.stop_round < 0 then t.clock else s.stop_round)
            st.s_rounds st.s_delivered st.s_words st.s_skipped st.s_woken
-           st.s_dropped st.s_duplicated st.s_retransmits))
+           st.s_dropped st.s_duplicated st.s_retransmits st.s_crashed))
     spans;
   for i = 0 to t.buf.rlen - 1 do
     let r = t.buf.rb.(i) in
@@ -328,9 +337,10 @@ let to_jsonl t =
       (Printf.sprintf
          "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
           \"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\"woken\":%d,\
-          \"sent\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d}\n"
+          \"sent\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d,\
+          \"crashed\":%d}\n"
          r.round r.delivered r.delivered_words r.receivers r.stepped r.skipped
-         r.woken r.sent r.dropped r.duplicated r.retransmits)
+         r.woken r.sent r.dropped r.duplicated r.retransmits r.crashed)
   done;
   List.iter
     (fun (name, v) ->
@@ -344,10 +354,10 @@ let to_jsonl t =
        "{\"type\":\"summary\",\"clock\":%d,\"rounds\":%d,\"spans\":%d,\
         \"messages\":%d,\"delivered\":%d,\"words\":%d,\"peak_words\":%d,\
         \"budget\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
-        \"duplicated\":%d,\"retransmits\":%d}\n"
+        \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d}\n"
        t.clock t.buf.rlen (List.length spans) t.msgs tt.t_delivered tt.t_words
        t.peak t.budget tt.t_skipped tt.t_woken tt.t_dropped tt.t_duplicated
-       tt.t_retransmits);
+       tt.t_retransmits tt.t_crashed);
   Buffer.contents b
 
 let export_jsonl t oc =
@@ -439,12 +449,13 @@ let int_fields = function
       [
         "id"; "parent"; "depth"; "track"; "start"; "end"; "rounds"; "delivered";
         "words"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
+        "crashed";
       ]
   | "round" ->
     Some
       [
         "round"; "delivered"; "words"; "receivers"; "stepped"; "skipped"; "woken";
-        "sent"; "dropped"; "duplicated"; "retransmits";
+        "sent"; "dropped"; "duplicated"; "retransmits"; "crashed";
       ]
   | "note" -> Some [ "value" ]
   | "summary" ->
@@ -452,6 +463,7 @@ let int_fields = function
       [
         "clock"; "rounds"; "spans"; "messages"; "delivered"; "words"; "peak_words";
         "budget"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
+        "crashed";
       ]
   | _ -> None
 

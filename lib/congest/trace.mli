@@ -52,6 +52,8 @@ type span_stats = {
   s_dropped : int;
   s_duplicated : int;
   s_retransmits : int;
+  s_crashed : int;
+      (** nodes fail-stopped by a churn schedule during the span *)
 }
 
 val create : unit -> t
@@ -145,10 +147,11 @@ val notes : t -> (string * int) list
 (** {2 Export} *)
 
 val schema_version : string
-(** The JSONL schema identifier, ["kdom.trace.v1.1"].  v1.1 adds the
+(** The JSONL schema identifier, ["kdom.trace.v1.2"].  v1.1 added the
     frontier counters ([skipped]/[woken]) to the [round], [span] and
-    [summary] records.  Any change to the record shapes below bumps this
-    string and the golden files. *)
+    [summary] records; v1.2 adds the churn counter ([crashed]) to the
+    same three records.  Any change to the record shapes below bumps
+    this string and the golden files. *)
 
 val to_jsonl : t -> string
 (** The versioned JSONL trace: a [meta] line, one [span] line per span

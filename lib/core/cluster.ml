@@ -72,6 +72,33 @@ let min_size p =
   | [] -> 0
   | cs -> List.fold_left (fun acc c -> min acc (size c)) max_int cs
 
+let write_tree host c ~parent ~depth =
+  let inside = Hashtbl.create (size c) in
+  List.iter (fun v -> Hashtbl.replace inside v ()) c.members;
+  let seen = Hashtbl.create (size c) in
+  Hashtbl.replace seen c.center ();
+  parent.(c.center) <- -1;
+  depth.(c.center) <- 0;
+  let q = Queue.create () in
+  Queue.add c.center q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (u, _) ->
+        if Hashtbl.mem inside u && not (Hashtbl.mem seen u) then begin
+          Hashtbl.replace seen u ();
+          parent.(u) <- v;
+          depth.(u) <- depth.(v) + 1;
+          Queue.add u q
+        end)
+      (Graph.neighbors host v)
+  done;
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem seen v) then
+        invalid_arg "Cluster.write_tree: induced subgraph disconnected")
+    c.members
+
 let induced g members =
   let members = Array.of_list members in
   let local = Hashtbl.create (Array.length members) in

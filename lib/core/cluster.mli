@@ -38,6 +38,14 @@ val singleton : int -> t
 
 val size : t -> int
 
+val write_tree : Graph.t -> t -> parent:int array -> depth:int array -> unit
+(** [write_tree host c ~parent ~depth] writes a BFS cluster tree rooted at
+    [c.center] (restricted to the induced subgraph of the members) into the
+    host-indexed [parent]/[depth] arrays: the center gets [parent = -1],
+    [depth = 0].  Entries of non-members are untouched.  Raises
+    [Invalid_argument] if the induced subgraph is disconnected.  Building
+    block of [Dom_partition.repair_plan]. *)
+
 val induced : Graph.t -> int list -> Graph.t * int array
 (** [induced g members] extracts the subgraph induced by [members] with
     nodes renumbered [0 .. |members|-1]; returns it with the

@@ -183,3 +183,18 @@ let dominating_list r =
   let acc = ref [] in
   Array.iteri (fun v b -> if b then acc := v :: !acc) r.dominating;
   List.rev !acc
+
+(* In-cluster re-run, for the repair story: run DiamDOM on the subtree
+   induced by one cluster's surviving members and map the result back to
+   host ids.  This is the centralized mirror of [Repair]'s distributed
+   takeover — bench and CLI compare the two. *)
+let redominate g ~members ~k =
+  match members with
+  | [] -> invalid_arg "Diam_dom.redominate: empty member set"
+  | [ v ] -> [ v ]
+  | _ ->
+    let sub, host_of = Cluster.induced g members in
+    let root = ref 0 in
+    Array.iteri (fun i v -> if v < host_of.(!root) then root := i) host_of;
+    let res = run sub ~root:!root ~k in
+    List.map (fun v -> host_of.(v)) (dominating_list res)

@@ -56,3 +56,11 @@ val round_bound : diam:int -> k:int -> int
     constant for the handshakes; every measured run must stay below it. *)
 
 val dominating_list : result -> int list
+
+val redominate : Graph.t -> members:int list -> k:int -> int list
+(** [redominate g ~members ~k] reruns [DiamDOM] on the subgraph induced by
+    [members] (which must induce a tree — e.g. one surviving cluster of a
+    tree host), rooted at the smallest member id, and returns the new
+    dominators as host ids.  The centralized mirror of
+    [Kdom_congest.Repair]'s in-cluster takeover, used by the bench and CLI
+    for comparison. *)

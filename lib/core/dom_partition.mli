@@ -73,5 +73,11 @@ val run :
 val partition : Graph.t -> result -> Cluster.partition
 (** Package the clusters as a checked {!Cluster.partition}. *)
 
+val repair_plan : Graph.t -> result -> Kdom_congest.Repair.plan
+(** Package the partition for the self-healing layer: per node, its
+    dominator (cluster center) and its parent/depth in a BFS cluster tree
+    rooted at the center — the structure [Kdom_congest.Repair] maintains
+    under churn. *)
+
 val max_radius : result -> int
 val min_size : result -> int

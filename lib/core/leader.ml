@@ -54,13 +54,15 @@ let algorithm g : state Engine.algorithm =
       ({ st with just_adopted = true }, !out)
     end
     else begin
-      (* the strongest wave offered this round, if it beats the current *)
+      (* the strongest wave offered this round, if it beats the current —
+         same preference rule as [Repair]'s takeover election *)
       let upgrade = ref None in
       Engine.Inbox.iter
         (fun u payload ->
           if payload.(0) = tag_offer && payload.(1) > st.best then
             match !upgrade with
-            | Some (w, d, _) when (w, -d) >= (payload.(1), -payload.(2)) -> ()
+            | Some (w, d, _) when not (Repair.wave_prefers (payload.(1), payload.(2)) (w, d))
+              -> ()
             | _ -> upgrade := Some (payload.(1), payload.(2), u))
         inbox;
       let st =

@@ -233,6 +233,7 @@ let test_adversarial_link () =
       overrides = [ ((3, 4), bad); ((4, 3), bad) ];
       reorder = true;
       crashes = [];
+      churn = [];
       seed = 23;
     }
   in

@@ -1,0 +1,399 @@
+(* Self-healing k-dominating sets: the churn layer and the repair protocol.
+
+   Four groups:
+   - crash windows: the half-open [at <= t < recover] semantics of the
+     async fault plan, back-to-back windows, and the typed rejection of
+     overlapping windows ([Faults.Overlapping_crashes]).
+   - churn: the synchronous churn schedule applied identically by the
+     port-indexed engine and the reference runtime (differential test on a
+     deterministic gossip), and the [crashed] sink counter.
+   - repair: quiescence (a churn-free run is heartbeat-only and leaves the
+     plan untouched, sparse and degraded schedules agreeing round for
+     round), targeted dominator-crash and tree-edge-cut scenarios with
+     detection-latency bounds, and the qcheck property — random trees,
+     random k, seeded churn ending by round T, and every surviving
+     component re-dominated ([Oracle.eventual_k_domination]).  The 3-word
+     budget is enforced on every execution: [Repair.run] passes
+     [Repair.max_words] to the engine, so an over-wide frame fails the
+     test with [Congestion_violation]. *)
+
+open Kdom_graph
+open Kdom_congest
+
+(* ------------------------------------------------------------------ *)
+(* Crash windows (async fault plan) *)
+
+let test_crash_window_half_open () =
+  let g = Generators.path ~rng:(Rng.create 3) 4 in
+  let e = Engine.create g in
+  let crashes =
+    [
+      { Faults.node = 0; at = 1.0; recover = Some 3.0 };
+      (* back-to-back windows on node 1: legal, seamlessly down *)
+      { Faults.node = 1; at = 2.0; recover = Some 5.0 };
+      { Faults.node = 1; at = 5.0; recover = Some 6.0 };
+      { Faults.node = 2; at = 1.0; recover = None };
+    ]
+  in
+  let p = Faults.compile e (Faults.lossy ~crashes ~seed:1 ()) in
+  let down node time = Faults.down p ~node ~time in
+  Alcotest.(check bool) "up before the window" false (down 0 0.999);
+  Alcotest.(check bool) "down at the crash instant" true (down 0 1.0);
+  Alcotest.(check bool) "down just before recovery" true (down 0 2.999);
+  Alcotest.(check bool) "up at the recovery instant" false (down 0 3.0);
+  Alcotest.(check (option (float 1e-9))) "next_up walks to the recovery"
+    (Some 3.0)
+    (Faults.next_up p ~node:0 ~time:1.5);
+  Alcotest.(check bool) "down across a back-to-back seam" true (down 1 5.0);
+  Alcotest.(check (option (float 1e-9)))
+    "next_up walks through back-to-back windows" (Some 6.0)
+    (Faults.next_up p ~node:1 ~time:2.5);
+  Alcotest.(check bool) "permanent crash stays down" true (down 2 1e9);
+  Alcotest.(check (option (float 1e-9))) "no next_up after a permanent crash"
+    None
+    (Faults.next_up p ~node:2 ~time:2.0);
+  Alcotest.(check (option (float 1e-9))) "next_up of an up node is now"
+    (Some 0.5)
+    (Faults.next_up p ~node:3 ~time:0.5)
+
+let expect_overlap node crashes =
+  let g = Generators.path ~rng:(Rng.create 3) 4 in
+  let e = Engine.create g in
+  match Faults.compile e (Faults.lossy ~crashes ~seed:1 ()) with
+  | _ -> Alcotest.fail "overlapping crash windows were accepted"
+  | exception Faults.Overlapping_crashes v ->
+    Alcotest.(check int) "offending node" node v
+
+let test_overlapping_windows_rejected () =
+  expect_overlap 1
+    [
+      { Faults.node = 1; at = 1.0; recover = Some 4.0 };
+      { Faults.node = 1; at = 3.0; recover = Some 6.0 };
+    ];
+  (* a window scheduled after a permanent crash can never run *)
+  expect_overlap 2
+    [
+      { Faults.node = 2; at = 1.0; recover = None };
+      { Faults.node = 2; at = 5.0; recover = Some 6.0 };
+    ];
+  (* order in the spec must not matter *)
+  expect_overlap 1
+    [
+      { Faults.node = 1; at = 3.0; recover = Some 6.0 };
+      { Faults.node = 1; at = 1.0; recover = Some 4.0 };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Churn: engine vs reference runtime *)
+
+(* Deterministic bounded gossip: every round below the limit, broadcast the
+   largest id seen so far.  Insensitive to scheduling, so any divergence
+   between the executors is a churn-application bug. *)
+type gossip = { neighbors : int list; best : int; halted : bool }
+
+let gossip_algorithm g ~rounds : gossip Engine.algorithm =
+  let init _g v =
+    {
+      neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
+      best = v;
+      halted = false;
+    }
+  in
+  let step _g ~round ~node:_ st inbox =
+    let best =
+      Engine.Inbox.fold (fun b _ payload -> max b payload.(0)) st.best inbox
+    in
+    if round >= rounds then ({ st with best; halted = true }, [])
+    else
+      ( { st with best },
+        List.map (fun u -> (u, [| best |])) st.neighbors )
+  in
+  {
+    Engine.init;
+    step;
+    halted = (fun st -> st.halted);
+    wake = (fun _ -> Engine.Always);
+  }
+
+let test_engine_reference_churn_differential () =
+  List.iter
+    (fun seed ->
+      let g = Generators.gnp_connected ~rng:(Rng.create seed) ~n:12 ~p:0.3 in
+      let events =
+        Faults.random_churn g ~seed:(seed + 7) ~crashes:2 ~edge_cuts:3 ~last:6
+      in
+      let e = Engine.create g in
+      let churn = Engine.Churn.compile e events in
+      let s1, st1 =
+        Engine.exec ~max_words:1 ~churn e (gossip_algorithm g ~rounds:10)
+      in
+      (* the schedule is reset on entry, so the same compiled value drives
+         the reference run *)
+      let s2, st2 =
+        Runtime.run_reference ~max_words:1 ~churn g (gossip_algorithm g ~rounds:10)
+      in
+      if s1 <> s2 then
+        Alcotest.failf "seed %d: engine and reference states differ under churn"
+          seed;
+      Alcotest.(check int) "same round count" st1.Engine.rounds
+        st2.Runtime.rounds;
+      Alcotest.(check int) "same delivered count" st1.Engine.messages
+        st2.Runtime.messages)
+    [ 5; 23; 71 ]
+
+let test_crashed_counter_sums () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 41) ~n:14 ~p:0.3 in
+  let events =
+    Faults.random_churn g ~seed:6 ~crashes:3 ~edge_cuts:2 ~last:5
+  in
+  let e = Engine.create g in
+  let churn = Engine.Churn.compile e events in
+  let counters, rounds_info = Engine.Sink.counters () in
+  let _ =
+    Engine.exec ~max_words:1 ~sink:counters ~churn e
+      (gossip_algorithm g ~rounds:10)
+  in
+  let sum =
+    List.fold_left
+      (fun a (i : Engine.Sink.round_info) -> a + i.crashed)
+      0 (rounds_info ())
+  in
+  Alcotest.(check int) "sink crashed counter sums to the schedule's crashes" 3
+    sum;
+  let alive = Engine.Churn.final_alive churn in
+  let live = Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive in
+  Alcotest.(check int) "final_alive agrees" (Graph.n g - 3) live
+
+(* ------------------------------------------------------------------ *)
+(* Repair *)
+
+let plan_of g ~k =
+  Kdom.Dom_partition.repair_plan g (Kdom.Dom_partition.run g ~k)
+
+let max_depth (plan : Repair.plan) = Array.fold_left max 0 plan.depth
+
+(* Final self-claimed dominators among the survivors — takeover leaders
+   included. *)
+let live_centers (rep : Repair.report) alive =
+  let cs = ref [] in
+  Array.iteri
+    (fun v d -> if alive.(v) && d = v then cs := v :: !cs)
+    rep.dominator_of;
+  !cs
+
+let check_survivors_dominated ~what g rep churn ~bound =
+  let alive = Engine.Churn.final_alive churn in
+  let dead_edges = Engine.Churn.final_edges_down churn in
+  Array.iteri
+    (fun v a ->
+      if a && rep.Repair.dominator_of.(v) < 0 then
+        Alcotest.failf "%s: surviving node %d is still orphaned" what v)
+    alive;
+  Oracle.expect_ok what
+    (Oracle.eventual_k_domination g ~alive ~dead_edges
+       ~centers:(live_centers rep alive) ~bound)
+
+let test_quiescent_run () =
+  let g = Generators.random_tree ~rng:(Rng.create 11) 20 in
+  let plan = plan_of g ~k:2 in
+  let cfg = { Repair.plan; beta = 3; lease = 2; dmax = Repair.default_dmax plan; horizon = 40 } in
+  let run ~degrade =
+    let counters, rounds_info = Engine.Sink.counters () in
+    let states, _ = Repair.run ~sink:counters ~degrade (Engine.create g) cfg in
+    (states, rounds_info ())
+  in
+  let states, infos = run ~degrade:false in
+  let rep = Repair.decode states in
+  Alcotest.(check int) "no suspicions" 0 rep.suspicions;
+  Alcotest.(check int) "no repair frames" 0 rep.repair_frames;
+  Alcotest.(check int) "no suspicion round" (-1) rep.first_suspect;
+  if rep.hb_frames = 0 then Alcotest.fail "a quiescent run must heartbeat";
+  Alcotest.(check (array int)) "dominators = plan" plan.dominator
+    rep.dominator_of;
+  Alcotest.(check (array int)) "parents = plan" plan.parent rep.parent_of;
+  Alcotest.(check (array int)) "depths = plan" plan.depth rep.depth_of;
+  (* the sparse schedule and the degraded dense schedule agree round for
+     round — same frames on the wire, same final states *)
+  let states_d, infos_d = run ~degrade:true in
+  if states <> states_d then
+    Alcotest.fail "sparse and degraded runs reached different states";
+  Alcotest.(check int) "same round count" (List.length infos)
+    (List.length infos_d);
+  List.iter2
+    (fun (a : Engine.Sink.round_info) (b : Engine.Sink.round_info) ->
+      Alcotest.(check int)
+        (Printf.sprintf "round %d: same frames sent" a.round)
+        a.sent b.sent;
+      Alcotest.(check int)
+        (Printf.sprintf "round %d: same frames delivered" a.round)
+        a.delivered b.delivered)
+    infos infos_d
+
+(* Crash one dominator mid-run: detection within the lease bound, every
+   survivor re-dominated. *)
+let test_dominator_crash () =
+  let g = Generators.random_tree ~rng:(Rng.create 19) 15 in
+  let plan = plan_of g ~k:2 in
+  (* the dominator with the most members — the interesting crash *)
+  let count = Array.make (Graph.n g) 0 in
+  Array.iter (fun d -> count.(d) <- count.(d) + 1) plan.dominator;
+  let dom = ref 0 in
+  Array.iteri (fun v c -> if c > count.(!dom) then dom := v) count;
+  let beta = 3 and lease = 2 in
+  let crash_at = 7 in
+  let cfg = { Repair.plan; beta; lease; dmax = Repair.default_dmax plan; horizon = 200 } in
+  let e = Engine.create g in
+  let churn =
+    Engine.Churn.compile e [ Engine.Churn.Crash { node = !dom; at = crash_at } ]
+  in
+  let states, _ = Repair.run ~churn e cfg in
+  let rep = Repair.decode states in
+  if rep.suspicions = 0 then Alcotest.fail "nobody suspected a dead dominator";
+  if rep.first_suspect < crash_at then
+    Alcotest.failf "suspicion at round %d precedes the crash at %d"
+      rep.first_suspect crash_at;
+  (* last wave before the crash reaches depth d by [crash_at + d]; the
+     lease then runs [lease * beta + d] rounds, plus one period of grid
+     slack *)
+  let d = max_depth plan in
+  let bound = crash_at + ((lease + 1) * beta) + (2 * d) + 2 in
+  if rep.first_suspect > bound then
+    Alcotest.failf "detection at round %d exceeds the lease bound %d"
+      rep.first_suspect bound;
+  if rep.last_repair < rep.first_suspect then
+    Alcotest.fail "repair did not complete after the suspicion";
+  check_survivors_dominated ~what:"dominator crash" g rep churn
+    ~bound:(Graph.n g)
+
+(* Cut a cluster-tree edge: on a tree host this disconnects the subtree, so
+   reattach must fail and the takeover election must install a fresh
+   dominator in the severed component. *)
+let test_tree_edge_cut () =
+  let g = Generators.random_tree ~rng:(Rng.create 29) 15 in
+  let plan = plan_of g ~k:2 in
+  (* the deepest tree edge's child — guarantees a non-trivial severed side *)
+  let child = ref (-1) in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 && (!child < 0 || plan.depth.(v) > plan.depth.(!child)) then
+        child := v)
+    plan.parent;
+  if !child < 0 then Alcotest.fail "plan has no tree edge to cut";
+  let parent = plan.parent.(!child) in
+  let cut_at = 7 in
+  let cfg = { Repair.plan; beta = 3; lease = 2; dmax = Repair.default_dmax plan; horizon = 200 } in
+  let e = Engine.create g in
+  let churn =
+    Engine.Churn.compile e
+      [
+        Engine.Churn.Edge_down { src = parent; dst = !child; at = cut_at };
+        Engine.Churn.Edge_down { src = !child; dst = parent; at = cut_at };
+      ]
+  in
+  let states, _ = Repair.run ~churn e cfg in
+  let rep = Repair.decode states in
+  if rep.suspicions = 0 then Alcotest.fail "nobody suspected the severed edge";
+  if rep.repair_frames = 0 then Alcotest.fail "no repair traffic after the cut";
+  check_survivors_dominated ~what:"tree-edge cut" g rep churn
+    ~bound:(Graph.n g)
+
+let test_validate_plan_rejects () =
+  let g = Generators.path ~rng:(Rng.create 31) 4 in
+  let reject what plan =
+    match Repair.validate_plan g plan with
+    | () -> Alcotest.failf "validate_plan accepted %s" what
+    | exception Invalid_argument _ -> ()
+  in
+  reject "a short array"
+    { Repair.dominator = [| 0 |]; parent = [| -1 |]; depth = [| 0 |] };
+  reject "a root that is not its own dominator"
+    {
+      Repair.dominator = [| 1; 1; 1; 1 |];
+      parent = [| -1; 0; 1; 2 |];
+      depth = [| 0; 1; 2; 3 |];
+    };
+  reject "a non-edge tree link"
+    {
+      Repair.dominator = [| 0; 0; 0; 0 |];
+      parent = [| -1; 0; 0; 2 |];
+      (* 2 is not adjacent to 0 on a path *)
+      depth = [| 0; 1; 1; 2 |];
+    };
+  reject "an inconsistent depth"
+    {
+      Repair.dominator = [| 0; 0; 0; 0 |];
+      parent = [| -1; 0; 1; 2 |];
+      depth = [| 0; 1; 2; 2 |];
+    };
+  (* the straight path plan is fine *)
+  Repair.validate_plan g
+    {
+      Repair.dominator = [| 0; 0; 0; 0 |];
+      parent = [| -1; 0; 1; 2 |];
+      depth = [| 0; 1; 2; 3 |];
+    }
+
+(* The headline property: random tree, random k, seeded churn ending by
+   round [last]; once the dust settles every surviving component must again
+   be dominated by a live center — reattached across cluster boundaries or
+   re-elected by takeover.  The engine enforces the 3-word frame budget
+   throughout. *)
+let prop_self_healing =
+  QCheck2.Test.make ~name:"repair: eventual k-domination under churn"
+    ~count:20 (QCheck2.Gen.int_bound 10_000) (fun seed ->
+      let n = 8 + (seed mod 13) in
+      let g = Generators.random_tree ~rng:(Rng.create seed) n in
+      let k = 1 + (seed mod 3) in
+      let plan = plan_of g ~k in
+      let beta = 2 + (seed mod 3) in
+      let lease = 2 in
+      let last = 4 + (seed mod 8) in
+      let events =
+        Faults.random_churn g ~seed:(seed + 7) ~crashes:(1 + (seed mod 2))
+          ~edge_cuts:(seed mod 3) ~last
+      in
+      (* generous stabilization window: doomed adoptions (attaching to a
+         neighbor whose own dominator is already gone) cost one extra lease
+         cycle each before the takeover wave wins *)
+      let horizon = last + (20 * ((lease * beta) + n)) in
+      let cfg = { Repair.plan; beta; lease; dmax = Repair.default_dmax plan; horizon } in
+      let e = Engine.create g in
+      let churn = Engine.Churn.compile e events in
+      let states, _ = Repair.run ~churn e cfg in
+      let rep = Repair.decode states in
+      check_survivors_dominated
+        ~what:(Printf.sprintf "qcheck seed %d" seed)
+        g rep churn ~bound:n;
+      true)
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "crash windows",
+        [
+          Alcotest.test_case "half-open boundaries" `Quick
+            test_crash_window_half_open;
+          Alcotest.test_case "overlapping windows rejected" `Quick
+            test_overlapping_windows_rejected;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "engine = reference under churn" `Quick
+            test_engine_reference_churn_differential;
+          Alcotest.test_case "crashed counter sums" `Quick
+            test_crashed_counter_sums;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "quiescent run is heartbeat-only" `Quick
+            test_quiescent_run;
+          Alcotest.test_case "dominator crash detected and healed" `Quick
+            test_dominator_crash;
+          Alcotest.test_case "tree-edge cut forces takeover" `Quick
+            test_tree_edge_cut;
+          Alcotest.test_case "validate_plan rejects bad forests" `Quick
+            test_validate_plan_rejects;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_self_healing ] );
+    ]
