@@ -1413,6 +1413,151 @@ let trace_overhead ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* PAR — the sharded multicore executor ([Engine.exec ~domains]) against
+   the sequential engine on large instances.  Every run is asserted
+   bit-identical to the [domains = 1] baseline (states and stats), so the
+   table measures pure executor overhead/scaling, never divergence.
+
+   Honesty note: the JSON records the host's recommended domain count.
+   On a single-core host the sharded executor cannot beat the sequential
+   one — the table then quantifies the barrier + shard bookkeeping
+   overhead, which is exactly what a reader needs to know before turning
+   [~domains] on. *)
+
+type par_row = {
+  pr_kernel : string;
+  pr_family : string;
+  pr_n : int;
+  pr_m : int;
+  pr_domains : int;
+  pr_rounds : int;
+  pr_messages : int;
+  pr_secs : float;
+  pr_speedup : float; (* sequential secs / this run's secs *)
+}
+
+let par_domain_counts = [ 1; 2; 4 ]
+
+(* [partition_for], when given, maps a domain count to an explicit shard
+   assignment (degree-balanced LPT); otherwise the engine's contiguous
+   default split is used. *)
+let par_case ~kernel ~family ?partition_for g mk =
+  let open Kdom_congest in
+  let eng = Engine.create g in
+  let base = ref None in
+  List.map
+    (fun domains ->
+      let partition = Option.map (fun f -> f domains) partition_for in
+      let (states, stats), secs =
+        wall (fun () -> Engine.exec ?partition ~domains eng (mk ()))
+      in
+      let bsecs =
+        match !base with
+        | None ->
+            base := Some (states, stats, secs);
+            secs
+        | Some (bstates, bstats, bsecs) ->
+            if states <> bstates || stats <> bstats then
+              failwith
+                (Printf.sprintf
+                   "par bench %s/%s: domains=%d diverges from the sequential \
+                    run"
+                   kernel family domains);
+            bsecs
+      in
+      {
+        pr_kernel = kernel;
+        pr_family = family;
+        pr_n = Graph.n g;
+        pr_m = Graph.m g;
+        pr_domains = domains;
+        pr_rounds = stats.Runtime.rounds;
+        pr_messages = stats.Runtime.messages;
+        pr_secs = secs;
+        pr_speedup = bsecs /. secs;
+      })
+    par_domain_counts
+
+let par_rows ~smoke () =
+  let acc = ref [] in
+  let add rs = acc := !acc @ rs in
+  let side = if smoke then 64 else 1000 in
+  let g = Generators.grid ~rng:(seeded 7) ~rows:side ~cols:side in
+  add
+    (par_case ~kernel:"flood" ~family:"grid" g (fun () ->
+         flood_algorithm ~rounds:(if smoke then 8 else 3)));
+  let n = if smoke then 4_000 else 1_000_000 in
+  (* radius for expected average degree ~6: pi r^2 n = 6 *)
+  let radius = sqrt (6.0 /. (Float.pi *. float_of_int n)) in
+  let rg = Generators.random_geometric ~rng:(seeded 8) ~n ~radius in
+  add
+    (par_case ~kernel:"flood" ~family:"rgg" rg (fun () ->
+         flood_algorithm ~rounds:(if smoke then 8 else 3)));
+  (* the same irregular family under the degree-balanced LPT partition *)
+  add
+    (par_case ~kernel:"flood" ~family:"rgg-lpt"
+       ~partition_for:(fun shards -> Generators.shard_partition rg ~shards)
+       rg
+       (fun () -> flood_algorithm ~rounds:(if smoke then 8 else 3)));
+  (* a sparse-frontier kernel: one active node per round, so this row is a
+     pure measurement of the per-round barrier cost *)
+  let p = Generators.path ~rng:(seeded 9) (if smoke then 2_000 else 20_000) in
+  add (par_case ~kernel:"token" ~family:"path" p (fun () -> token_algorithm));
+  !acc
+
+let par_json rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"host_recommended_domains\": %d,\n \"rows\": [\n"
+       (Domain.recommended_domain_count ()));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"kernel\": %S, \"family\": %S, \"n\": %d, \"m\": %d, \
+            \"domains\": %d, \"rounds\": %d, \"messages\": %d, \"secs\": \
+            %.6f, \"secs_per_round\": %.9f, \"speedup_vs_seq\": %.3f}"
+           r.pr_kernel r.pr_family r.pr_n r.pr_m r.pr_domains r.pr_rounds
+           r.pr_messages r.pr_secs
+           (r.pr_secs /. float_of_int (max 1 r.pr_rounds))
+           r.pr_speedup))
+    rows;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let par_bench () =
+  header "PAR  sharded executor scaling"
+    "run ~domains:d is bit-identical to the sequential engine (asserted)";
+  pf "host recommended domains: %d@." (Domain.recommended_domain_count ());
+  pf "%-7s %-8s %8s %8s %7s %7s %10s %12s %8s@." "kernel" "family" "n" "m"
+    "domains" "rounds" "secs" "ms/round" "speedup";
+  let rows = par_rows ~smoke:false () in
+  List.iter
+    (fun r ->
+      pf "%-7s %-8s %8d %8d %7d %7d %10.3f %12.4f %7.2fx@." r.pr_kernel
+        r.pr_family r.pr_n r.pr_m r.pr_domains r.pr_rounds r.pr_secs
+        (1000.0 *. r.pr_secs /. float_of_int (max 1 r.pr_rounds))
+        r.pr_speedup)
+    rows;
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (par_json rows);
+  close_out oc;
+  pf "@.wrote BENCH_par.json (%d rows)@." (List.length rows)
+
+(* CI pass: small instances, every row still asserted bit-identical to the
+   sequential baseline inside [par_case]. *)
+let par_smoke () =
+  let rows = par_rows ~smoke:true () in
+  List.iter
+    (fun r ->
+      pf "par %-7s %-8s domains=%d rounds=%d msgs=%d %.3fs@." r.pr_kernel
+        r.pr_family r.pr_domains r.pr_rounds r.pr_messages r.pr_secs)
+    rows;
+  pf "@.par smoke OK: %d rows, domains in {1,2,4} all bit-identical@."
+    (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1433,6 +1578,8 @@ let () =
   else if List.mem "engine" args then engine_bench ()
   else if List.mem "sched-smoke" args then sched_smoke ()
   else if List.mem "sched" args then sched_bench ()
+  else if List.mem "par-smoke" args then par_smoke ()
+  else if List.mem "par" args then par_bench ()
   else begin
     let tables_only = List.mem "tables" args in
     let selected = List.filter (fun a -> List.mem_assoc a experiments) args in

@@ -46,6 +46,22 @@ let n_arg = Arg.(value & opt int 500 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Num
 let k_arg = Arg.(value & opt int 4 & info [ "k"; "param" ] ~docv:"K" ~doc:"Domination parameter k.")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Run every engine execution on $(docv) OCaml domains (the sharded \
+           multicore executor; bit-identical to the sequential engine).")
+
+(* The composite drivers (FastDOM, FastMST, repair) call [Runtime.run]
+   internally, so the domain count is threaded through the engine's
+   process-wide default rather than through every call site; sound because
+   the sharded executor is observationally identical. *)
+let set_domains d =
+  if d < 1 then invalid_arg "--domains must be >= 1";
+  Kdom_congest.Engine.default_domains := d
+
 (* ------------------------------------------------------------------ *)
 (* subcommands *)
 
@@ -67,10 +83,12 @@ let write_trace tr file =
       (Kdom_congest.Trace.clock tr) path
   | _ -> ()
 
-let dom_cmd family n k seed trace_file =
+let dom_cmd family n k seed domains trace_file =
+  set_domains domains;
   let g = make_graph ~family ~n ~seed in
   describe g;
   let tr = make_trace trace_file in
+  Option.iter (fun t -> Kdom_congest.Trace.set_shards t domains) tr;
   (if Tree.is_tree g then begin
     let r = Kdom.Fastdom_tree.run ?trace:tr g ~k in
     Format.printf "FastDOM_T: |D| = %d (n/(k+1) = %d), valid = %b, rounds = %d@."
@@ -98,10 +116,12 @@ let dom_cmd family n k seed trace_file =
   end);
   write_trace tr trace_file
 
-let mst_cmd family n seed elect trace_file =
+let mst_cmd family n seed elect domains trace_file =
+  set_domains domains;
   let g = make_graph ~family ~n ~seed in
   describe g;
   let tr = make_trace trace_file in
+  Option.iter (fun t -> Kdom_congest.Trace.set_shards t domains) tr;
   let kruskal = Mst.kruskal g in
   let fast =
     if elect then Kdom.Fast_mst.run_elected ?trace:tr g
@@ -313,7 +333,8 @@ let repair_cmd g ~k ~seed ~crashes ~cuts ~trace_file =
   if verdict <> "ok" then exit 1
 
 let faults_cmd family n k seed algo drop dup slow fifo max_delay crashes cuts
-    repair trace_file =
+    repair domains trace_file =
+  set_domains domains;
   let open Kdom_congest in
   let g = make_graph ~family ~n ~seed in
   describe g;
@@ -518,7 +539,7 @@ let faults_t =
     Term.(
       const faults_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ algo_arg
       $ drop_arg $ dup_arg $ slow_arg $ fifo_arg $ max_delay_arg $ churn_arg
-      $ cuts_arg $ repair_arg $ trace_file_arg)
+      $ cuts_arg $ repair_arg $ domains_arg $ trace_file_arg)
 
 let trace_out_arg =
   Arg.(
@@ -575,7 +596,9 @@ let trace_t =
 let dom_t =
   Cmd.v
     (Cmd.info "dom" ~doc:"Compute a small k-dominating set (FastDOM_T / FastDOM_G).")
-    Term.(const dom_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ trace_file_arg)
+    Term.(
+      const dom_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ domains_arg
+      $ trace_file_arg)
 
 let elect_arg =
   Arg.(value & flag & info [ "elect" ] ~doc:"Elect the root instead of assuming node 0.")
@@ -583,7 +606,9 @@ let elect_arg =
 let mst_t =
   Cmd.v
     (Cmd.info "mst" ~doc:"Distributed MST: FastMST vs GHS vs collect-all.")
-    Term.(const mst_cmd $ family_arg $ n_arg $ seed_arg $ elect_arg $ trace_file_arg)
+    Term.(
+      const mst_cmd $ family_arg $ n_arg $ seed_arg $ elect_arg $ domains_arg
+      $ trace_file_arg)
 
 let route_t =
   Cmd.v

@@ -155,6 +155,46 @@ module Sink = struct
     ( { null with on_round = (fun ri -> acc := ri :: !acc) },
       fun () -> List.rev !acc )
 
+  (* Associative, commutative merge of two views of the same round: every
+     field is a sum except [round], which must agree.  This is the combine
+     the sharded executor folds per-shard counters with at the barrier, and
+     it makes [counters]/[activity] aggregation merge-safe: teeing a sink
+     across shards and combining per-round records is equivalent to one
+     sink observing the whole round. *)
+  let combine_round_info a b =
+    if a.round <> b.round then
+      invalid_arg "Engine.Sink.combine_round_info: round mismatch";
+    {
+      round = a.round;
+      delivered = a.delivered + b.delivered;
+      delivered_words = a.delivered_words + b.delivered_words;
+      receivers = a.receivers + b.receivers;
+      stepped = a.stepped + b.stepped;
+      skipped = a.skipped + b.skipped;
+      woken = a.woken + b.woken;
+      sent = a.sent + b.sent;
+      dropped = a.dropped + b.dropped;
+      duplicated = a.duplicated + b.duplicated;
+      retransmits = a.retransmits + b.retransmits;
+      crashed = a.crashed + b.crashed;
+    }
+
+  let empty_round_info round =
+    {
+      round;
+      delivered = 0;
+      delivered_words = 0;
+      receivers = 0;
+      stepped = 0;
+      skipped = 0;
+      woken = 0;
+      sent = 0;
+      dropped = 0;
+      duplicated = 0;
+      retransmits = 0;
+      crashed = 0;
+    }
+
   let activity ~n =
     let sent = Array.make n 0 and received = Array.make n 0 in
     ( {
@@ -926,15 +966,821 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   if instrumented then sink.on_finish ();
   (states, { rounds = !round; messages = !messages; max_inflight = !max_inflight })
 
-let exec ?max_rounds ?max_words ?sink ?degrade ?churn e algo =
+(* ------------------------------------------------------------------ *)
+(* Sharded execution: the same semantics as [exec_unguarded], bit for bit,
+   but with the node set partitioned into [d] shards stepped on [d] OCaml 5
+   domains.  The round structure is
+
+     serial: buffer swap, churn application, halted-receiver minimum
+     parallel phase A: each shard steps its own frontier in ascending node
+       id; intra-shard frames land directly in the send buffer, cross-shard
+       frames are appended to a fixed per-(src-shard, dst-shard) arena
+     serial: violation resolution, deferred sink dispatch, round record
+     parallel phase B: each destination shard drains the cross arenas
+       addressed to it in src-shard order
+
+   Determinism does not depend on scheduling: every mutable cell is owned
+   by exactly one shard within a phase (slots and counts are owned by the
+   destination, send stamps by the source, node state by the owner), the
+   arenas are filled in each source's deterministic stepping order and
+   drained in fixed src-shard order, and the buffers are slot-indexed so
+   final contents are independent of drain interleaving.  Sink callbacks
+   are deferred to the barrier and replayed in ascending source id — the
+   sequential emission order — so instrumented runs are also identical.
+
+   Violations cannot abort mid-phase without racing the other shards, so
+   each shard records its first violation (the node it fired at, plus a
+   priority bit ordering the halted-receiver check before the send checks
+   at the same node) and stops stepping; the barrier re-raises the
+   lexicographically smallest one — exactly the violation the sequential
+   sweep would have hit first. *)
+
+exception Stop_shard
+
+(* Per-shard bookkeeping for one direction of the double buffer.  The
+   payload slots and per-node counts live in arrays shared across shards
+   (every entry has a unique owning shard); the written / active stacks are
+   private so clearing stays shard-local. *)
+type sbuf = {
+  s_written : int array;  (* in-slots of this shard written this round *)
+  mutable s_wlen : int;
+  s_active : int array;   (* owned receivers with count > 0 *)
+  mutable s_alen : int;
+  mutable s_total : int;
+  mutable s_words : int;
+}
+
+(* Cross-shard frame arena for one (src shard, dst shard) pair: appended by
+   the source in stepping order during phase A, drained and reset by the
+   destination during phase B.  The phases are barrier-separated, so the
+   two owners never touch it concurrently. *)
+type xarena = {
+  mutable x_slot : int array;
+  mutable x_pay : payload array;
+  mutable x_len : int;
+}
+
+type shard = {
+  sh_nodes : int array;  (* owned nodes, ascending *)
+  sh_live : int array;
+  mutable sh_live_len : int;
+  sh_frontier : int array;
+  sh_always : int array;
+  mutable sh_alen : int;
+  mutable sh_buckets : int list array;
+  sh_ib : Inbox.t;
+  sh_a : sbuf;
+  sh_b : sbuf;
+  (* per-round outputs (phase A) *)
+  mutable sh_stepped : int;
+  mutable sh_woken : int;
+  mutable sh_receivers : int;
+  mutable sh_delivered_words : int;
+  mutable sh_emitted : int;
+  mutable sh_send_dropped : int;
+  mutable sh_hinted : bool;
+  mutable sh_vmin : int;  (* halted-receiver candidate for the next round *)
+  (* control flags written serially / by the owner *)
+  mutable sh_crashed_live : int;
+  mutable sh_compact : bool;
+  mutable sh_hit : bool;  (* an in-flight frame to this shard was churned *)
+  mutable sh_always_dirty : bool;
+  mutable sh_always_unsorted : bool;
+  (* first violation: node, priority (0 halted < 1 send), exception *)
+  mutable sh_vnode : int;
+  mutable sh_vprio : int;
+  mutable sh_vexn : exn option;
+  (* deferred on_message events, (src, dst, words), src-ascending *)
+  mutable sh_ev_src : int array;
+  mutable sh_ev_dst : int array;
+  mutable sh_ev_w : int array;
+  mutable sh_ev_len : int;
+}
+
+let contiguous_partition ~n ~shards =
+  let shard_of = Array.make (max 1 n) 0 in
+  for s = 0 to shards - 1 do
+    for v = s * n / shards to ((s + 1) * n / shards) - 1 do
+      shard_of.(v) <- s
+    done
+  done;
+  shard_of
+
+let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
+    ?churn ~domains ?partition e algo =
+  let n = e.n in
+  let g = e.g in
+  (match churn with
+  | Some (c : Churn.t) ->
+    if Array.length c.Churn.crashed <> max 1 n
+       || Array.length c.Churn.edge_down <> max 1 e.ports
+    then invalid_arg "Engine.exec: churn compiled against a different engine";
+    Churn.reset c
+  | None -> ());
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> default_max_rounds n
+  in
+  let max_words =
+    match max_words with Some w -> w | None -> default_max_words n
+  in
+  let d = max 1 (min domains (max 1 n)) in
+  let shard_of =
+    match partition with
+    | None -> contiguous_partition ~n ~shards:d
+    | Some p ->
+      if Array.length p <> n then
+        invalid_arg "Engine.exec: partition length differs from node count";
+      Array.iter
+        (fun s ->
+          if s < 0 || s >= d then
+            invalid_arg "Engine.exec: partition shard id out of range")
+        p;
+      p
+  in
+  e.running <- true;
+  let states = Array.init n (fun v -> algo.init g v) in
+  (* shared per-node / per-port arrays; each entry has one owning shard *)
+  let is_live = Array.make (max 1 n) false in
+  let is_always = Array.make (max 1 n) false in
+  let wake_at = Array.make (max 1 n) (-1) in
+  let fstamp = Array.make (max 1 n) (-1) in
+  let sent_stamp = Array.make (max 1 e.ports) (-1) in
+  let slots_a = Array.make (max 1 e.ports) none in
+  let slots_b = Array.make (max 1 e.ports) none in
+  let count_a = Array.make (max 1 n) 0 in
+  let count_b = Array.make (max 1 n) 0 in
+  (* build shards: sizes, in-port write capacities, max in-degrees *)
+  let sizes = Array.make d 0 in
+  let inports = Array.make d 0 in
+  let max_indeg = Array.make d 0 in
+  for v = 0 to n - 1 do
+    let s = shard_of.(v) in
+    sizes.(s) <- sizes.(s) + 1;
+    let indeg = e.in_off.(v + 1) - e.in_off.(v) in
+    inports.(s) <- inports.(s) + indeg;
+    if indeg > max_indeg.(s) then max_indeg.(s) <- indeg
+  done;
+  let shards =
+    Array.init d (fun s ->
+        let cap = max 1 sizes.(s) in
+        (* every slot written for this shard delivers to one of its nodes,
+           so the written-stack capacity is its in-port count *)
+        let wcap = max 1 inports.(s) in
+        let mk_sbuf () =
+          {
+            s_written = Array.make wcap 0;
+            s_wlen = 0;
+            s_active = Array.make cap 0;
+            s_alen = 0;
+            s_total = 0;
+            s_words = 0;
+          }
+        in
+        {
+          sh_nodes = Array.make cap 0;
+          sh_live = Array.make cap 0;
+          sh_live_len = 0;
+          sh_frontier = Array.make cap 0;
+          sh_always = Array.make cap 0;
+          sh_alen = 0;
+          sh_buckets = Array.make 16 [];
+          sh_ib = Inbox.create ~cap:(max 1 max_indeg.(s)) ();
+          sh_a = mk_sbuf ();
+          sh_b = mk_sbuf ();
+          sh_stepped = 0;
+          sh_woken = 0;
+          sh_receivers = 0;
+          sh_delivered_words = 0;
+          sh_emitted = 0;
+          sh_send_dropped = 0;
+          sh_hinted = false;
+          sh_vmin = -1;
+          sh_crashed_live = 0;
+          sh_compact = false;
+          sh_hit = false;
+          sh_always_dirty = false;
+          sh_always_unsorted = false;
+          sh_vnode = -1;
+          sh_vprio = 0;
+          sh_vexn = None;
+          sh_ev_src = [||];
+          sh_ev_dst = [||];
+          sh_ev_w = [||];
+          sh_ev_len = 0;
+        })
+  in
+  let fill = Array.make d 0 in
+  for v = 0 to n - 1 do
+    let s = shard_of.(v) in
+    shards.(s).sh_nodes.(fill.(s)) <- v;
+    fill.(s) <- fill.(s) + 1
+  done;
+  let xas =
+    Array.init d (fun _ ->
+        Array.init d (fun _ -> { x_slot = [||]; x_pay = [||]; x_len = 0 }))
+  in
+  let xpush xa slot p =
+    let cap = Array.length xa.x_slot in
+    if xa.x_len = cap then begin
+      let ncap = max 8 (2 * cap) in
+      let ns = Array.make ncap 0 and np = Array.make ncap none in
+      Array.blit xa.x_slot 0 ns 0 cap;
+      Array.blit xa.x_pay 0 np 0 cap;
+      xa.x_slot <- ns;
+      xa.x_pay <- np
+    end;
+    xa.x_slot.(xa.x_len) <- slot;
+    xa.x_pay.(xa.x_len) <- p;
+    xa.x_len <- xa.x_len + 1
+  in
+  let instrumented = sink != Sink.null in
+  let evpush sh src dst w =
+    let cap = Array.length sh.sh_ev_src in
+    if sh.sh_ev_len = cap then begin
+      let ncap = max 16 (2 * cap) in
+      let a = Array.make ncap 0 and b = Array.make ncap 0 and c = Array.make ncap 0 in
+      Array.blit sh.sh_ev_src 0 a 0 cap;
+      Array.blit sh.sh_ev_dst 0 b 0 cap;
+      Array.blit sh.sh_ev_w 0 c 0 cap;
+      sh.sh_ev_src <- a;
+      sh.sh_ev_dst <- b;
+      sh.sh_ev_w <- c
+    end;
+    sh.sh_ev_src.(sh.sh_ev_len) <- src;
+    sh.sh_ev_dst.(sh.sh_ev_len) <- dst;
+    sh.sh_ev_w.(sh.sh_ev_len) <- w;
+    sh.sh_ev_len <- sh.sh_ev_len + 1
+  in
+  (* replay deferred on_message events in ascending source id — the
+     sequential emission order.  [limit]/[owner] truncate the replay to
+     what the sequential sweep emitted before raising at node [limit]:
+     everything from sources below it, plus the violating shard's own
+     events at the violating node. *)
+  let emit_events ~round ~limit ~owner =
+    let idx = Array.make d 0 in
+    let continue = ref true in
+    while !continue do
+      let best = ref (-1) in
+      let best_src = ref max_int in
+      for s = 0 to d - 1 do
+        let sh = shards.(s) in
+        if idx.(s) < sh.sh_ev_len then begin
+          let src = sh.sh_ev_src.(idx.(s)) in
+          if (src < limit || (src = limit && s = owner)) && src < !best_src
+          then begin
+            best := s;
+            best_src := src
+          end
+        end
+      done;
+      if !best < 0 then continue := false
+      else begin
+        let sh = shards.(!best) in
+        let i = idx.(!best) in
+        sink.on_message ~round ~src:sh.sh_ev_src.(i) ~dst:sh.sh_ev_dst.(i)
+          ~words:sh.sh_ev_w.(i);
+        idx.(!best) <- i + 1
+      end
+    done
+  in
+  (* initial liveness *)
+  for v = 0 to n - 1 do
+    if not (algo.halted states.(v)) then begin
+      let sh = shards.(shard_of.(v)) in
+      is_live.(v) <- true;
+      is_always.(v) <- true;
+      sh.sh_live.(sh.sh_live_len) <- v;
+      sh.sh_live_len <- sh.sh_live_len + 1
+    end
+  done;
+  let churn_edge_down, churn_crashed =
+    match churn with
+    | Some (c : Churn.t) -> (c.Churn.edge_down, c.Churn.crashed)
+    | None -> ([||], [||])
+  in
+  let churn_on = churn <> None in
+  (* serially-written controls read by the phase bodies *)
+  let cur_is_a = ref false in  (* true when buffer A is the delivery side *)
+  let round = ref 0 in
+  let hinted = ref false in
+  let transition = ref false in
+  let trans_flag = ref false in
+  let dense_flag = ref true in
+  let vmin_flag = ref (-1) in
+  let messages = ref 0 and max_inflight = ref 0 in
+  let live_total = ref 0 in
+  Array.iter (fun sh -> live_total := !live_total + sh.sh_live_len) shards;
+  let pending_next = ref 0 in
+  let sbuf_of sh ~delivery =
+    if !cur_is_a = delivery then sh.sh_a else sh.sh_b
+  in
+  let schedule sh v k =
+    wake_at.(v) <- k;
+    let len = Array.length sh.sh_buckets in
+    if k >= len then begin
+      let b = Array.make (max (k + 1) (2 * len)) [] in
+      Array.blit sh.sh_buckets 0 b 0 len;
+      sh.sh_buckets <- b
+    end;
+    sh.sh_buckets.(k) <- v :: sh.sh_buckets.(k)
+  in
+  let apply_wake sh v st r =
+    match algo.wake st with
+    | Always ->
+      if not is_always.(v) then begin
+        is_always.(v) <- true;
+        sh.sh_always.(sh.sh_alen) <- v;
+        sh.sh_alen <- sh.sh_alen + 1;
+        sh.sh_always_unsorted <- true
+      end;
+      wake_at.(v) <- -1
+    | hint ->
+      sh.sh_hinted <- true;
+      if is_always.(v) then begin
+        is_always.(v) <- false;
+        sh.sh_always_dirty <- true
+      end;
+      (match hint with
+      | Next -> schedule sh v (r + 1)
+      | At k -> if k > r then schedule sh v k else wake_at.(v) <- -1
+      | OnMessage -> wake_at.(v) <- -1
+      | Always -> assert false)
+  in
+  let record sh v prio exn =
+    sh.sh_vnode <- v;
+    sh.sh_vprio <- prio;
+    sh.sh_vexn <- Some exn;
+    raise Stop_shard
+  in
+  (* phase A: step this shard's frontier for round [!round] *)
+  let phase_step s =
+    let sh = shards.(s) in
+    let r = !round in
+    let v_min = !vmin_flag in
+    let dvb = sbuf_of sh ~delivery:true in
+    let svb = sbuf_of sh ~delivery:false in
+    let dslots = if !cur_is_a then slots_a else slots_b in
+    let dcount = if !cur_is_a then count_a else count_b in
+    let sslots = if !cur_is_a then slots_b else slots_a in
+    let scount = if !cur_is_a then count_b else count_a in
+    sh.sh_stepped <- 0;
+    sh.sh_woken <- 0;
+    sh.sh_emitted <- 0;
+    sh.sh_send_dropped <- 0;
+    sh.sh_hinted <- false;
+    sh.sh_ev_len <- 0;
+    if !trans_flag then begin
+      (* first non-Always hint last round: seed the Always set from the
+         live list (ascending, so it starts sorted) *)
+      sh.sh_alen <- 0;
+      for i = 0 to sh.sh_live_len - 1 do
+        let v = sh.sh_live.(i) in
+        if is_always.(v) then begin
+          sh.sh_always.(sh.sh_alen) <- v;
+          sh.sh_alen <- sh.sh_alen + 1
+        end
+      done;
+      sh.sh_always_dirty <- false;
+      sh.sh_always_unsorted <- false
+    end;
+    let step_node v =
+      if v_min >= 0 && v_min < v then
+        record sh v 0
+          (Congestion_violation
+             (Printf.sprintf "round %d: halted node %d received a message" r
+                v_min));
+      let ib = sh.sh_ib in
+      ib.Inbox.len <- 0;
+      if dcount.(v) > 0 then
+        for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
+          let p = dslots.(e.in_slot.(j)) in
+          if p != none then begin
+            ib.Inbox.src.(ib.Inbox.len) <- e.in_src.(j);
+            ib.Inbox.pay.(ib.Inbox.len) <- p;
+            ib.Inbox.len <- ib.Inbox.len + 1
+          end
+        done;
+      let st, outbox =
+        try algo.step g ~round:r ~node:v states.(v) ib
+        with
+        | Stop_shard as exn -> raise exn
+        | exn -> record sh v 1 exn
+      in
+      states.(v) <- st;
+      List.iter
+        (fun (u, p) ->
+          let slot = find_port e ~src:v ~dst:u in
+          if slot < 0 then
+            record sh v 1
+              (Congestion_violation
+                 (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r
+                    v u));
+          if churn_on && (churn_edge_down.(slot) || churn_crashed.(u)) then begin
+            let w = Array.length p in
+            if w > max_words then
+              record sh v 1
+                (Congestion_violation
+                   (Printf.sprintf
+                      "round %d: node %d payload of %d words exceeds %d" r v w
+                      max_words));
+            sh.sh_send_dropped <- sh.sh_send_dropped + 1
+          end
+          else begin
+            if sent_stamp.(slot) = r then
+              record sh v 1
+                (Congestion_violation
+                   (Printf.sprintf "round %d: node %d sent twice over edge to %d"
+                      r v u));
+            let w = Array.length p in
+            if w > max_words then
+              record sh v 1
+                (Congestion_violation
+                   (Printf.sprintf
+                      "round %d: node %d payload of %d words exceeds %d" r v w
+                      max_words));
+            sent_stamp.(slot) <- r;
+            let t = shard_of.(u) in
+            if t = s then begin
+              sslots.(slot) <- p;
+              svb.s_written.(svb.s_wlen) <- slot;
+              svb.s_wlen <- svb.s_wlen + 1;
+              if scount.(u) = 0 then begin
+                svb.s_active.(svb.s_alen) <- u;
+                svb.s_alen <- svb.s_alen + 1
+              end;
+              scount.(u) <- scount.(u) + 1;
+              svb.s_total <- svb.s_total + 1;
+              svb.s_words <- svb.s_words + w
+            end
+            else xpush xas.(s).(t) slot p;
+            sh.sh_emitted <- sh.sh_emitted + 1;
+            if instrumented then evpush sh v u w
+          end)
+        outbox;
+      if algo.halted st then begin
+        is_live.(v) <- false;
+        sh.sh_compact <- true;
+        if is_always.(v) then begin
+          is_always.(v) <- false;
+          sh.sh_always_dirty <- true
+        end;
+        wake_at.(v) <- -1
+      end
+      else if not degrade then apply_wake sh v st r
+    in
+    (try
+       if !dense_flag then begin
+         sh.sh_stepped <- sh.sh_live_len - sh.sh_crashed_live;
+         for i = 0 to sh.sh_live_len - 1 do
+           let v = sh.sh_live.(i) in
+           if is_live.(v) then step_node v
+         done
+       end
+       else begin
+         let plen = ref 0 in
+         let push v =
+           if fstamp.(v) <> r then begin
+             fstamp.(v) <- r;
+             sh.sh_frontier.(!plen) <- v;
+             incr plen
+           end
+         in
+         if r < Array.length sh.sh_buckets then begin
+           let fired = sh.sh_buckets.(r) in
+           sh.sh_buckets.(r) <- [];
+           List.iter
+             (fun v ->
+               if wake_at.(v) = r then begin
+                 wake_at.(v) <- -1;
+                 if is_live.(v) then begin
+                   sh.sh_woken <- sh.sh_woken + 1;
+                   push v
+                 end
+               end)
+             fired
+         end;
+         for i = 0 to dvb.s_alen - 1 do
+           let v = dvb.s_active.(i) in
+           if is_live.(v) && dcount.(v) > 0 then push v
+         done;
+         for i = 0 to sh.sh_alen - 1 do
+           push sh.sh_always.(i)
+         done;
+         sort_prefix sh.sh_frontier !plen;
+         sh.sh_stepped <- !plen;
+         for i = 0 to !plen - 1 do
+           step_node sh.sh_frontier.(i)
+         done
+       end
+     with Stop_shard -> ());
+    if sh.sh_vnode < 0 then begin
+      (* receivers / delivered words before clearing; a receiver whose whole
+         inbox was churned away received nothing *)
+      sh.sh_receivers <-
+        (if sh.sh_hit then begin
+           let c = ref 0 in
+           for i = 0 to dvb.s_alen - 1 do
+             if dcount.(dvb.s_active.(i)) > 0 then incr c
+           done;
+           !c
+         end
+         else dvb.s_alen);
+      sh.sh_delivered_words <- dvb.s_words;
+      for j = 0 to dvb.s_wlen - 1 do
+        dslots.(dvb.s_written.(j)) <- none
+      done;
+      for i = 0 to dvb.s_alen - 1 do
+        dcount.(dvb.s_active.(i)) <- 0
+      done;
+      dvb.s_wlen <- 0;
+      dvb.s_alen <- 0;
+      dvb.s_total <- 0;
+      dvb.s_words <- 0;
+      if sh.sh_compact then begin
+        let w = ref 0 in
+        for i = 0 to sh.sh_live_len - 1 do
+          let v = sh.sh_live.(i) in
+          if is_live.(v) then begin
+            sh.sh_live.(!w) <- v;
+            incr w
+          end
+        done;
+        sh.sh_live_len <- !w;
+        sh.sh_compact <- false
+      end;
+      if not !trans_flag && (sh.sh_always_dirty || sh.sh_always_unsorted)
+      then begin
+        let w = ref 0 in
+        for i = 0 to sh.sh_alen - 1 do
+          let v = sh.sh_always.(i) in
+          if is_live.(v) && is_always.(v) then begin
+            sh.sh_always.(!w) <- v;
+            incr w
+          end
+        done;
+        sh.sh_alen <- !w;
+        if sh.sh_always_unsorted then sort_prefix sh.sh_always sh.sh_alen;
+        sh.sh_always_dirty <- false;
+        sh.sh_always_unsorted <- false
+      end
+    end
+  in
+  (* phase B: drain the cross arenas addressed to this shard, in src-shard
+     order, into the send buffer; then compute the halted-receiver
+     candidate the next round's serial section needs *)
+  let phase_exchange t =
+    let sh = shards.(t) in
+    let svb = sbuf_of sh ~delivery:false in
+    let sslots = if !cur_is_a then slots_b else slots_a in
+    let scount = if !cur_is_a then count_b else count_a in
+    for s = 0 to d - 1 do
+      let xa = xas.(s).(t) in
+      for i = 0 to xa.x_len - 1 do
+        let slot = xa.x_slot.(i) in
+        let p = xa.x_pay.(i) in
+        let u = e.out_dst.(slot) in
+        sslots.(slot) <- p;
+        svb.s_written.(svb.s_wlen) <- slot;
+        svb.s_wlen <- svb.s_wlen + 1;
+        if scount.(u) = 0 then begin
+          svb.s_active.(svb.s_alen) <- u;
+          svb.s_alen <- svb.s_alen + 1
+        end;
+        scount.(u) <- scount.(u) + 1;
+        svb.s_total <- svb.s_total + 1;
+        svb.s_words <- svb.s_words + Array.length p;
+        xa.x_pay.(i) <- none
+      done;
+      xa.x_len <- 0
+    done;
+    sh.sh_vmin <- -1;
+    for i = 0 to svb.s_alen - 1 do
+      let v = svb.s_active.(i) in
+      if (not is_live.(v)) && scount.(v) > 0
+         && (sh.sh_vmin < 0 || v < sh.sh_vmin)
+      then sh.sh_vmin <- v
+    done
+  in
+  let body pool =
+    while !live_total > 0 || !pending_next > 0 do
+      if !round > max_rounds then raise (Round_limit_exceeded !round);
+      cur_is_a := not !cur_is_a;
+      let r = !round in
+      let dslots = if !cur_is_a then slots_a else slots_b in
+      let dcount = if !cur_is_a then count_a else count_b in
+      (* churn is applied serially: it is rare, touches arbitrary shards,
+         and must be globally ordered before the halted-receiver minimum *)
+      let churn_dropped = ref 0 in
+      let newly_crashed = ref 0 in
+      let churn_applied = ref false in
+      Array.iter
+        (fun sh ->
+          sh.sh_crashed_live <- 0;
+          sh.sh_hit <- false)
+        shards;
+      (match churn with
+      | Some c ->
+        let len = Array.length c.Churn.ops in
+        while
+          c.Churn.cursor < len
+          && Churn.round_of c.Churn.events.(c.Churn.cursor) <= r
+        do
+          churn_applied := true;
+          (match c.Churn.ops.(c.Churn.cursor) with
+          | Churn.Op_crash v ->
+            if not c.Churn.crashed.(v) then begin
+              let sh = shards.(shard_of.(v)) in
+              let dvb = sbuf_of sh ~delivery:true in
+              c.Churn.crashed.(v) <- true;
+              incr newly_crashed;
+              if dcount.(v) > 0 then begin
+                for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
+                  let slot = e.in_slot.(j) in
+                  let p = dslots.(slot) in
+                  if p != none then begin
+                    dslots.(slot) <- none;
+                    dvb.s_total <- dvb.s_total - 1;
+                    dvb.s_words <- dvb.s_words - Array.length p;
+                    incr churn_dropped
+                  end
+                done;
+                dcount.(v) <- 0;
+                sh.sh_hit <- true
+              end;
+              if is_live.(v) then begin
+                is_live.(v) <- false;
+                sh.sh_crashed_live <- sh.sh_crashed_live + 1;
+                sh.sh_compact <- true;
+                if is_always.(v) then begin
+                  is_always.(v) <- false;
+                  sh.sh_always_dirty <- true
+                end;
+                wake_at.(v) <- -1
+              end
+            end
+          | Churn.Op_down slot ->
+            if not c.Churn.edge_down.(slot) then begin
+              c.Churn.edge_down.(slot) <- true;
+              let p = dslots.(slot) in
+              if p != none then begin
+                let u = e.out_dst.(slot) in
+                let sh = shards.(shard_of.(u)) in
+                let dvb = sbuf_of sh ~delivery:true in
+                dslots.(slot) <- none;
+                dvb.s_total <- dvb.s_total - 1;
+                dvb.s_words <- dvb.s_words - Array.length p;
+                dcount.(u) <- dcount.(u) - 1;
+                incr churn_dropped;
+                sh.sh_hit <- true
+              end
+            end
+          | Churn.Op_up slot -> c.Churn.edge_down.(slot) <- false);
+          c.Churn.cursor <- c.Churn.cursor + 1
+        done
+      | None -> ());
+      let this_round = ref 0 in
+      let live_snapshot = ref 0 in
+      Array.iter
+        (fun sh ->
+          this_round := !this_round + (sbuf_of sh ~delivery:true).s_total;
+          live_snapshot := !live_snapshot + sh.sh_live_len - sh.sh_crashed_live)
+        shards;
+      max_inflight := max !max_inflight !this_round;
+      messages := !messages + !this_round;
+      let v_min = ref (-1) in
+      if !churn_applied then
+        (* churn can only remove candidates, but removing the minimum
+           exposes the next one: recompute from the surviving counts *)
+        Array.iter
+          (fun sh ->
+            let dvb = sbuf_of sh ~delivery:true in
+            for i = 0 to dvb.s_alen - 1 do
+              let v = dvb.s_active.(i) in
+              if (not is_live.(v)) && dcount.(v) > 0
+                 && (!v_min < 0 || v < !v_min)
+              then v_min := v
+            done)
+          shards
+      else
+        Array.iter
+          (fun sh ->
+            if sh.sh_vmin >= 0 && (!v_min < 0 || sh.sh_vmin < !v_min) then
+              v_min := sh.sh_vmin)
+          shards;
+      vmin_flag := !v_min;
+      dense_flag := not !hinted;
+      trans_flag := !transition;
+      transition := false;
+      Pool.run pool phase_step;
+      (* violation resolution: the lexicographically smallest (node,
+         priority) is the one the sequential sweep would have raised *)
+      let vs = ref (-1) in
+      for s = 0 to d - 1 do
+        let sh = shards.(s) in
+        if sh.sh_vnode >= 0
+           && (!vs < 0
+              || sh.sh_vnode < shards.(!vs).sh_vnode
+              || (sh.sh_vnode = shards.(!vs).sh_vnode
+                 && sh.sh_vprio < shards.(!vs).sh_vprio))
+        then vs := s
+      done;
+      if !vs >= 0 then begin
+        let sh = shards.(!vs) in
+        if instrumented then
+          emit_events ~round:r ~limit:sh.sh_vnode ~owner:!vs;
+        raise (Option.get sh.sh_vexn)
+      end;
+      if !v_min >= 0 then begin
+        if instrumented then emit_events ~round:r ~limit:max_int ~owner:(-1);
+        raise
+          (Congestion_violation
+             (Printf.sprintf "round %d: halted node %d received a message" r
+                !v_min))
+      end;
+      if not !hinted then
+        Array.iter
+          (fun sh ->
+            if sh.sh_hinted then begin
+              hinted := true;
+              transition := true
+            end)
+          shards;
+      if instrumented then begin
+        emit_events ~round:r ~limit:max_int ~owner:(-1);
+        (* merge the per-shard counters with the associative combine; the
+           whole-round fields (delivered, skipped, churn drops, crashes)
+           are patched in from the serial section's global view *)
+        let acc = ref (Sink.empty_round_info r) in
+        Array.iter
+          (fun sh ->
+            acc :=
+              Sink.combine_round_info !acc
+                {
+                  Sink.round = r;
+                  delivered = 0;
+                  delivered_words = sh.sh_delivered_words;
+                  receivers = sh.sh_receivers;
+                  stepped = sh.sh_stepped;
+                  skipped = 0;
+                  woken = sh.sh_woken;
+                  sent = sh.sh_emitted;
+                  dropped = sh.sh_send_dropped;
+                  duplicated = 0;
+                  retransmits = 0;
+                  crashed = 0;
+                })
+          shards;
+        let agg = !acc in
+        sink.on_round
+          {
+            agg with
+            Sink.delivered = !this_round;
+            skipped = !live_snapshot - agg.Sink.stepped;
+            dropped = agg.Sink.dropped + !churn_dropped;
+            crashed = !newly_crashed;
+          }
+      end;
+      Pool.run pool phase_exchange;
+      pending_next := 0;
+      live_total := 0;
+      Array.iter
+        (fun sh ->
+          pending_next := !pending_next + (sbuf_of sh ~delivery:false).s_total;
+          live_total := !live_total + sh.sh_live_len)
+        shards;
+      incr round
+    done
+  in
+  Pool.with_pool ~domains:d body;
+  e.running <- false;
+  if instrumented then sink.on_finish ();
+  (states, { rounds = !round; messages = !messages; max_inflight = !max_inflight })
+
+(* When [exec] is called without [?domains] this reference supplies the
+   default — the hook [kdom_cli --domains] threads parallelism through
+   composite algorithms whose inner [Runtime.run] calls cannot be reached
+   syntactically.  1 = the sequential engine, the bit-exact baseline. *)
+let default_domains = ref 1
+
+let exec ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
+    algo =
   if e.running then
     invalid_arg "Engine.exec: engine already running (re-entrant call)";
+  let domains = match domains with Some d -> d | None -> !default_domains in
+  if domains < 1 then invalid_arg "Engine.exec: domains < 1";
   (* clear [running] on abnormal exit so the engine stays usable; [dirty]
      stays set, forcing a buffer scrub on the next exec *)
-  try exec_unguarded ?max_rounds ?max_words ?sink ?degrade ?churn e algo
+  try
+    if domains = 1 then
+      exec_unguarded ?max_rounds ?max_words ?sink ?degrade ?churn e algo
+    else
+      exec_sharded ?max_rounds ?max_words ?sink ?degrade ?churn ~domains
+        ?partition e algo
   with exn ->
     e.running <- false;
     raise exn
 
-let run ?max_rounds ?max_words ?sink ?degrade ?churn g algo =
-  exec ?max_rounds ?max_words ?sink ?degrade ?churn (create g) algo
+let run ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition g
+    algo =
+  exec ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
+    (create g) algo

@@ -215,6 +215,19 @@ module Sink : sig
   (** A sink accumulating per-round counters; the closure returns them in
       round order. *)
 
+  val combine_round_info : round_info -> round_info -> round_info
+  (** Associative, commutative merge of two views of the same round: every
+      counter is summed; the [round] fields must agree ([Invalid_argument]
+      otherwise).  This is the combine the sharded executor folds per-shard
+      counters with at the round barrier, and it is what makes
+      {!counters}/{!activity} aggregation merge-safe: teeing sinks across
+      shards and combining the per-round records is equivalent to a single
+      sink observing the whole round. *)
+
+  val empty_round_info : int -> round_info
+  (** [empty_round_info r] is the identity of {!combine_round_info} for
+      round [r]: all counters zero. *)
+
   val activity : n:int -> t * int array * int array
   (** [activity ~n] is [(sink, sent, received)]: per-node counts of
       messages sent and received, updated in place. *)
@@ -334,12 +347,22 @@ module Churn : sig
   (** Directed edges down after the whole schedule, ascending. *)
 end
 
+val default_domains : int ref
+(** The domain count [exec] uses when [?domains] is not passed (initially
+    [1], the sequential engine).  A process-wide hook, not a tuning knob:
+    it lets a CLI flag thread parallelism through composite algorithms
+    whose inner [Runtime.run] calls cannot be reached syntactically.
+    Because sharded execution is bit-identical to sequential execution,
+    flipping it never changes any result. *)
+
 val exec :
   ?max_rounds:int ->
   ?max_words:int ->
   ?sink:Sink.t ->
   ?degrade:bool ->
   ?churn:Churn.t ->
+  ?domains:int ->
+  ?partition:int array ->
   t ->
   'st algorithm ->
   'st array * stats
@@ -349,7 +372,26 @@ val exec :
     algorithm's wake hints and runs the legacy dense schedule, as if every
     hint were [Always] — the differential-testing and baseline-benchmark
     mode.  [churn] (default none) applies a {!Churn} schedule compiled
-    against {e this} engine ([Invalid_argument] otherwise). *)
+    against {e this} engine ([Invalid_argument] otherwise).
+
+    [domains] (default {!default_domains}) selects the execution core:
+    [1] is the sequential engine; [d > 1] partitions the nodes into [d]
+    shards stepped on [d] OCaml domains (the calling domain included),
+    with cross-shard frames exchanged deterministically at the round
+    barrier.  {b Sharded execution is bit-identical to sequential
+    execution}: same outputs, same stats, same sink events in the same
+    order, same violations with the same messages — the differential
+    property [test_engine_diff] checks for [d] ∈ {1, 2, 4}.  [partition]
+    (only meaningful with [domains > 1]) assigns each node a shard in
+    [0, domains); default is contiguous ranges.  Use
+    [Generators.shard_partition] for a degree-balanced assignment.
+
+    With [domains > 1] the algorithm's [step]/[halted]/[wake] functions
+    are called concurrently from several domains ([init] stays serial;
+    each node
+    still steps on exactly one domain per round, and only its owner
+    mutates its state entry), so they must not mutate state shared across
+    nodes — pure per-node closures, the norm in this library, qualify. *)
 
 val run :
   ?max_rounds:int ->
@@ -357,6 +399,8 @@ val run :
   ?sink:Sink.t ->
   ?degrade:bool ->
   ?churn:Churn.t ->
+  ?domains:int ->
+  ?partition:int array ->
   Graph.t ->
   'st algorithm ->
   'st array * stats

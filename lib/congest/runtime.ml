@@ -17,8 +17,8 @@ type stats = Engine.stats = { rounds : int; messages : int; max_inflight : int }
 exception Round_limit_exceeded = Engine.Round_limit_exceeded
 exception Congestion_violation = Engine.Congestion_violation
 
-let run ?max_rounds ?max_words ?sink ?degrade g algo =
-  Engine.run ?max_rounds ?max_words ?sink ?degrade g algo
+let run ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g algo =
+  Engine.run ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g algo
 
 (* ------------------------------------------------------------------ *)
 (* The original list-based simulator, kept verbatim as the executable

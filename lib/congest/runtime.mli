@@ -66,12 +66,16 @@ exception Congestion_violation of string
 
 val run :
   ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t -> ?degrade:bool ->
+  ?domains:int -> ?partition:int array ->
   Graph.t -> 'st algorithm -> 'st array * stats
 (** Execute to quiescence on the mailbox engine. [max_rounds] defaults to
     [Engine.default_max_rounds n]; [max_words] defaults to
     [Engine.default_max_words n] (4 for any practical [n]); [sink]
     defaults to {!Engine.Sink.null}; [degrade] (default [false]) ignores
-    wake hints and runs the dense legacy schedule.
+    wake hints and runs the dense legacy schedule; [domains] (default
+    [!Engine.default_domains]) selects the sharded multicore executor for
+    values above 1, with [partition] as the optional shard assignment —
+    bit-identical to the sequential engine, see {!Engine.exec}.
 
     Robustness note: this runtime (like {!Engine}) models perfectly
     reliable links.  To execute the same [algorithm] value on a lossy,

@@ -50,6 +50,7 @@ type t = {
   mutable hist : int array;       (* index = message width *)
   edges : (int * int, int) Hashtbl.t;  (* directed edge -> peak width *)
   mutable budget : int;           (* -1 = unset *)
+  mutable shards : int;           (* executor domain count; 1 = sequential *)
   mutable notes_rev : (string * int) list;
 }
 
@@ -65,10 +66,17 @@ let create () =
     hist = Array.make 8 0;
     edges = Hashtbl.create 64;
     budget = -1;
+    shards = 1;
     notes_rev = [];
   }
 
 let clock t = t.clock
+
+let set_shards t d =
+  if d < 1 then invalid_arg "Trace.set_shards: shards < 1";
+  t.shards <- d
+
+let shards t = t.shards
 
 let push_round t (ri : Engine.Sink.round_info) =
   let b = t.buf in
@@ -253,7 +261,7 @@ let notes t = List.rev t.notes_rev
 (* ------------------------------------------------------------------ *)
 (* export *)
 
-let schema_version = "kdom.trace.v1.2"
+let schema_version = "kdom.trace.v1.3"
 
 let escape name =
   let b = Buffer.create (String.length name) in
@@ -315,8 +323,8 @@ let to_jsonl t =
   Buffer.add_string b
     (Printf.sprintf
        "{\"schema\":%S,\"type\":\"meta\",\"clock\":%d,\"spans\":%d,\"rounds\":%d,\
-        \"budget\":%d}\n"
-       schema_version t.clock (List.length spans) t.buf.rlen t.budget);
+        \"budget\":%d,\"shards\":%d}\n"
+       schema_version t.clock (List.length spans) t.buf.rlen t.budget t.shards);
   List.iter
     (fun s ->
       let st = span_stats t s in
@@ -443,7 +451,7 @@ let record_type line =
         | None -> None)
 
 let int_fields = function
-  | "meta" -> Some [ "clock"; "spans"; "rounds"; "budget" ]
+  | "meta" -> Some [ "clock"; "spans"; "rounds"; "budget"; "shards" ]
   | "span" ->
     Some
       [

@@ -109,6 +109,16 @@ val set_budget : t -> int -> unit
 
 val budget : t -> int option
 
+val set_shards : t -> int -> unit
+(** Declare the domain count the traced execution ran under
+    ({!Engine.exec}'s [?domains]); defaults to 1 (sequential).  Recorded
+    in the [meta] line so a trace states which executor produced it —
+    the sharded engine is bit-identical to the sequential one, so the
+    rest of the trace does not depend on it.  Raises [Invalid_argument]
+    if [d < 1]. *)
+
+val shards : t -> int
+
 (** {2 Inspection} *)
 
 val spans : t -> span list
@@ -147,10 +157,11 @@ val notes : t -> (string * int) list
 (** {2 Export} *)
 
 val schema_version : string
-(** The JSONL schema identifier, ["kdom.trace.v1.2"].  v1.1 added the
+(** The JSONL schema identifier, ["kdom.trace.v1.3"].  v1.1 added the
     frontier counters ([skipped]/[woken]) to the [round], [span] and
     [summary] records; v1.2 adds the churn counter ([crashed]) to the
-    same three records.  Any change to the record shapes below bumps
+    same three records; v1.3 adds the executor domain count ([shards])
+    to the [meta] record.  Any change to the record shapes below bumps
     this string and the golden files. *)
 
 val to_jsonl : t -> string

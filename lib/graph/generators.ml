@@ -186,6 +186,115 @@ let gnp_connected ~rng ~n ~p =
   end;
   build ~rng ~n !pairs
 
+(* Random geometric graph on the unit square: nodes within [radius] are
+   adjacent.  A cell grid of side [radius] makes neighbor search O(n) for
+   constant expected degree, so million-node instances are cheap — the
+   spatial workload the sharded engine's contiguous partitions like least
+   (edges ignore id order), complementing the grid family. *)
+let random_geometric ~rng ~n ~radius =
+  if n < 1 || radius <= 0.0 || radius > 1.0 then
+    invalid_arg "Generators.random_geometric";
+  let xs = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let cells = max 1 (int_of_float (1.0 /. radius)) in
+  let cell x = min (cells - 1) (int_of_float (x *. float_of_int cells)) in
+  let bucket = Array.make (cells * cells) [] in
+  for v = 0 to n - 1 do
+    let c = (cell ys.(v) * cells) + cell xs.(v) in
+    bucket.(c) <- v :: bucket.(c)
+  done;
+  let r2 = radius *. radius in
+  let pairs = ref [] in
+  let consider u v =
+    if u < v then begin
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      if (dx *. dx) +. (dy *. dy) <= r2 then pairs := (u, v) :: !pairs
+    end
+  in
+  for cy = 0 to cells - 1 do
+    for cx = 0 to cells - 1 do
+      let here = bucket.((cy * cells) + cx) in
+      List.iter
+        (fun u ->
+          (* same cell plus the four forward neighbor cells: each unordered
+             cell pair is scanned once *)
+          List.iter (fun v -> consider (min u v) (max u v)) here;
+          List.iter
+            (fun (dy, dx) ->
+              let ny = cy + dy and nx = cx + dx in
+              if ny >= 0 && ny < cells && nx >= 0 && nx < cells then
+                List.iter
+                  (fun v -> consider (min u v) (max u v))
+                  bucket.((ny * cells) + nx))
+            [ (0, 1); (1, -1); (1, 0); (1, 1) ])
+        here
+    done
+  done;
+  (* dedupe same-cell double counting and connect stragglers, as in
+     [gnp_connected] *)
+  let seen = Hashtbl.create (List.length !pairs) in
+  let uniq = ref [] in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem seen p) then begin
+        Hashtbl.add seen p ();
+        uniq := p :: !uniq
+      end)
+    !pairs;
+  let g0 =
+    Graph.of_edge_array ~n
+      (Array.of_list (List.map (fun (u, v) -> (u, v, 1)) !uniq))
+  in
+  let label, ncomp = Traversal.components g0 in
+  if ncomp > 1 then begin
+    let rep = Array.make ncomp (-1) in
+    for v = 0 to n - 1 do
+      if rep.(label.(v)) = -1 then rep.(label.(v)) <- v
+    done;
+    let order = Array.init ncomp Fun.id in
+    Rng.shuffle rng order;
+    for i = 1 to ncomp - 1 do
+      let a = rep.(order.(i - 1)) and b = rep.(order.(i)) in
+      let key = (min a b, max a b) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        uniq := key :: !uniq
+      end
+    done
+  end;
+  build ~rng ~n !uniq
+
+(* Longest-processing-time bin packing of nodes onto [shards] bins by
+   degree weight: heaviest node first, always onto the lightest bin.  The
+   classical LPT bound makes the heaviest bin at most (4/3 - 1/(3 shards))
+   of optimal, and optimal is at least max(total/shards, heaviest node),
+   so shard loads stay balanced even on power-law-ish degree sequences
+   where contiguous ranges collapse onto one hub.  Deterministic: ties
+   break by node id and lowest shard id. *)
+let shard_partition g ~shards =
+  if shards < 1 then invalid_arg "Generators.shard_partition";
+  let n = Graph.n g in
+  let shard_of = Array.make (max 1 n) 0 in
+  if shards > 1 && n > 0 then begin
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let da = Graph.degree g a and db = Graph.degree g b in
+        if da <> db then compare db da else compare a b)
+      order;
+    let load = Array.make shards 0 in
+    Array.iter
+      (fun v ->
+        let best = ref 0 in
+        for s = 1 to shards - 1 do
+          if load.(s) < load.(!best) then best := s
+        done;
+        shard_of.(v) <- !best;
+        load.(!best) <- load.(!best) + Graph.degree g v + 1)
+      order
+  end;
+  shard_of
+
 let lollipop ~rng ~clique ~tail =
   if clique < 1 || tail < 0 then invalid_arg "Generators.lollipop";
   let n = clique + tail in

@@ -74,6 +74,25 @@ val hidden_path : rng:Rng.t -> n:int -> shortcuts:int -> Graph.t
     is exactly the regime where [FastMST]'s [O(sqrt(n) log* n + Diam)]
     beats [O(n)]-ish fragment algorithms. *)
 
+val random_geometric : rng:Rng.t -> n:int -> radius:float -> Graph.t
+(** Random geometric graph: [n] points uniform on the unit square, nodes
+    within [radius] adjacent, made connected by a random spanning skeleton
+    over the components (as {!gnp_connected}).  Cell-grid neighbor search
+    keeps generation O(n) at constant expected degree
+    ([pi * radius^2 * n]), so million-node instances are practical.
+    Requires [0 < radius <= 1]. *)
+
+(** {1 Sharding} *)
+
+val shard_partition : Graph.t -> shards:int -> int array
+(** Degree-balanced shard assignment for the sharded engine
+    ([Kdom_congest.Engine.exec ~partition]): longest-processing-time bin
+    packing, heaviest node (weight [degree + 1]) first onto the lightest
+    bin.  Deterministic.  The heaviest bin is within the classical LPT
+    factor [4/3 - 1/(3 shards)] of the optimal assignment, hence within 2x
+    of the lower bound [max (total / shards) (max degree + 1)] — the
+    property [test_graph] checks on skewed degree sequences. *)
+
 (** {1 Weights} *)
 
 val reweight : rng:Rng.t -> Graph.t -> Graph.t

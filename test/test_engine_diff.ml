@@ -327,6 +327,208 @@ let prop_sparse_round_consistency =
       true)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded executor: [run ~domains:d] must be bit-identical to the
+   sequential engine — same final states, same stats, same sink round
+   records, and the same on_message event stream in the same order — for
+   every domain count.  Combined with the groups above (sequential engine =
+   reference), this pins the sharded engine round-for-round to
+   [run_reference] transitively. *)
+
+let domain_counts = [ 1; 2; 4 ]
+
+let record_sink () =
+  let rounds = ref [] in
+  let msgs = ref [] in
+  ( {
+      Engine.Sink.on_message =
+        (fun ~round ~src ~dst ~words ->
+          msgs := (round, src, dst, words) :: !msgs);
+      on_round = (fun ri -> rounds := ri :: !rounds);
+      on_finish = ignore;
+    },
+    fun () -> (List.rev !rounds, List.rev !msgs) )
+
+let sharded_diff what ?partition ~domains ~max_words g mk =
+  let s1, r1 = record_sink () in
+  let b_states, b_stats = Engine.run ~max_words ~sink:s1 g (mk ()) in
+  let s2, r2 = record_sink () in
+  let d_states, d_stats =
+    Engine.run ~max_words ~sink:s2 ~domains ?partition g (mk ())
+  in
+  let what = Printf.sprintf "%s (domains=%d)" what domains in
+  if d_states <> b_states then Alcotest.failf "%s: final states differ" what;
+  check_stats what d_stats b_stats;
+  let rounds1, msgs1 = r1 () in
+  let rounds2, msgs2 = r2 () in
+  Alcotest.(check int) (what ^ ": round record count") (List.length rounds1)
+    (List.length rounds2);
+  List.iter2
+    (fun (bi : Engine.Sink.round_info) (di : Engine.Sink.round_info) ->
+      if bi <> di then
+        Alcotest.failf "%s: round %d records differ" what bi.round)
+    rounds1 rounds2;
+  if msgs1 <> msgs2 then
+    Alcotest.failf "%s: on_message event streams differ" what
+
+let prop_sharded_bit_identical =
+  QCheck2.Test.make
+    ~name:"sharded engine = sequential engine, domains in {1,2,4}" ~count:12
+    seed_gen
+    (fun seed ->
+      List.iter
+        (fun (fam, g) ->
+          List.iter
+            (fun domains ->
+              sharded_diff ("bfs/" ^ fam) ~domains
+                ~max_words:Kdom.Bfs_tree.max_words g (fun () ->
+                  Kdom.Bfs_tree.algorithm g ~root:0);
+              sharded_diff ("leader/" ^ fam) ~domains
+                ~max_words:Kdom.Leader.max_words g (fun () ->
+                  Kdom.Leader.algorithm g);
+              sharded_diff ("smc/" ^ fam) ~domains
+                ~max_words:Kdom.Simple_mst_congest.max_words g (fun () ->
+                  Kdom.Simple_mst_congest.algorithm g ~k:2))
+            domain_counts;
+          (* a degree-balanced (non-contiguous) partition must behave the
+             same; 3 shards so cross-shard frames are guaranteed *)
+          let partition = Generators.shard_partition g ~shards:3 in
+          sharded_diff ("bfs-lpt/" ^ fam) ~partition ~domains:3
+            ~max_words:Kdom.Bfs_tree.max_words g (fun () ->
+              Kdom.Bfs_tree.algorithm g ~root:0))
+        (graph_families seed);
+      (* sparse-frontier kernels: the sharded scheduler must reproduce the
+         event-driven path too *)
+      let p = Generators.path ~rng:(Rng.create seed) (2 + (seed mod 30)) in
+      List.iter
+        (fun domains ->
+          sharded_diff "token/path" ~domains ~max_words:4 p (fun () ->
+              token_algorithm ~wake:(fun _ -> Runtime.OnMessage) p);
+          sharded_diff "flood/path" ~domains ~max_words:4 p (fun () ->
+              flood_algorithm ~wake:(fun _ -> Runtime.Next) p
+                (2 + (seed mod 4))))
+        domain_counts;
+      true)
+
+(* Violations must be raised identically at every domain count, including
+   which of several concurrent offenders wins (the sequential sweep's
+   first-in-id-order one). *)
+let test_sharded_violations_agree () =
+  let g = Generators.path ~rng:(Rng.create 11) 6 in
+  let outcome domains algo =
+    match Engine.run ~domains g algo with
+    | _ -> Ok ()
+    | exception Engine.Congestion_violation m -> Error m
+  in
+  let cases =
+    [
+      ( "non-neighbor",
+        fun () ->
+          {
+            Engine.init = (fun _ v -> v);
+            step =
+              (fun _ ~round:_ ~node st _ ->
+                (st, if node = 2 then [ (5, [| 0 |]) ] else []));
+            halted = (fun _ -> false);
+            wake = Engine.always;
+          } );
+      ( "concurrent duplicates",
+        (* two offenders in different shards: node 1's must win *)
+        fun () ->
+          {
+            Engine.init = (fun _ v -> v);
+            step =
+              (fun _ ~round:_ ~node st _ ->
+                ( st,
+                  if node = 1 || node = 4 then
+                    [ (node + 1, [| 0 |]); (node + 1, [| 1 |]) ]
+                  else [] ));
+            halted = (fun _ -> false);
+            wake = Engine.always;
+          } );
+      ( "halted receiver",
+        fun () ->
+          {
+            Engine.init = (fun _ v -> v);
+            step =
+              (fun _ ~round:_ ~node st _ ->
+                (st, if node = 1 then [ (0, [| 7 |]) ] else []));
+            halted = (fun v -> v = 0);
+            wake = Engine.always;
+          } );
+    ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      let base = outcome 1 (mk ()) in
+      List.iter
+        (fun domains ->
+          let got = outcome domains (mk ()) in
+          match (base, got) with
+          | Error mb, Error mg ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: same violation at domains=%d" name domains)
+                mb mg
+          | _ ->
+              Alcotest.failf "%s: expected violations at domains=%d" name
+                domains)
+        [ 2; 4 ])
+    cases
+
+(* Satellite: Sink.counters is merge-safe — teeing two counter sinks makes
+   both observe exactly what a single sink observes, and combine_round_info
+   is an associative merge with empty_round_info as identity. *)
+let test_counters_merge_safe () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 41) ~n:40 ~p:0.12 in
+  let c0, r0 = Engine.Sink.counters () in
+  let _ = Engine.run ~sink:c0 g (Kdom.Leader.algorithm g) in
+  let c1, r1 = Engine.Sink.counters () in
+  let c2, r2 = Engine.Sink.counters () in
+  let _ = Engine.run ~sink:(Engine.Sink.tee c1 c2) g (Kdom.Leader.algorithm g) in
+  let single = r0 () in
+  if r1 () <> single then Alcotest.fail "tee left != single";
+  if r2 () <> single then Alcotest.fail "tee right != single";
+  (* combine: identity and associativity on real records *)
+  List.iter
+    (fun (ri : Engine.Sink.round_info) ->
+      let open Engine.Sink in
+      if combine_round_info (empty_round_info ri.round) ri <> ri then
+        Alcotest.fail "empty_round_info is not a left identity";
+      let a = ri and b = empty_round_info ri.round and c = ri in
+      if
+        combine_round_info (combine_round_info a b) c
+        <> combine_round_info a (combine_round_info b c)
+      then Alcotest.fail "combine_round_info not associative")
+    single;
+  (* splitting a round record across two halves and combining restores it *)
+  match single with
+  | [] -> Alcotest.fail "expected at least one round"
+  | (ri : Engine.Sink.round_info) :: _ ->
+    let half =
+      {
+        ri with
+        Engine.Sink.delivered = ri.delivered / 2;
+        delivered_words = ri.delivered_words / 2;
+        sent = ri.sent / 2;
+      }
+    and rest =
+      {
+        ri with
+        Engine.Sink.delivered = ri.delivered - (ri.delivered / 2);
+        delivered_words = ri.delivered_words - (ri.delivered_words / 2);
+        sent = ri.sent - (ri.sent / 2);
+        receivers = 0;
+        stepped = 0;
+        skipped = 0;
+        woken = 0;
+        dropped = 0;
+        crashed = 0;
+      }
+    in
+    let merged = Engine.Sink.combine_round_info half rest in
+    Alcotest.(check int) "merged delivered" ri.delivered merged.delivered;
+    Alcotest.(check int) "merged sent" ri.sent merged.sent
+
+(* ------------------------------------------------------------------ *)
 (* Async vs Engine across delay regimes *)
 
 let test_async_matches_engine () =
@@ -412,6 +614,14 @@ let () =
           Alcotest.test_case "fixed instances" `Quick test_fixed_instances;
           Alcotest.test_case "violations agree" `Quick test_violations_agree;
         ] );
+      ( "sharded",
+        QCheck_alcotest.to_alcotest prop_sharded_bit_identical
+        :: [
+             Alcotest.test_case "violations agree across domains" `Quick
+               test_sharded_violations_agree;
+             Alcotest.test_case "counters merge-safe" `Quick
+               test_counters_merge_safe;
+           ] );
       ( "async",
         [
           Alcotest.test_case "leader across delay regimes" `Quick

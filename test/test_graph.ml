@@ -212,7 +212,8 @@ let test_graph_generators () =
   check "lollipop" (Generators.lollipop ~rng:r ~clique:6 ~tail:5) 11;
   check "barbell" (Generators.barbell ~rng:r ~clique:5 ~bridge:3) 13;
   check "ladder" (Generators.ladder ~rng:r 7) 14;
-  check "regular" (Generators.random_regular ~rng:r ~n:20 ~d:4) 20
+  check "regular" (Generators.random_regular ~rng:r ~n:20 ~d:4) 20;
+  check "geometric" (Generators.random_geometric ~rng:r ~n:60 ~radius:0.2) 60
 
 let test_grid_diameter () =
   let g = Generators.grid ~rng:(rng ()) ~rows:3 ~cols:7 in
@@ -435,9 +436,61 @@ let prop_diameter_vs_ecc =
       let d = Traversal.diameter g in
       d >= Traversal.eccentricity g 0 && d >= Traversal.eccentricity g (Graph.n g - 1))
 
+(* Skewed-degree families for the shard balance property: stars and brooms
+   concentrate weight on a few hubs, gnp adds an irregular middle — the
+   regime where a contiguous split fails and LPT must earn its bound. *)
+let skewed_gen =
+  QCheck2.Gen.(
+    map2
+      (fun seed which ->
+        let rng = Rng.create seed in
+        match which mod 3 with
+        | 0 -> Generators.star ~rng (3 + (seed mod 60))
+        | 1 ->
+            Generators.broom ~rng
+              ~handle:(2 + (seed mod 10))
+              ~bristles:(1 + (seed mod 40))
+        | _ ->
+            Generators.gnp_connected ~rng ~n:(3 + (seed mod 50)) ~p:0.2)
+      (int_bound 10_000) (int_bound 2))
+
+let prop_shard_balance =
+  QCheck2.Test.make ~name:"shard_partition within 2x of ideal load" ~count:100
+    QCheck2.Gen.(pair skewed_gen (int_range 1 6))
+    (fun (g, shards) ->
+      let part = Generators.shard_partition g ~shards in
+      let n = Graph.n g in
+      Array.length part = n
+      && Array.for_all (fun s -> s >= 0 && s < shards) part
+      &&
+      let loads = Array.make shards 0 in
+      let total = ref 0 in
+      for v = 0 to n - 1 do
+        let w = Graph.degree g v + 1 in
+        loads.(part.(v)) <- loads.(part.(v)) + w;
+        total := !total + w
+      done;
+      let max_load = Array.fold_left max 0 loads in
+      let max_item =
+        let m = ref 0 in
+        for v = 0 to n - 1 do
+          m := max !m (Graph.degree g v + 1)
+        done;
+        !m
+      in
+      (* lower bound on any assignment's heaviest shard *)
+      let ideal = max ((!total + shards - 1) / shards) max_item in
+      max_load <= 2 * ideal)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_bfs_levels; prop_mst_agree; prop_tree_rooting; prop_diameter_vs_ecc ]
+    [
+      prop_bfs_levels;
+      prop_mst_agree;
+      prop_tree_rooting;
+      prop_diameter_vs_ecc;
+      prop_shard_balance;
+    ]
 
 let () =
   Alcotest.run "graph substrate"

@@ -141,6 +141,51 @@ let test_engine_reference_churn_differential () =
         st2.Runtime.messages)
     [ 5; 23; 71 ]
 
+(* The sharded engine must make the same churn observations as the
+   sequential one: identical final states, identical stats, and identical
+   per-round [crashed]/[dropped] sink counters, at every domain count.
+   Churn exercises exactly the serial-at-barrier paths of the sharded
+   core (in-flight frame invalidation, liveness flips, v_min recompute). *)
+let test_sharded_churn_differential () =
+  List.iter
+    (fun seed ->
+      let g = Generators.gnp_connected ~rng:(Rng.create seed) ~n:12 ~p:0.3 in
+      let events =
+        Faults.random_churn g ~seed:(seed + 7) ~crashes:2 ~edge_cuts:3 ~last:6
+      in
+      let e = Engine.create g in
+      let churn = Engine.Churn.compile e events in
+      let run domains =
+        let sink, rounds = Engine.Sink.counters () in
+        let states, stats =
+          Engine.exec ~max_words:1 ~sink ~churn ~domains e
+            (gossip_algorithm g ~rounds:10)
+        in
+        (states, stats, rounds ())
+      in
+      let s1, st1, r1 = run 1 in
+      List.iter
+        (fun domains ->
+          let sd, std, rd = run domains in
+          if sd <> s1 then
+            Alcotest.failf "seed %d: states differ at domains=%d" seed domains;
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d domains=%d: rounds" seed domains)
+            st1.Engine.rounds std.Engine.rounds;
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d domains=%d: messages" seed domains)
+            st1.Engine.messages std.Engine.messages;
+          List.iter2
+            (fun (a : Engine.Sink.round_info) (b : Engine.Sink.round_info) ->
+              if a <> b then
+                Alcotest.failf
+                  "seed %d domains=%d: round %d records differ \
+                   (crashed %d/%d dropped %d/%d)"
+                  seed domains a.round a.crashed b.crashed a.dropped b.dropped)
+            r1 rd)
+        [ 2; 4 ])
+    [ 5; 23; 71 ]
+
 let test_crashed_counter_sums () =
   let g = Generators.gnp_connected ~rng:(Rng.create 41) ~n:14 ~p:0.3 in
   let events =
@@ -380,6 +425,8 @@ let () =
         [
           Alcotest.test_case "engine = reference under churn" `Quick
             test_engine_reference_churn_differential;
+          Alcotest.test_case "sharded = sequential under churn" `Quick
+            test_sharded_churn_differential;
           Alcotest.test_case "crashed counter sums" `Quick
             test_crashed_counter_sums;
         ] );
