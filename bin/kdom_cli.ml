@@ -33,12 +33,16 @@ let make_graph ~family ~n ~seed =
   | "regular" -> Generators.random_regular ~rng ~n ~d:4
   | "complete" -> Generators.complete ~rng n
   | "hidden" -> Generators.hidden_path ~rng ~n ~shortcuts:(2 * n)
+  | "pa" -> Generators.preferential_attachment ~rng ~n ~m:2
+  | "rgg" ->
+    let radius = sqrt (6.0 /. (Float.pi *. float_of_int n)) in
+    Generators.random_geometric ~rng ~n ~radius
   | other -> invalid_arg (Printf.sprintf "unknown family %S" other)
 
 let family_arg =
   let doc =
     "Graph family: path, star, binary-tree, random-tree, caterpillar, cycle, grid, \
-     torus, gnp, lollipop, ladder, regular, complete, hidden."
+     torus, gnp, lollipop, ladder, regular, complete, hidden, pa, rgg."
   in
   Arg.(value & opt string "random-tree" & info [ "family" ] ~docv:"FAMILY" ~doc)
 
@@ -298,11 +302,7 @@ let repair_cmd g ~k ~seed ~crashes ~cuts ~trace_file =
     beta lease dmax horizon;
   let first_event =
     List.fold_left
-      (fun a (ev : Engine.Churn.event) ->
-        match ev with
-        | Engine.Churn.Crash { at; _ }
-        | Engine.Churn.Edge_down { at; _ }
-        | Engine.Churn.Edge_up { at; _ } -> min a at)
+      (fun a ev -> min a (Engine.Churn.round_of ev))
       max_int events
   in
   Format.printf "churn: %d crashes, %d edge cuts over rounds %s..%d@." crashes
@@ -637,6 +637,78 @@ let centers_t =
     (Cmd.info "centers" ~doc:"Server placement and directory replication.")
     Term.(const centers_cmd $ family_arg $ n_arg $ k_arg $ seed_arg)
 
+(* live dynamic-graph maintenance: a seeded churn script (arrivals,
+   insertions, cuts, crashes, departures in bursts) maintained by the
+   incremental repair layer, priced against a full recompute *)
+let dynamic_cmd family n k seed domains arrivals insertions cuts crashes
+    departs bursts quiescence =
+  set_domains domains;
+  let open Kdom_congest in
+  let base = make_graph ~family ~n ~seed in
+  describe base;
+  let sc =
+    Kdom.Dyn_dom.scenario base ~k ~seed ~arrivals ~insertions ~cuts ~crashes
+      ~departs ~bursts ~quiescence
+  in
+  Format.printf
+    "union: n=%d m=%d; initial FastDOM: %d centers in %d rounds; script: %d \
+     events over %d bursts@."
+    (Graph.n sc.Kdom.Dyn_dom.union)
+    (Graph.m sc.Kdom.Dyn_dom.union)
+    (List.length sc.Kdom.Dyn_dom.centers0)
+    sc.Kdom.Dyn_dom.fastdom_rounds
+    (List.length sc.Kdom.Dyn_dom.script.Faults.script_events)
+    (List.length sc.Kdom.Dyn_dom.script.Faults.script_checkpoints);
+  let rep = Kdom.Dyn_dom.run sc in
+  Format.printf "%6s %4s %4s %4s %4s %4s %4s %5s %5s %5s %4s %7s %7s %6s@."
+    "ckpt" "ev" "dead" "dep" "arr" "ins" "cut" "susp" "repar" "lat" "wdog"
+    "inc" "rec" "oracle";
+  List.iter
+    (fun (w : Dynamic.window_report) ->
+      Format.printf "%6d %4d %4d %4d %4d %4d %4d %5d %5d %5d %4d %7d %7d %6d@."
+        w.Dynamic.w_checkpoint w.Dynamic.w_events w.Dynamic.w_crashed
+        w.Dynamic.w_departed w.Dynamic.w_arrived w.Dynamic.w_inserted
+        w.Dynamic.w_cut w.Dynamic.w_suspicions w.Dynamic.w_reparents
+        w.Dynamic.w_repair_latency w.Dynamic.w_watchdog_fired
+        w.Dynamic.w_incremental_rounds w.Dynamic.w_recompute_rounds
+        w.Dynamic.w_oracle_failures)
+    rep.Dynamic.windows;
+  let failures =
+    List.fold_left
+      (fun a (w : Dynamic.window_report) -> a + w.Dynamic.w_oracle_failures)
+      0 rep.Dynamic.windows
+  in
+  Format.printf
+    "total: incremental = %d rounds, full recompute = %d rounds (%.2fx), %d \
+     live centers, oracle %s@."
+    rep.Dynamic.total_incremental rep.Dynamic.total_recompute
+    (float_of_int rep.Dynamic.total_recompute
+    /. float_of_int (max 1 rep.Dynamic.total_incremental))
+    (List.length rep.Dynamic.final_centers)
+    (if failures = 0 then "clean at every checkpoint"
+     else Printf.sprintf "FAILED %d checks" failures);
+  if failures > 0 then exit 1
+
+let dynamic_t =
+  let iarg d name doc =
+    Arg.(value & opt int d & info [ name ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:
+         "Live dynamic-graph self-healing: maintain a k-dominating set \
+          through a seeded churn script and compare incremental repair \
+          against a full recompute.")
+    Term.(
+      const dynamic_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ domains_arg
+      $ iarg 3 "arrivals" "Nodes that join mid-run."
+      $ iarg 3 "insertions" "Reserved edges brought online mid-run."
+      $ iarg 2 "cuts" "Edges severed mid-run."
+      $ iarg 2 "crashes" "Node fail-stops."
+      $ iarg 1 "departs" "Graceful leaves."
+      $ iarg 3 "bursts" "Number of churn bursts."
+      $ iarg 10 "quiescence" "Quiet rounds after each burst.")
+
 let () =
   let info =
     Cmd.info "kdom" ~version:"1.0.0"
@@ -644,4 +716,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t; trace_t ]))
+       (Cmd.group info
+          [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t; trace_t; dynamic_t ]))

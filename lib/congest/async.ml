@@ -570,6 +570,9 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
           duplicated = Tally.get t_duplicated p;
           retransmits = Tally.get t_retransmits p;
           crashed = 0;
+          arrived = 0;
+          departed = 0;
+          inserted = 0;
         }
     done;
   if instrumented then sink.Engine.Sink.on_finish ();

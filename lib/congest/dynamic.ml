@@ -1,0 +1,321 @@
+open Kdom_graph
+
+(* Live dynamic-graph maintenance: a churn script is cut into windows (one
+   burst of events plus the quiescent tail that follows), and the repair
+   protocol runs each window as its own horizon-bounded engine execution.
+   Between windows — at the script's checkpoints — the decoded protocol
+   state is normalized back into a plan, a per-cluster radius watchdog
+   fires centralized local rebuilds where the O(k) bound broke, and the
+   eventual-quality oracle is consulted.  Prior churn is carried into the
+   next window as round-0 events; capacity that has not come online yet is
+   carried as events beyond the horizon, which keeps it reserved (dormant
+   nodes, pre-downed slots) without ever firing. *)
+
+type config = {
+  plan : Repair.plan;
+  beta : int;
+  lease : int;
+  dmax : int;
+  settle : int;
+  bound : int;
+}
+
+type window_report = {
+  w_checkpoint : int;
+  w_events : int;
+  w_crashed : int;
+  w_departed : int;
+  w_arrived : int;
+  w_inserted : int;
+  w_cut : int;
+  w_suspicions : int;
+  w_reparents : int;
+  w_repair_latency : int;
+  w_watchdog_fired : int;
+  w_rebuild_rounds : int;
+  w_incremental_rounds : int;
+  w_recompute_rounds : int;
+  w_oracle_failures : int;
+  w_hb_frames : int;
+  w_repair_frames : int;
+}
+
+type report = {
+  windows : window_report list;
+  total_incremental : int;
+  total_recompute : int;
+  final_plan : Repair.plan;
+  final_alive : bool array;
+  final_down : (int * int) list;
+  final_centers : int list;
+}
+
+let centers_of (plan : Repair.plan) ~alive =
+  let seen = Hashtbl.create 16 in
+  let cs = ref [] in
+  Array.iteri
+    (fun v d ->
+      if alive.(v) && d >= 0 && not (Hashtbl.mem seen d) then begin
+        Hashtbl.replace seen d ();
+        cs := d :: !cs
+      end)
+    plan.Repair.dominator;
+  List.sort compare !cs
+
+(* Re-anchor a decoded state vector as a valid plan: recompute every depth
+   and dominator from the parent pointers, and demote to the joiner
+   sentinel any node that is dead, parentless without being its own
+   dominator, hanging off a dead or sentineled parent, or caught in a
+   transient parent cycle (possible when the window ends mid-wave).  The
+   result always passes [Repair.validate_plan]. *)
+let normalize (plan : Repair.plan) ~alive =
+  let n = Array.length plan.Repair.dominator in
+  let sentinel v =
+    plan.Repair.dominator.(v) <- -1;
+    plan.Repair.parent.(v) <- -1;
+    plan.Repair.depth.(v) <- 0
+  in
+  let state = Array.make (max 1 n) 0 in
+  (* 0 = unvisited, 1 = on the current parent path, 2 = settled *)
+  let rec visit v =
+    if state.(v) = 1 then sentinel v
+    else if state.(v) = 0 then begin
+      state.(v) <- 1;
+      if not alive.(v) then sentinel v
+      else begin
+        let p = plan.Repair.parent.(v) in
+        if p = -1 then begin
+          if plan.Repair.dominator.(v) <> v then sentinel v
+          else plan.Repair.depth.(v) <- 0
+        end
+        else if p < 0 || p >= n || not alive.(p) then sentinel v
+        else begin
+          visit p;
+          (* the cycle break above may have sentineled [v] mid-path *)
+          if plan.Repair.parent.(v) <> -1 then
+            if plan.Repair.dominator.(p) = -1 then sentinel v
+            else begin
+              plan.Repair.dominator.(v) <- plan.Repair.dominator.(p);
+              plan.Repair.depth.(v) <- plan.Repair.depth.(p) + 1
+            end
+        end
+      end;
+      state.(v) <- 2
+    end
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done
+
+let clusters_of (plan : Repair.plan) ~alive =
+  let tbl = Hashtbl.create 16 in
+  let n = Array.length plan.Repair.dominator in
+  for v = n - 1 downto 0 do
+    let d = plan.Repair.dominator.(v) in
+    if alive.(v) && d >= 0 then
+      Hashtbl.replace tbl d
+        (v :: Option.value ~default:[] (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun c ms acc -> (c, ms) :: acc) tbl [] |> List.sort compare
+
+let canon a b = (min a b, max a b)
+
+let run ~rebuild ~recompute g cfg script =
+  let n = Graph.n g in
+  if cfg.settle < 2 then invalid_arg "Dynamic: settle must be >= 2";
+  if cfg.bound < 1 then invalid_arg "Dynamic: bound must be >= 1";
+  let plan =
+    Repair.
+      {
+        dominator = Array.copy cfg.plan.dominator;
+        parent = Array.copy cfg.plan.parent;
+        depth = Array.copy cfg.plan.depth;
+      }
+  in
+  let eng = Engine.create g in
+  (* cumulative churn state, carried across windows *)
+  let dead = Array.make (max 1 n) false in
+  let pending_arrive = Array.make (max 1 n) false in
+  let cut = Hashtbl.create 16 in
+  let pending_insert = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Engine.Churn.Arrive { node; _ } -> pending_arrive.(node) <- true
+      | Engine.Churn.Edge_add { src; dst; _ } ->
+        Hashtbl.replace pending_insert (canon src dst) ()
+      | _ -> ())
+    script.Faults.script_events;
+  (* a node reserved for arrival must start as a joiner: it has no cluster
+     until it ATTACHes *)
+  Array.iteri
+    (fun v pending ->
+      if pending then begin
+        plan.Repair.dominator.(v) <- -1;
+        plan.Repair.parent.(v) <- -1;
+        plan.Repair.depth.(v) <- 0
+      end)
+    pending_arrive;
+  let alive () =
+    Array.init (max 1 n) (fun v -> (not dead.(v)) && not pending_arrive.(v))
+  in
+  let down_list () =
+    let l =
+      Hashtbl.fold (fun e () acc -> e :: acc) cut []
+      @ Hashtbl.fold (fun e () acc -> e :: acc) pending_insert []
+    in
+    List.sort_uniq compare l
+  in
+  (* windows: each checkpoint owns the events since the previous one *)
+  let windows =
+    let rec split prev = function
+      | [] -> []
+      | c :: rest ->
+        let evs =
+          List.filter
+            (fun ev ->
+              let r = Engine.Churn.round_of ev in
+              r > prev && r <= c)
+            script.Faults.script_events
+        in
+        (c, evs) :: split c rest
+    in
+    split (-1) script.Faults.script_checkpoints
+  in
+  let reports = ref [] in
+  let total_incremental = ref 0 and total_recompute = ref 0 in
+  List.iter
+    (fun (checkpoint, events) ->
+      (* carry the state as of the previous checkpoint into round 0:
+         prior deaths and cuts are applied before the first step, prior
+         reserved capacity stays reserved via events beyond the horizon.
+         Dead nodes keep their (sentineled-by-normalize) plan entries and
+         never step. *)
+      let beyond = cfg.settle + 10 in
+      let carried = ref [] in
+      for v = 0 to n - 1 do
+        if dead.(v) then
+          carried := Engine.Churn.Crash { node = v; at = 0 } :: !carried
+        else if pending_arrive.(v) then
+          carried := Engine.Churn.Arrive { node = v; at = beyond } :: !carried
+      done;
+      Hashtbl.iter
+        (fun (a, b) () ->
+          carried :=
+            Engine.Churn.Edge_down { src = a; dst = b; at = 0 }
+            :: Engine.Churn.Edge_down { src = b; dst = a; at = 0 }
+            :: !carried)
+        cut;
+      Hashtbl.iter
+        (fun (a, b) () ->
+          carried :=
+            Engine.Churn.Edge_add { src = a; dst = b; at = beyond }
+            :: Engine.Churn.Edge_add { src = b; dst = a; at = beyond }
+            :: !carried)
+        pending_insert;
+      (* retime the burst to relative round 1 and apply it to the
+         cumulative state *)
+      let w_crashed = ref 0
+      and w_departed = ref 0
+      and w_arrived = ref 0
+      and w_inserted = ref 0
+      and w_cut_dirs = ref 0 in
+      let window_events =
+        List.map
+          (fun ev ->
+            match ev with
+            | Engine.Churn.Crash { node; _ } ->
+              if not dead.(node) then incr w_crashed;
+              dead.(node) <- true;
+              Engine.Churn.Crash { node; at = 1 }
+            | Engine.Churn.Depart { node; _ } ->
+              if not dead.(node) then incr w_departed;
+              dead.(node) <- true;
+              Engine.Churn.Depart { node; at = 1 }
+            | Engine.Churn.Arrive { node; _ } ->
+              if pending_arrive.(node) then incr w_arrived;
+              pending_arrive.(node) <- false;
+              Engine.Churn.Arrive { node; at = 1 }
+            | Engine.Churn.Edge_down { src; dst; _ } ->
+              incr w_cut_dirs;
+              Hashtbl.replace cut (canon src dst) ();
+              Engine.Churn.Edge_down { src; dst; at = 1 }
+            | Engine.Churn.Edge_up { src; dst; _ } ->
+              Hashtbl.remove cut (canon src dst);
+              Engine.Churn.Edge_up { src; dst; at = 1 }
+            | Engine.Churn.Edge_add { src; dst; _ } ->
+              if Hashtbl.mem pending_insert (canon src dst) then incr w_inserted;
+              Hashtbl.remove pending_insert (canon src dst);
+              Engine.Churn.Edge_add { src; dst; at = 1 })
+          events
+      in
+      let churn = Engine.Churn.compile eng (!carried @ window_events) in
+      let dmax = max cfg.dmax (Repair.default_dmax plan) in
+      let rcfg =
+        Repair.
+          { plan; beta = cfg.beta; lease = cfg.lease; dmax; horizon = cfg.settle }
+      in
+      let states, _stats =
+        Repair.run ~churn ~max_rounds:(cfg.settle + 2) eng rcfg
+      in
+      let rep = Repair.decode states in
+      Array.blit rep.Repair.dominator_of 0 plan.Repair.dominator 0 n;
+      Array.blit rep.Repair.parent_of 0 plan.Repair.parent 0 n;
+      Array.blit rep.Repair.depth_of 0 plan.Repair.depth 0 n;
+      let alive_now = alive () in
+      normalize plan ~alive:alive_now;
+      let down = down_list () in
+      (* radius watchdog: a cluster whose tree outgrew the O(k) bound is
+         rebuilt locally — never a global recompute *)
+      let fired = ref 0 and rebuild_rounds = ref 0 in
+      List.iter
+        (fun (_, members) ->
+          let maxd =
+            List.fold_left (fun a v -> max a plan.Repair.depth.(v)) 0 members
+          in
+          if maxd > cfg.bound then begin
+            incr fired;
+            rebuild_rounds := !rebuild_rounds + rebuild ~plan ~members ~down
+          end)
+        (clusters_of plan ~alive:alive_now);
+      let centers = centers_of plan ~alive:alive_now in
+      let failures =
+        Oracle.eventual_k_domination g ~alive:alive_now ~dead_edges:down
+          ~centers ~bound:cfg.bound
+      in
+      let latency = max 0 rep.Repair.last_repair in
+      let incremental = latency + !rebuild_rounds in
+      let recompute_rounds = recompute ~alive:alive_now ~down in
+      total_incremental := !total_incremental + incremental;
+      total_recompute := !total_recompute + recompute_rounds;
+      reports :=
+        {
+          w_checkpoint = checkpoint;
+          w_events = List.length events;
+          w_crashed = !w_crashed;
+          w_departed = !w_departed;
+          w_arrived = !w_arrived;
+          w_inserted = !w_inserted;
+          w_cut = !w_cut_dirs / 2;
+          w_suspicions = rep.Repair.suspicions;
+          w_reparents = rep.Repair.reparents;
+          w_repair_latency = latency;
+          w_watchdog_fired = !fired;
+          w_rebuild_rounds = !rebuild_rounds;
+          w_incremental_rounds = incremental;
+          w_recompute_rounds = recompute_rounds;
+          w_oracle_failures = List.length failures;
+          w_hb_frames = rep.Repair.hb_frames;
+          w_repair_frames = rep.Repair.repair_frames;
+        }
+        :: !reports)
+    windows;
+  {
+    windows = List.rev !reports;
+    total_incremental = !total_incremental;
+    total_recompute = !total_recompute;
+    final_plan = plan;
+    final_alive = alive ();
+    final_down = down_list ();
+    final_centers = centers_of plan ~alive:(alive ());
+  }

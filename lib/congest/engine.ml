@@ -119,6 +119,9 @@ module Sink = struct
     duplicated : int;
     retransmits : int;
     crashed : int;
+    arrived : int;
+    departed : int;
+    inserted : int;
   }
 
   type t = {
@@ -177,6 +180,9 @@ module Sink = struct
       duplicated = a.duplicated + b.duplicated;
       retransmits = a.retransmits + b.retransmits;
       crashed = a.crashed + b.crashed;
+      arrived = a.arrived + b.arrived;
+      departed = a.departed + b.departed;
+      inserted = a.inserted + b.inserted;
     }
 
   let empty_round_info round =
@@ -193,6 +199,9 @@ module Sink = struct
       duplicated = 0;
       retransmits = 0;
       crashed = 0;
+      arrived = 0;
+      departed = 0;
+      inserted = 0;
     }
 
   let activity ~n =
@@ -225,10 +234,13 @@ module Sink = struct
             if
               faults || ri.dropped <> 0 || ri.duplicated <> 0
               || ri.retransmits <> 0 || ri.crashed <> 0
+              || ri.arrived <> 0 || ri.departed <> 0 || ri.inserted <> 0
             then
               Printf.sprintf
-                ",\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d"
-                ri.dropped ri.duplicated ri.retransmits ri.crashed
+                ",\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d,\
+                 \"crashed\":%d,\"arrived\":%d,\"departed\":%d,\"inserted\":%d"
+                ri.dropped ri.duplicated ri.retransmits ri.crashed ri.arrived
+                ri.departed ri.inserted
             else ""
           in
           Printf.fprintf oc
@@ -406,18 +418,38 @@ module Churn = struct
     | Crash of { node : int; at : int }
     | Edge_down of { src : int; dst : int; at : int }
     | Edge_up of { src : int; dst : int; at : int }
+    | Edge_add of { src : int; dst : int; at : int }
+    | Arrive of { node : int; at : int }
+    | Depart of { node : int; at : int }
 
   let round_of = function
-    | Crash { at; _ } | Edge_down { at; _ } | Edge_up { at; _ } -> at
+    | Crash { at; _ } | Edge_down { at; _ } | Edge_up { at; _ }
+    | Edge_add { at; _ } | Arrive { at; _ } | Depart { at; _ } -> at
 
   (* Pre-resolved form: the port lookup happens once, at compile time. *)
-  type op = Op_crash of int | Op_down of int | Op_up of int
+  type op =
+    | Op_crash of int
+    | Op_down of int
+    | Op_up of int
+    | Op_add of int
+    | Op_arrive of int
+    | Op_depart of int
+
+  type delta = {
+    d_crashed : int;
+    d_arrived : int;
+    d_departed : int;
+    d_inserted : int;
+  }
+
+  let no_delta = { d_crashed = 0; d_arrived = 0; d_departed = 0; d_inserted = 0 }
 
   type t = {
     events : event array;  (* sorted by round, compile-order stable *)
     ops : op array;        (* events.(i) resolved against the port map *)
     pairs : (int * int) array;  (* (src, dst) of edge events; (-1, -1) else *)
     crashed : bool array;  (* n: current liveness view *)
+    dormant : bool array;  (* n: reserved node not yet arrived *)
     edge_down : bool array;  (* ports: current per-slot view *)
     down_pairs : (int * int, unit) Hashtbl.t;
         (* the (src, dst) view [advance] maintains for port-map-less
@@ -427,23 +459,39 @@ module Churn = struct
 
   let compile e events =
     let n = e.n in
+    let check_node what node =
+      if node < 0 || node >= n then
+        invalid_arg (Printf.sprintf "Engine.Churn: %s of non-node %d" what node)
+    in
+    let check_round at =
+      if at < 0 then
+        invalid_arg (Printf.sprintf "Engine.Churn: event at negative round %d" at)
+    in
     let resolve ev =
       match ev with
       | Crash { node; at } ->
-        if node < 0 || node >= n then
-          invalid_arg (Printf.sprintf "Engine.Churn: crash of non-node %d" node);
-        if at < 0 then
-          invalid_arg (Printf.sprintf "Engine.Churn: crash at negative round %d" at);
+        check_node "crash" node;
+        check_round at;
         Op_crash node
-      | Edge_down { src; dst; at } | Edge_up { src; dst; at } ->
-        if at < 0 then
-          invalid_arg
-            (Printf.sprintf "Engine.Churn: edge event at negative round %d" at);
+      | Arrive { node; at } ->
+        check_node "arrival" node;
+        check_round at;
+        Op_arrive node
+      | Depart { node; at } ->
+        check_node "departure" node;
+        check_round at;
+        Op_depart node
+      | Edge_down { src; dst; at } | Edge_up { src; dst; at }
+      | Edge_add { src; dst; at } ->
+        check_round at;
         let slot = find_port e ~src ~dst in
         if slot < 0 then
           invalid_arg
             (Printf.sprintf "Engine.Churn: event on non-edge (%d, %d)" src dst);
-        (match ev with Edge_down _ -> Op_down slot | _ -> Op_up slot)
+        (match ev with
+        | Edge_down _ -> Op_down slot
+        | Edge_add _ -> Op_add slot
+        | _ -> Op_up slot)
     in
     let tagged = List.mapi (fun i ev -> (round_of ev, i, ev)) events in
     let sorted =
@@ -456,10 +504,12 @@ module Churn = struct
       pairs =
         Array.map
           (function
-            | Edge_down { src; dst; _ } | Edge_up { src; dst; _ } -> (src, dst)
-            | Crash _ -> (-1, -1))
+            | Edge_down { src; dst; _ } | Edge_up { src; dst; _ }
+            | Edge_add { src; dst; _ } -> (src, dst)
+            | Crash _ | Arrive _ | Depart _ -> (-1, -1))
           events;
       crashed = Array.make (max 1 n) false;
+      dormant = Array.make (max 1 n) false;
       edge_down = Array.make (max 1 e.ports) false;
       down_pairs = Hashtbl.create 8;
       cursor = 0;
@@ -471,45 +521,83 @@ module Churn = struct
     let len = Array.length t.events in
     if len = 0 then -1 else round_of t.events.(len - 1)
 
+  (* A schedule's round-0 view: reserved capacity starts absent.  A slot
+     with a pending [Edge_add] is down until the event fires; a node with a
+     pending [Arrive] is dormant until it fires — the union CSR carries
+     them from the start, the liveness view hides them. *)
   let reset t =
     Array.fill t.crashed 0 (Array.length t.crashed) false;
+    Array.fill t.dormant 0 (Array.length t.dormant) false;
     Array.fill t.edge_down 0 (Array.length t.edge_down) false;
     Hashtbl.reset t.down_pairs;
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Op_add slot ->
+          t.edge_down.(slot) <- true;
+          Hashtbl.replace t.down_pairs t.pairs.(i) ()
+        | Op_arrive v -> t.dormant.(v) <- true
+        | _ -> ())
+      t.ops;
     t.cursor <- 0
 
   let crashed t v = t.crashed.(v)
+  let dormant t v = t.dormant.(v)
   let edge_down t ~src ~dst = Hashtbl.mem t.down_pairs (src, dst)
 
   (* The buffer-less application used by the reference runtime: advance the
      cursor through every event due by [round], updating the liveness views
      only.  (The engine's own exec inlines this so it can also drop the
-     in-flight frames the events kill.)  Returns the nodes newly crashed. *)
+     in-flight frames the events kill.)  Returns the per-kind counts of
+     events that took effect. *)
   let advance t ~round =
     let len = Array.length t.ops in
-    let newly = ref 0 in
+    let d = ref no_delta in
     while t.cursor < len && round_of t.events.(t.cursor) <= round do
       (match t.ops.(t.cursor) with
       | Op_crash v ->
         if not t.crashed.(v) then begin
           t.crashed.(v) <- true;
-          incr newly
+          d := { !d with d_crashed = !d.d_crashed + 1 }
+        end
+      | Op_depart v ->
+        if not t.crashed.(v) then begin
+          t.crashed.(v) <- true;
+          d := { !d with d_departed = !d.d_departed + 1 }
+        end
+      | Op_arrive v ->
+        if t.dormant.(v) then begin
+          t.dormant.(v) <- false;
+          d := { !d with d_arrived = !d.d_arrived + 1 }
         end
       | Op_down slot ->
         t.edge_down.(slot) <- true;
         Hashtbl.replace t.down_pairs t.pairs.(t.cursor) ()
       | Op_up slot ->
         t.edge_down.(slot) <- false;
-        Hashtbl.remove t.down_pairs t.pairs.(t.cursor));
+        Hashtbl.remove t.down_pairs t.pairs.(t.cursor)
+      | Op_add slot ->
+        if t.edge_down.(slot) then begin
+          t.edge_down.(slot) <- false;
+          Hashtbl.remove t.down_pairs t.pairs.(t.cursor);
+          d := { !d with d_inserted = !d.d_inserted + 1 }
+        end);
       t.cursor <- t.cursor + 1
     done;
-    !newly
+    !d
 
   (* Replay the whole schedule, regardless of when the run stopped: the
-     oracle judges eventual k-domination against the post-churn topology. *)
+     oracle judges eventual k-domination against the post-churn topology.
+     In a full replay every scheduled arrival and insertion fires, so a
+     node is finally dead iff it ever crashes or departs (both permanent),
+     and an edge is finally down iff its last down/up/add event is a
+     down. *)
   let final_alive t =
     let alive = Array.make (Array.length t.crashed) true in
     Array.iter
-      (function Crash { node; _ } -> alive.(node) <- false | _ -> ())
+      (function
+        | Crash { node; _ } | Depart { node; _ } -> alive.(node) <- false
+        | _ -> ())
       t.events;
     alive
 
@@ -518,8 +606,9 @@ module Churn = struct
     Array.iter
       (function
         | Edge_down { src; dst; _ } -> Hashtbl.replace down (src, dst) ()
-        | Edge_up { src; dst; _ } -> Hashtbl.remove down (src, dst)
-        | Crash _ -> ())
+        | Edge_up { src; dst; _ } | Edge_add { src; dst; _ } ->
+          Hashtbl.remove down (src, dst)
+        | Crash _ | Arrive _ | Depart _ -> ())
       t.events;
     Hashtbl.fold (fun e () acc -> e :: acc) down [] |> List.sort compare
 end
@@ -593,10 +682,20 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   e.running <- true;
   e.dirty <- true;
   let states = Array.init n (fun v -> algo.init g v) in
+  (* Hoisted churn views: the empty arrays are never indexed (short-circuit
+     on [churn_on]), so the no-churn send path costs one extra branch. *)
+  let churn_edge_down, churn_crashed, churn_dormant =
+    match churn with
+    | Some (c : Churn.t) ->
+      (c.Churn.edge_down, c.Churn.crashed, c.Churn.dormant)
+    | None -> ([||], [||], [||])
+  in
+  let churn_on = churn <> None in
   let live = e.live and is_live = e.is_live in
   let live_len = ref 0 in
   for v = 0 to n - 1 do
-    if algo.halted states.(v) then is_live.(v) <- false
+    if algo.halted states.(v) || (churn_on && churn_dormant.(v)) then
+      is_live.(v) <- false
     else begin
       is_live.(v) <- true;
       live.(!live_len) <- v;
@@ -657,14 +756,6 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   let cur = ref e.buf_a and nxt = ref e.buf_b in
   let messages = ref 0 and max_inflight = ref 0 and round = ref 0 in
   let instrumented = sink != Sink.null in
-  (* Hoisted churn views: the empty arrays are never indexed (short-circuit
-     on [churn_on]), so the no-churn send path costs one extra branch. *)
-  let churn_edge_down, churn_crashed =
-    match churn with
-    | Some (c : Churn.t) -> (c.Churn.edge_down, c.Churn.crashed)
-    | None -> ([||], [||])
-  in
-  let churn_on = churn <> None in
   while !live_len > 0 || (!nxt).total > 0 do
     if !round > max_rounds then raise (Round_limit_exceeded !round);
     let tmp = !cur in
@@ -680,11 +771,40 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
        processor, not the wires. *)
     let churn_dropped = ref 0 in
     let newly_crashed = ref 0 in
+    let newly_arrived = ref 0 in
+    let newly_departed = ref 0 in
+    let newly_inserted = ref 0 in
     let crashed_live = ref 0 in
     let churn_killed = ref false in
+    let live_unsorted = ref false in
     (match churn with
     | Some c ->
       let len = Array.length c.Churn.ops in
+      let kill v =
+        if dv.count.(v) > 0 then begin
+          for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
+            let slot = e.in_slot.(j) in
+            let p = dv.slots.(slot) in
+            if p != none then begin
+              dv.slots.(slot) <- none;
+              dv.total <- dv.total - 1;
+              dv.words <- dv.words - Array.length p;
+              incr churn_dropped
+            end
+          done;
+          dv.count.(v) <- 0
+        end;
+        if is_live.(v) then begin
+          is_live.(v) <- false;
+          incr crashed_live;
+          churn_killed := true;
+          if e.is_always.(v) then begin
+            e.is_always.(v) <- false;
+            always_dirty := true
+          end;
+          e.wake_at.(v) <- -1
+        end
+      in
       while
         c.Churn.cursor < len
         && Churn.round_of c.Churn.events.(c.Churn.cursor) <= r
@@ -694,28 +814,35 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           if not c.Churn.crashed.(v) then begin
             c.Churn.crashed.(v) <- true;
             incr newly_crashed;
-            if dv.count.(v) > 0 then begin
-              for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
-                let slot = e.in_slot.(j) in
-                let p = dv.slots.(slot) in
-                if p != none then begin
-                  dv.slots.(slot) <- none;
-                  dv.total <- dv.total - 1;
-                  dv.words <- dv.words - Array.length p;
-                  incr churn_dropped
-                end
-              done;
-              dv.count.(v) <- 0
-            end;
-            if is_live.(v) then begin
-              is_live.(v) <- false;
-              incr crashed_live;
-              churn_killed := true;
-              if e.is_always.(v) then begin
-                e.is_always.(v) <- false;
-                always_dirty := true
-              end;
-              e.wake_at.(v) <- -1
+            kill v
+          end
+        | Churn.Op_depart v ->
+          (* a graceful departure is mechanically a fail-stop — the node
+             leaves without ceremony — but accounted separately *)
+          if not c.Churn.crashed.(v) then begin
+            c.Churn.crashed.(v) <- true;
+            incr newly_departed;
+            kill v
+          end
+        | Churn.Op_arrive v ->
+          if c.Churn.dormant.(v) then begin
+            c.Churn.dormant.(v) <- false;
+            incr newly_arrived;
+            if (not c.Churn.crashed.(v)) && not (algo.halted states.(v))
+            then begin
+              is_live.(v) <- true;
+              live.(!live_len) <- v;
+              incr live_len;
+              live_unsorted := true;
+              (* the arrival round steps the node unconditionally, like the
+                 init round steps every live node: it enters Always mode
+                 until its own first hint says otherwise *)
+              e.is_always.(v) <- true;
+              if !hinted then begin
+                e.always.(!alen) <- v;
+                incr alen;
+                always_unsorted := true
+              end
             end
           end
         | Churn.Op_down slot ->
@@ -730,9 +857,17 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
               incr churn_dropped
             end
           end
+        | Churn.Op_add slot ->
+          (* reserved capacity coming online: the slot was pre-downed at
+             reset, nothing can be in flight through it *)
+          if c.Churn.edge_down.(slot) then begin
+            c.Churn.edge_down.(slot) <- false;
+            incr newly_inserted
+          end
         | Churn.Op_up slot -> c.Churn.edge_down.(slot) <- false);
         c.Churn.cursor <- c.Churn.cursor + 1
-      done
+      done;
+      if !live_unsorted then sort_prefix live !live_len
     | None -> ());
     let this_round = dv.total in
     max_inflight := max !max_inflight this_round;
@@ -775,7 +910,11 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
             raise
               (Congestion_violation
                  (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r v u));
-          if churn_on && (churn_edge_down.(slot) || churn_crashed.(u)) then begin
+          if
+            churn_on
+            && (churn_edge_down.(slot) || churn_crashed.(u)
+               || churn_dormant.(u))
+          then begin
             (* frame onto a dead port or to a crashed node: silently lost
                (and counted).  The width check still applies — churn must
                not mask an algorithm exceeding its budget — but the
@@ -958,6 +1097,9 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           duplicated = 0;
           retransmits = 0;
           crashed = !newly_crashed;
+          arrived = !newly_arrived;
+          departed = !newly_departed;
+          inserted = !newly_inserted;
         };
     incr round
   done;
@@ -1243,9 +1385,17 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       end
     done
   in
+  let churn_edge_down, churn_crashed, churn_dormant =
+    match churn with
+    | Some (c : Churn.t) ->
+      (c.Churn.edge_down, c.Churn.crashed, c.Churn.dormant)
+    | None -> ([||], [||], [||])
+  in
+  let churn_on = churn <> None in
   (* initial liveness *)
   for v = 0 to n - 1 do
-    if not (algo.halted states.(v)) then begin
+    if (not (algo.halted states.(v))) && not (churn_on && churn_dormant.(v))
+    then begin
       let sh = shards.(shard_of.(v)) in
       is_live.(v) <- true;
       is_always.(v) <- true;
@@ -1253,12 +1403,6 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       sh.sh_live_len <- sh.sh_live_len + 1
     end
   done;
-  let churn_edge_down, churn_crashed =
-    match churn with
-    | Some (c : Churn.t) -> (c.Churn.edge_down, c.Churn.crashed)
-    | None -> ([||], [||])
-  in
-  let churn_on = churn <> None in
   (* serially-written controls read by the phase bodies *)
   let cur_is_a = ref false in  (* true when buffer A is the delivery side *)
   let round = ref 0 in
@@ -1375,7 +1519,11 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
               (Congestion_violation
                  (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r
                     v u));
-          if churn_on && (churn_edge_down.(slot) || churn_crashed.(u)) then begin
+          if
+            churn_on
+            && (churn_edge_down.(slot) || churn_crashed.(u)
+               || churn_dormant.(u))
+          then begin
             let w = Array.length p in
             if w > max_words then
               record sh v 1
@@ -1572,7 +1720,11 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
          and must be globally ordered before the halted-receiver minimum *)
       let churn_dropped = ref 0 in
       let newly_crashed = ref 0 in
+      let newly_arrived = ref 0 in
+      let newly_departed = ref 0 in
+      let newly_inserted = ref 0 in
       let churn_applied = ref false in
+      let live_unsorted = ref false in
       Array.iter
         (fun sh ->
           sh.sh_crashed_live <- 0;
@@ -1581,6 +1733,34 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       (match churn with
       | Some c ->
         let len = Array.length c.Churn.ops in
+        let kill v =
+          let sh = shards.(shard_of.(v)) in
+          let dvb = sbuf_of sh ~delivery:true in
+          if dcount.(v) > 0 then begin
+            for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
+              let slot = e.in_slot.(j) in
+              let p = dslots.(slot) in
+              if p != none then begin
+                dslots.(slot) <- none;
+                dvb.s_total <- dvb.s_total - 1;
+                dvb.s_words <- dvb.s_words - Array.length p;
+                incr churn_dropped
+              end
+            done;
+            dcount.(v) <- 0;
+            sh.sh_hit <- true
+          end;
+          if is_live.(v) then begin
+            is_live.(v) <- false;
+            sh.sh_crashed_live <- sh.sh_crashed_live + 1;
+            sh.sh_compact <- true;
+            if is_always.(v) then begin
+              is_always.(v) <- false;
+              sh.sh_always_dirty <- true
+            end;
+            wake_at.(v) <- -1
+          end
+        in
         while
           c.Churn.cursor < len
           && Churn.round_of c.Churn.events.(c.Churn.cursor) <= r
@@ -1589,33 +1769,33 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           (match c.Churn.ops.(c.Churn.cursor) with
           | Churn.Op_crash v ->
             if not c.Churn.crashed.(v) then begin
-              let sh = shards.(shard_of.(v)) in
-              let dvb = sbuf_of sh ~delivery:true in
               c.Churn.crashed.(v) <- true;
               incr newly_crashed;
-              if dcount.(v) > 0 then begin
-                for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
-                  let slot = e.in_slot.(j) in
-                  let p = dslots.(slot) in
-                  if p != none then begin
-                    dslots.(slot) <- none;
-                    dvb.s_total <- dvb.s_total - 1;
-                    dvb.s_words <- dvb.s_words - Array.length p;
-                    incr churn_dropped
-                  end
-                done;
-                dcount.(v) <- 0;
-                sh.sh_hit <- true
-              end;
-              if is_live.(v) then begin
-                is_live.(v) <- false;
-                sh.sh_crashed_live <- sh.sh_crashed_live + 1;
-                sh.sh_compact <- true;
-                if is_always.(v) then begin
-                  is_always.(v) <- false;
-                  sh.sh_always_dirty <- true
-                end;
-                wake_at.(v) <- -1
+              kill v
+            end
+          | Churn.Op_depart v ->
+            if not c.Churn.crashed.(v) then begin
+              c.Churn.crashed.(v) <- true;
+              incr newly_departed;
+              kill v
+            end
+          | Churn.Op_arrive v ->
+            if c.Churn.dormant.(v) then begin
+              c.Churn.dormant.(v) <- false;
+              incr newly_arrived;
+              if (not c.Churn.crashed.(v)) && not (algo.halted states.(v))
+              then begin
+                let sh = shards.(shard_of.(v)) in
+                is_live.(v) <- true;
+                sh.sh_live.(sh.sh_live_len) <- v;
+                sh.sh_live_len <- sh.sh_live_len + 1;
+                live_unsorted := true;
+                is_always.(v) <- true;
+                if !hinted then begin
+                  sh.sh_always.(sh.sh_alen) <- v;
+                  sh.sh_alen <- sh.sh_alen + 1;
+                  sh.sh_always_unsorted <- true
+                end
               end
             end
           | Churn.Op_down slot ->
@@ -1634,9 +1814,16 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                 sh.sh_hit <- true
               end
             end
+          | Churn.Op_add slot ->
+            if c.Churn.edge_down.(slot) then begin
+              c.Churn.edge_down.(slot) <- false;
+              incr newly_inserted
+            end
           | Churn.Op_up slot -> c.Churn.edge_down.(slot) <- false);
           c.Churn.cursor <- c.Churn.cursor + 1
-        done
+        done;
+        if !live_unsorted then
+          Array.iter (fun sh -> sort_prefix sh.sh_live sh.sh_live_len) shards
       | None -> ());
       let this_round = ref 0 in
       let live_snapshot = ref 0 in
@@ -1728,6 +1915,9 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                   duplicated = 0;
                   retransmits = 0;
                   crashed = 0;
+                  arrived = 0;
+                  departed = 0;
+                  inserted = 0;
                 })
           shards;
         let agg = !acc in
@@ -1738,6 +1928,9 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
             skipped = !live_snapshot - agg.Sink.stepped;
             dropped = agg.Sink.dropped + !churn_dropped;
             crashed = !newly_crashed;
+            arrived = !newly_arrived;
+            departed = !newly_departed;
+            inserted = !newly_inserted;
           }
       end;
       Pool.run pool phase_exchange;

@@ -195,6 +195,15 @@ module Sink : sig
     crashed : int;
         (** nodes newly fail-stopped by a {!Churn} schedule this round;
             always 0 without churn *)
+    arrived : int;
+        (** dormant nodes brought online by a {!Churn} [Arrive] event this
+            round; always 0 without churn *)
+    departed : int;
+        (** nodes gracefully leaving ({!Churn} [Depart]) this round —
+            mechanically a fail-stop, accounted separately *)
+    inserted : int;
+        (** reserved directed slots brought up by a {!Churn} [Edge_add]
+            event this round *)
   }
 
   type t = {
@@ -294,7 +303,21 @@ val find_port : t -> src:int -> dst:int -> int
     {- [Edge_down]: the directed slot drops the frame it was carrying and
        every frame subsequently sent on it ([Edge_up] restores it).  Width
        checks still apply to dropped sends; the duplicate-slot check
-       cannot (nothing occupies a dead slot).}}
+       cannot (nothing occupies a dead slot).}
+    {- [Edge_add]: {e capacity-reserved insertion}.  The edge must exist in
+       the engine's (union) graph; its slot is pre-downed when the schedule
+       resets, so the CSR arrays already carry the capacity and the event
+       merely flips the slot up at [r] — the zero-allocation engine shape
+       survives dynamic topology.}
+    {- [Arrive]: the node is {e dormant} from reset until [r]: it is never
+       stepped, its wake hints do not exist, and frames addressed to it are
+       dropped (and counted) like frames to a crashed node.  At [r] it goes
+       live and steps that same round, like every live node steps the init
+       round.  A node whose init state is already halted stays halted.}
+    {- [Depart]: a graceful leave — mechanically identical to [Crash]
+       (permanent, frames in flight lost) but counted separately
+       ({!Sink.round_info.departed}), so benches can price planned churn
+       apart from failures.}}
 
     Events scheduled after quiescence never apply.  The compiled value is
     mutable but [exec] resets it on entry, so one value can be reused
@@ -306,15 +329,30 @@ module Churn : sig
     | Crash of { node : int; at : int }
     | Edge_down of { src : int; dst : int; at : int }
     | Edge_up of { src : int; dst : int; at : int }
+    | Edge_add of { src : int; dst : int; at : int }
+    | Arrive of { node : int; at : int }
+    | Depart of { node : int; at : int }
 
   val round_of : event -> int
+
+  type delta = {
+    d_crashed : int;
+    d_arrived : int;
+    d_departed : int;
+    d_inserted : int;
+  }
+  (** Per-kind counts of the events {!advance} just applied. *)
+
+  val no_delta : delta
 
   type t
 
   val compile : engine -> event list -> t
   (** Resolve the schedule against the port map: raises [Invalid_argument]
-      on a crash of a non-node, an edge event on a non-edge, or a negative
-      round.  Events are applied in (round, list-position) order. *)
+      on a node event naming a non-node, an edge event on a non-edge
+      (an [Edge_add] edge must already be reserved in the union graph the
+      engine was built over), or a negative round.  Events are applied in
+      (round, list-position) order. *)
 
   val events : t -> event list
   (** The schedule, sorted by application order. *)
@@ -326,25 +364,32 @@ module Churn : sig
   (** Rewind the mutable view to the pre-run state (also done by [exec]). *)
 
   val crashed : t -> int -> bool
-  (** Current view: whether the node has fail-stopped. *)
+  (** Current view: whether the node has fail-stopped (or departed). *)
+
+  val dormant : t -> int -> bool
+  (** Current view: whether the node is reserved capacity that has not
+      arrived yet ([Arrive] pending). *)
 
   val edge_down : t -> src:int -> dst:int -> bool
   (** Current view: whether the directed edge is down.  Only tracks events
       applied through {!advance} (the reference runtime's path); the
       engine's own exec uses the slot-indexed view internally. *)
 
-  val advance : t -> round:int -> int
+  val advance : t -> round:int -> delta
   (** Apply every event due at or before [round] to the liveness views
-      (no frame dropping — that is the caller's job) and return the number
-      of nodes newly crashed.  For executors without a port map, i.e.
-      {!Runtime.run_reference}. *)
+      (no frame dropping — that is the caller's job) and return the
+      per-kind counts of events that took effect.  For executors without a
+      port map, i.e. {!Runtime.run_reference}. *)
 
   val final_alive : t -> bool array
   (** Liveness after the {e whole} schedule, regardless of where the run
-      stopped — what {!Oracle.eventual_k_domination} judges against. *)
+      stopped — what {!Oracle.eventual_k_domination} judges against.  In a
+      full replay every pending arrival fires, so a node is finally dead
+      iff it ever crashes or departs. *)
 
   val final_edges_down : t -> (int * int) list
-  (** Directed edges down after the whole schedule, ascending. *)
+  (** Directed edges down after the whole schedule, ascending.  An edge is
+      finally down iff its last down/up/add event is a down. *)
 end
 
 val default_domains : int ref

@@ -15,6 +15,9 @@ type churn_event = Engine.Churn.event =
   | Crash of { node : int; at : int }
   | Edge_down of { src : int; dst : int; at : int }
   | Edge_up of { src : int; dst : int; at : int }
+  | Edge_add of { src : int; dst : int; at : int }
+  | Arrive of { node : int; at : int }
+  | Depart of { node : int; at : int }
 
 type spec = {
   link : link;
@@ -194,6 +197,80 @@ let note_crash_drop t = t.counters.crash_dropped <- t.counters.crash_dropped + 1
 (* churn: permanent topology changes on the synchronous round clock *)
 
 let churn eng spec = Engine.Churn.compile eng spec.churn
+
+type script = {
+  script_events : churn_event list;
+  script_checkpoints : int list;
+  script_last : int;
+}
+
+let churn_script g ~seed ?(bursts = 4) ?(quiescence = 8) ~arrivals ~insertions
+    ~cuts ~crashes ~departs () =
+  let n = Graph.n g in
+  let check_node what v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Faults.churn_script: %s %d not a node" what v)
+  in
+  List.iter (check_node "arrival") arrivals;
+  List.iter (check_node "crash") crashes;
+  List.iter (check_node "departure") departs;
+  let check_edge what (a, b) =
+    check_node what a;
+    check_node what b;
+    if Option.is_none (Graph.find_edge g a b) then
+      invalid_arg
+        (Printf.sprintf
+           "Faults.churn_script: %s (%d, %d) not an edge of the union graph"
+           what a b)
+  in
+  List.iter (check_edge "insertion") insertions;
+  List.iter (check_edge "cut") cuts;
+  if bursts < 1 then invalid_arg "Faults.churn_script: bursts must be >= 1";
+  if quiescence < 1 then
+    invalid_arg "Faults.churn_script: quiescence must be >= 1";
+  (* one abstract op per requested change; the two directed events of an
+     undirected edge op always fire at the same round *)
+  let ops =
+    List.map (fun v -> `Arrive v) arrivals
+    @ List.map (fun e -> `Insert e) insertions
+    @ List.map (fun e -> `Cut e) cuts
+    @ List.map (fun v -> `Crash v) crashes
+    @ List.map (fun v -> `Depart v) departs
+  in
+  let ops = Array.of_list ops in
+  let rng = Rng.create seed in
+  Rng.shuffle rng ops;
+  let nops = Array.length ops in
+  let used = min bursts (max 1 nops) in
+  let period = 1 + quiescence in
+  let evs = ref [] and checkpoints = ref [] in
+  for b = 0 to used - 1 do
+    let at = b * period in
+    (* contiguous chunk of the shuffled pool: sizes differ by at most 1 *)
+    let i0 = b * nops / used and i1 = (b + 1) * nops / used in
+    for i = i0 to i1 - 1 do
+      match ops.(i) with
+      | `Arrive v -> evs := Arrive { node = v; at } :: !evs
+      | `Insert (a, b') ->
+        evs :=
+          Edge_add { src = a; dst = b'; at }
+          :: Edge_add { src = b'; dst = a; at }
+          :: !evs
+      | `Cut (a, b') ->
+        evs :=
+          Edge_down { src = a; dst = b'; at }
+          :: Edge_down { src = b'; dst = a; at }
+          :: !evs
+      | `Crash v -> evs := Crash { node = v; at } :: !evs
+      | `Depart v -> evs := Depart { node = v; at } :: !evs
+    done;
+    checkpoints := (at + quiescence) :: !checkpoints
+  done;
+  {
+    script_events = List.rev !evs;
+    script_checkpoints = List.rev !checkpoints;
+    script_last = (used - 1) * period;
+  }
 
 let random_churn g ~seed ~crashes ~edge_cuts ~last =
   if crashes < 0 || edge_cuts < 0 then invalid_arg "Faults.random_churn: negative count";

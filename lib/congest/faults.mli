@@ -55,10 +55,15 @@ type churn_event = Engine.Churn.event =
   | Crash of { node : int; at : int }
   | Edge_down of { src : int; dst : int; at : int }
   | Edge_up of { src : int; dst : int; at : int }
+  | Edge_add of { src : int; dst : int; at : int }
+  | Arrive of { node : int; at : int }
+  | Depart of { node : int; at : int }
 (** Permanent topology churn on the synchronous round clock — re-exported
     from {!Engine.Churn} so fault specs can carry both the float-time
     transient model (for {!Async}) and the round-time permanent one (for
-    {!Engine.exec} / {!Runtime.run_reference}). *)
+    {!Engine.exec} / {!Runtime.run_reference}).  [Edge_add]/[Arrive] bring
+    reserved capacity online; [Depart] is a graceful leave (see
+    {!Engine.Churn} for the exact semantics). *)
 
 type spec = {
   link : link;  (** default parameters for every directed link *)
@@ -146,6 +151,43 @@ val churn : Engine.t -> spec -> Engine.Churn.t
     ([Engine.Churn.compile]); pass the result to [Engine.exec ?churn] or
     [Runtime.run_reference ?churn].  Raises [Invalid_argument] on events
     naming non-nodes or non-edges. *)
+
+type script = {
+  script_events : churn_event list;
+      (** the full timeline, both directed events of an undirected edge
+          op at the same round *)
+  script_checkpoints : int list;
+      (** quiescent rounds (end of each quiet window) at which the
+          eventual-quality oracle is expected to hold *)
+  script_last : int;  (** round of the last burst *)
+}
+(** A deterministic churn timeline: bursts of mixed events separated by
+    quiescent windows, the shape consumed by [Dynamic]. *)
+
+val churn_script :
+  Kdom_graph.Graph.t ->
+  seed:int ->
+  ?bursts:int ->
+  ?quiescence:int ->
+  arrivals:int list ->
+  insertions:(int * int) list ->
+  cuts:(int * int) list ->
+  crashes:int list ->
+  departs:int list ->
+  unit ->
+  script
+(** Seeded timeline generator over the {e union} graph (the graph holding
+    every reserved node and edge).  The requested changes — [arrivals]
+    (nodes dormant until they join), [insertions] (reserved undirected
+    edges brought up), [cuts], [crashes], [departs] — are shuffled by
+    [seed] and dealt into at most [bursts] bursts (default 4) of
+    near-equal size, each followed by a [quiescence]-round quiet window
+    (default 8) ending in a checkpoint.  Empty op set yields a single
+    heartbeat-only window with one checkpoint.  Deterministic in [seed].
+    Raises [Invalid_argument] on out-of-range nodes, non-edges of the
+    union graph, [bursts < 1], or [quiescence < 1].  The generator does
+    not order dependent events: keep the node sets disjoint unless you
+    mean the interleaving to be adversarial. *)
 
 val random_churn :
   Kdom_graph.Graph.t ->

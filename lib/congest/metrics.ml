@@ -11,6 +11,9 @@ type span_report = {
   r_duplicated : int;
   r_retransmits : int;
   r_crashed : int;
+  r_arrived : int;
+  r_departed : int;
+  r_inserted : int;
 }
 
 type t = {
@@ -26,6 +29,9 @@ type t = {
   duplicated : int;
   retransmits : int;
   crashed : int;
+  arrived : int;
+  departed : int;
+  inserted : int;
   edge_peaks : (int * int) list;
   span_reports : span_report list;
   notes : (string * int) list;
@@ -55,6 +61,9 @@ let report tr =
             r_duplicated = 0;
             r_retransmits = 0;
             r_crashed = 0;
+            r_arrived = 0;
+            r_departed = 0;
+            r_inserted = 0;
           }
       in
       Hashtbl.replace by_name s.Trace.name
@@ -71,6 +80,9 @@ let report tr =
           r_duplicated = r.r_duplicated + st.Trace.s_duplicated;
           r_retransmits = r.r_retransmits + st.Trace.s_retransmits;
           r_crashed = r.r_crashed + st.Trace.s_crashed;
+          r_arrived = r.r_arrived + st.Trace.s_arrived;
+          r_departed = r.r_departed + st.Trace.s_departed;
+          r_inserted = r.r_inserted + st.Trace.s_inserted;
         })
     (Trace.spans tr);
   let delivered = ref 0
@@ -80,7 +92,10 @@ let report tr =
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0
-  and crashed = ref 0 in
+  and crashed = ref 0
+  and arrived = ref 0
+  and departed = ref 0
+  and inserted = ref 0 in
   List.iter
     (fun (ri : Engine.Sink.round_info) ->
       delivered := !delivered + ri.delivered;
@@ -90,7 +105,10 @@ let report tr =
       dropped := !dropped + ri.dropped;
       duplicated := !duplicated + ri.duplicated;
       retransmits := !retransmits + ri.retransmits;
-      crashed := !crashed + ri.crashed)
+      crashed := !crashed + ri.crashed;
+      arrived := !arrived + ri.arrived;
+      departed := !departed + ri.departed;
+      inserted := !inserted + ri.inserted)
     (Trace.rounds tr);
   {
     rounds = Trace.clock tr;
@@ -105,6 +123,9 @@ let report tr =
     duplicated = !duplicated;
     retransmits = !retransmits;
     crashed = !crashed;
+    arrived = !arrived;
+    departed = !departed;
+    inserted = !inserted;
     edge_peaks = Trace.edge_peak_hist tr;
     span_reports = List.rev_map (Hashtbl.find by_name) !order;
     notes = Trace.notes tr;
@@ -143,6 +164,9 @@ let pp ppf r =
   if r.dropped + r.duplicated + r.retransmits + r.crashed > 0 then
     Format.fprintf ppf "@,faults: dropped %d  duplicated %d  retransmits %d  crashed %d"
       r.dropped r.duplicated r.retransmits r.crashed;
+  if r.arrived + r.departed + r.inserted > 0 then
+    Format.fprintf ppf "@,dynamic: arrived %d  departed %d  inserted %d"
+      r.arrived r.departed r.inserted;
   if r.span_reports <> [] then begin
     Format.fprintf ppf "@,@[<v 2>spans:";
     List.iter

@@ -15,6 +15,9 @@ type span_report = {
   r_duplicated : int;
   r_retransmits : int;
   r_crashed : int;   (** nodes fail-stopped by churn during the spans *)
+  r_arrived : int;   (** dormant nodes brought online during the spans *)
+  r_departed : int;  (** graceful departures during the spans *)
+  r_inserted : int;  (** reserved edges brought up during the spans *)
 }
 
 type t = {
@@ -30,6 +33,9 @@ type t = {
   duplicated : int;
   retransmits : int;
   crashed : int;        (** total nodes fail-stopped by churn *)
+  arrived : int;        (** total dormant nodes brought online *)
+  departed : int;       (** total graceful departures *)
+  inserted : int;       (** total reserved edges brought up *)
   edge_peaks : (int * int) list;
       (** congestion histogram: [(peak width, edges at that peak)] *)
   span_reports : span_report list;

@@ -73,8 +73,10 @@ let k_domination g ~k centers =
 
 (* Domination of the churned graph: only surviving nodes, only edges with
    both directions up and both endpoints alive, judged per surviving
-   component. *)
-let eventual_k_domination g ~alive ~dead_edges ~centers ~bound =
+   component.  [extra] adds undirected edges absent from [g] (capacity
+   brought online by [Engine.Churn] Edge_add events); they obey the same
+   [alive]/[dead_edges] filters as base edges. *)
+let eventual_k_domination ?(extra = []) g ~alive ~dead_edges ~centers ~bound =
   let check = "eventual-k-domination" in
   let n = Graph.n g in
   if Array.length alive <> n then
@@ -84,8 +86,20 @@ let eventual_k_domination g ~alive ~dead_edges ~centers ~bound =
     List.iter
       (fun (s, d) -> Hashtbl.replace dead (min s d, max s d) ())
       dead_edges;
+    let extra_adj = Array.make (max 1 n) [] in
+    List.iter
+      (fun (a, b) ->
+        if a < 0 || a >= n || b < 0 || b >= n then
+          invalid_arg "Oracle: extra edge endpoint outside the node range";
+        extra_adj.(a) <- b :: extra_adj.(a);
+        extra_adj.(b) <- a :: extra_adj.(b))
+      extra;
     let usable v u =
       alive.(v) && alive.(u) && not (Hashtbl.mem dead (min v u, max v u))
+    in
+    let iter_nbrs v f =
+      Array.iter (fun (u, _) -> f u) (Graph.neighbors g v);
+      List.iter f extra_adj.(v)
     in
     let bfs dist seeds =
       let q = Queue.create () in
@@ -98,13 +112,11 @@ let eventual_k_domination g ~alive ~dead_edges ~centers ~bound =
         seeds;
       while not (Queue.is_empty q) do
         let v = Queue.pop q in
-        Array.iter
-          (fun (u, _) ->
+        iter_nbrs v (fun u ->
             if usable v u && dist.(u) < 0 then begin
               dist.(u) <- dist.(v) + 1;
               Queue.add u q
             end)
-          (Graph.neighbors g v)
       done
     in
     List.iter
@@ -124,13 +136,11 @@ let eventual_k_domination g ~alive ~dead_edges ~centers ~bound =
         Queue.add v0 q;
         while not (Queue.is_empty q) do
           let v = Queue.pop q in
-          Array.iter
-            (fun (u, _) ->
+          iter_nbrs v (fun u ->
               if usable v u && comp.(u) < 0 then begin
                 comp.(u) <- v0;
                 Queue.add u q
               end)
-            (Graph.neighbors g v)
         done
       end
     done;

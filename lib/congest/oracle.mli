@@ -41,6 +41,7 @@ val k_domination : Graph.t -> k:int -> int list -> failure list
 (** [radius_within ~bound:k] under its paper name. *)
 
 val eventual_k_domination :
+  ?extra:(int * int) list ->
   Graph.t ->
   alive:bool array ->
   dead_edges:(int * int) list ->
@@ -55,7 +56,12 @@ val eventual_k_domination :
     surviving graph, judged per surviving component.  A component with no
     live center fails once (with a member as witness); a covered
     component fails per node beyond the bound, with the distance as
-    witness.  Dead centers are ignored; crashed nodes are exempt. *)
+    witness.  Dead centers are ignored; crashed nodes are exempt.
+
+    [extra] lists undirected edges {e not} present in [g] — reserved
+    capacity brought online by [Engine.Churn.Edge_add] — which count as
+    usable links under the same [alive]/[dead_edges] filters, so the
+    oracle judges the post-insertion graph. *)
 
 val size_within : n:int -> k:int -> ?ceil:bool -> int list -> failure list
 (** [|D| <= max 1 (floor (n/(k+1)))] (the paper's target), or the

@@ -16,13 +16,13 @@ type config = {
   horizon : int;
 }
 
-let tag_hb = 0 (* [tag; dominator id] *)
+let tag_hb = 0 (* [tag; dominator id; depth of sender] *)
 let tag_attach = 1 (* [tag] — orphan looking for a cluster *)
 let tag_welcome = 2 (* [tag; dominator id; depth of sender] *)
 let tag_adopted = 3 (* [tag] — sender took us as its parent *)
 let tag_newdom = 4 (* [tag; wave id; depth of sender] *)
 
-(* Word budget: WELCOME and NEWDOM carry [| tag; id; depth |] — 3 words. *)
+(* Word budget: HB, WELCOME and NEWDOM carry [| tag; id; depth |] — 3 words. *)
 let max_words = 3
 
 type phase = Member | Orphan | Takeover
@@ -43,6 +43,7 @@ type state = {
   attach_deadline : int;
   suspected_at : int;   (* first round the lease was missed; -1 = never *)
   repaired_at : int;    (* last round a dominator was (re)gained; -1 = never *)
+  reparented : int;     (* opportunistic parent switches onto shorter paths *)
   hb_sent : int;
   repair_sent : int;
   next_wake : int;
@@ -59,7 +60,11 @@ let validate_plan g plan =
   for v = 0 to n - 1 do
     let p = plan.parent.(v) in
     if p = -1 then begin
-      if plan.dominator.(v) <> v then
+      (* [dominator = -1; parent = -1; depth = 0] is the joiner sentinel:
+         a node (e.g. one arriving mid-run) with no cluster yet, started
+         as an orphan that ATTACHes on its first step.  Any other
+         parentless node must be a cluster root. *)
+      if plan.dominator.(v) <> v && plan.dominator.(v) <> -1 then
         invalid_arg
           (Printf.sprintf "Repair: root %d of the cluster tree is not its dominator" v);
       if plan.depth.(v) <> 0 then
@@ -97,19 +102,21 @@ let algorithm g cfg : state Engine.algorithm =
     if p >= 0 then children_of.(p) <- v :: children_of.(p)
   done;
   let init _g v =
+    let joiner = plan.dominator.(v) = -1 && plan.parent.(v) = -1 in
     {
       neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
-      phase = Member;
+      phase = (if joiner then Orphan else Member);
       dom = plan.dominator.(v);
       parent = plan.parent.(v);
       depth = plan.depth.(v);
       children = children_of.(v);
       deadline = (lease * beta) + plan.depth.(v);
       last_hb = 0;
-      attach_left = 0;
+      attach_left = (if joiner then 2 else 0);
       attach_deadline = 0;
       suspected_at = -1;
       repaired_at = -1;
+      reparented = 0;
       hb_sent = 0;
       repair_sent = 0;
       next_wake = 0;
@@ -125,19 +132,22 @@ let algorithm g cfg : state Engine.algorithm =
       let can_send = r < horizon - 1 in
       let out = ref [] in
       let hb_sent = ref st.hb_sent and repair_sent = ref st.repair_sent in
-      let send_hb u dom =
-        out := (u, [| tag_hb; dom |]) :: !out;
+      let send_hb u dom depth =
+        out := (u, [| tag_hb; dom; depth |]) :: !out;
         incr hb_sent
       in
       let send_rep u p =
         out := (u, p) :: !out;
         incr repair_sent
       in
-      (* One pass over the inbox.  HB is accepted from the current parent
-         only; WELCOME is meaningful only to an orphan; competing NEWDOM
-         waves reduce to the strongest one. *)
+      (* One pass over the inbox.  HB from the current parent renews the
+         lease; HB from anyone else in the same cluster is a re-parenting
+         offer when it proves a strictly shorter path to the dominator;
+         WELCOME is meaningful only to an orphan; competing NEWDOM waves
+         reduce to the strongest one. *)
       let attachers = ref [] and adopters = ref [] in
       let hb = ref None in
+      let best_reparent = ref None in
       let best_welcome = ref None in
       let best_newdom = ref None in
       Engine.Inbox.iter
@@ -145,7 +155,20 @@ let algorithm g cfg : state Engine.algorithm =
           match p.(0) with
           | t when t = tag_attach -> attachers := u :: !attachers
           | t when t = tag_adopted -> adopters := u :: !adopters
-          | t when t = tag_hb -> if u = st.parent then hb := Some p.(1)
+          | t when t = tag_hb ->
+            if u = st.parent then hb := Some (p.(1), p.(2))
+            else if
+              st.phase = Member && st.parent >= 0 && p.(1) = st.dom
+              && st.dom >= 0
+              && p.(2) + 1 < st.depth
+            then begin
+              let better =
+                match !best_reparent with
+                | None -> true
+                | Some (d, s, _) -> (p.(2), u) < (d, s)
+              in
+              if better then best_reparent := Some (p.(2), u, p.(1))
+            end
           | t when t = tag_welcome ->
             (* the depth cap guarantees the lease argument terminates: in a
                region with no live dominator every re-adoption strictly
@@ -183,18 +206,21 @@ let algorithm g cfg : state Engine.algorithm =
       let children = List.filter (fun u -> not (List.mem u attachers)) children in
       let st = { st with children } in
       (* Lease renewal: a heartbeat from the parent refreshes the deadline,
-         updates the dominator id (corrections propagate down the tree) and
-         confirms a takeover-wave member as a settled cluster member. *)
+         updates the dominator id and depth (corrections propagate down the
+         tree) and confirms a takeover-wave member as a settled cluster
+         member. *)
       let forward = ref false in
       let st =
         match !hb with
-        | Some dom when st.phase <> Orphan && st.parent >= 0 ->
+        | Some (dom, pd) when st.phase <> Orphan && st.parent >= 0 ->
           forward := true;
           let repaired_at = if st.phase = Takeover then r else st.repaired_at in
+          let depth = pd + 1 in
           {
             st with
             dom;
-            deadline = r + (lease * beta) + st.depth;
+            depth;
+            deadline = r + (lease * beta) + depth;
             last_hb = r;
             phase = Member;
             repaired_at;
@@ -327,12 +353,50 @@ let algorithm g cfg : state Engine.algorithm =
         in
         if adopted then finish st
         else begin
+          (* Opportunistic re-parenting: a fresh heartbeat from a
+             same-cluster neighbor at strictly smaller depth proves a
+             shorter tree path (an inserted edge, or a shortcut the old
+             plan missed).  The adopter's depth strictly decreases at
+             every switch and the offer's depth was sent one round ago, so
+             even simultaneous switches cannot form a cycle. *)
+          let reparent_to, st =
+            match !best_reparent with
+            | Some (pd, u, dom)
+              when st.phase = Member && st.parent >= 0 && dom = st.dom
+                   && pd + 1 < st.depth ->
+              let depth = pd + 1 in
+              ( Some u,
+                {
+                  st with
+                  parent = u;
+                  depth;
+                  deadline = r + (lease * beta) + depth;
+                  last_hb = r;
+                  reparented = st.reparented + 1;
+                  children = List.filter (fun c -> c <> u) st.children;
+                } )
+            | _ -> (None, st)
+          in
           if can_send then begin
+            (match reparent_to with
+            | Some u -> send_rep u [| tag_adopted |]
+            | None -> ());
             (* Heartbeats: a dominator (original or takeover) emits a wave
-               every [beta] rounds; everyone else relays the parent's. *)
-            if st.parent = -1 && r mod beta = 0 then
-              List.iter (fun c -> send_hb c st.dom) st.children
-            else if !forward then List.iter (fun c -> send_hb c st.dom) st.children;
+               every [beta] rounds; everyone else relays the parent's.  The
+               wave is broadcast to every neighbor — non-children read the
+               carried depth as a re-parenting offer — except attachers
+               (their one frame this round is the WELCOME), the parent,
+               and a just-adopted new parent (one frame per edge per
+               round). *)
+            let skip u =
+              u = st.parent
+              || List.mem u attachers
+              || (match reparent_to with Some p -> u = p | None -> false)
+            in
+            if (st.parent = -1 && r mod beta = 0) || !forward then
+              List.iter
+                (fun u -> if not (skip u) then send_hb u st.dom st.depth)
+                st.neighbors;
             (* WELCOME only while vouching is honest: the depth cap plus
                heartbeat freshness.  A dominator vouches for itself; anyone
                else must have heard a real heartbeat within its own lease —
@@ -371,6 +435,7 @@ type report = {
   suspicions : int;
   first_suspect : int;
   last_repair : int;
+  reparents : int;
   hb_frames : int;
   repair_frames : int;
 }
@@ -379,6 +444,7 @@ let decode states =
   let suspicions = ref 0 in
   let first_suspect = ref (-1) in
   let last_repair = ref (-1) in
+  let reparents = ref 0 in
   let hb_frames = ref 0 in
   let repair_frames = ref 0 in
   Array.iter
@@ -389,6 +455,7 @@ let decode states =
           first_suspect := st.suspected_at
       end;
       if st.repaired_at > !last_repair then last_repair := st.repaired_at;
+      reparents := !reparents + st.reparented;
       hb_frames := !hb_frames + st.hb_sent;
       repair_frames := !repair_frames + st.repair_sent)
     states;
@@ -399,6 +466,7 @@ let decode states =
     suspicions = !suspicions;
     first_suspect = !first_suspect;
     last_repair = !last_repair;
+    reparents = !reparents;
     hb_frames = !hb_frames;
     repair_frames = !repair_frames;
   }
@@ -422,6 +490,7 @@ let run ?trace ?sink ?degrade ?churn ?max_rounds e cfg =
   | None -> ()
   | Some t ->
     Trace.note t "repair.suspicions" rep.suspicions;
+    Trace.note t "repair.reparents" rep.reparents;
     Trace.note t "repair.hb_frames" rep.hb_frames;
     Trace.note t "repair.repair_frames" rep.repair_frames;
     if rep.first_suspect >= 0 then begin

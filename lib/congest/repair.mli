@@ -8,10 +8,25 @@
     notices.  This module layers a detector and a bounded local repair on
     top of any such partition:
 
-    - {e Heartbeats}: every dominator emits a heartbeat wave over its
-      cluster tree every [beta] rounds; members relay it to their subtree.
-      A heartbeat carries the dominator id, so later corrections (a
-      takeover, a cluster merge) propagate at wave speed.
+    - {e Heartbeats}: every dominator emits a heartbeat wave every [beta]
+      rounds; members that hear their parent's wave relay it.  A
+      heartbeat carries the dominator id and the sender's tree depth, and
+      is broadcast to {e every} neighbor (not just children), so later
+      corrections (a takeover, a cluster merge, a depth change) propagate
+      at wave speed and every member continuously advertises its distance
+      to the dominator.
+    - {e Re-parenting}: a member that hears a same-cluster heartbeat from
+      a non-parent at depth [d] with [d + 1] strictly below its own depth
+      switches its parent to the sender — the one-frame ADOPTED
+      handshake.  This is how an inserted edge ({!Engine.Churn.Edge_add})
+      that shortens a cluster path is exploited without any rebuild, and
+      it keeps tree depths near the true cluster radius under churn.
+      Depth strictly decreases at every switch, so switches terminate and
+      cannot form cycles.
+    - {e Join}: a plan entry [dominator = -1; parent = -1; depth = 0]
+      (the {e joiner sentinel}) starts the node as a born orphan — an
+      arriving node ({!Engine.Churn.Arrive}) ATTACHes on its first step
+      and adopts the closest WELCOME, exactly the reattach path below.
     - {e Leases}: a member that misses heartbeats for [lease * beta + depth]
       rounds declares itself {e orphaned} — its dominator, or the tree path
       to it, is gone.  The [+ depth] slack absorbs the wave's propagation
@@ -37,9 +52,10 @@
       under repeated churn.
 
     All frames fit in {!max_words} = 3 words of [O(log n)] bits, and a
-    churn-free execution generates heartbeat traffic only — zero
-    suspicions, zero repair frames, final dominator/parent/depth exactly
-    the input plan (asserted by the quiescence tests).
+    churn-free execution from a BFS-shaped plan generates heartbeat
+    traffic only — zero suspicions, zero repair frames (asserted by the
+    quiescence tests; re-parenting fires only when the plan left a
+    strictly shorter path unused).
 
     The run is horizon-bounded: every node halts at round [horizon], so
     one execution observes a fixed window of churn and repair.  Use
@@ -85,7 +101,7 @@ type config = {
 val default_dmax : plan -> int
 
 val max_words : int
-(** Declared word budget: the widest frames (WELCOME, NEWDOM) are
+(** Declared word budget: the widest frames (HB, WELCOME, NEWDOM) are
     [| tag; id; depth |] — 3 words. *)
 
 type state
@@ -93,7 +109,10 @@ type state
 
 val validate_plan : Graph.t -> plan -> unit
 (** Raises [Invalid_argument] unless the plan is a forest of rooted trees
-    over graph edges with consistent depths and per-tree dominators. *)
+    over graph edges with consistent depths and per-tree dominators.
+    Entries carrying the joiner sentinel ([dominator = -1; parent = -1;
+    depth = 0]) are accepted: such nodes start orphaned and join via
+    ATTACH/WELCOME. *)
 
 val algorithm : Graph.t -> config -> state Engine.algorithm
 (** The node program, exposed for differential testing
@@ -110,6 +129,8 @@ type report = {
   first_suspect : int;     (** earliest suspicion round; -1 = none *)
   last_repair : int;       (** latest round a node (re)gained a dominator;
                                -1 = none *)
+  reparents : int;         (** opportunistic parent switches onto strictly
+                               shorter cluster paths *)
   hb_frames : int;         (** heartbeat frames sent (steady-state cost) *)
   repair_frames : int;     (** ATTACH/WELCOME/ADOPTED/NEWDOM frames sent *)
 }

@@ -51,12 +51,16 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
   let node_crashed v =
     match churn with Some c -> Engine.Churn.crashed c v | None -> false
   in
+  let node_dormant v =
+    match churn with Some c -> Engine.Churn.dormant c v | None -> false
+  in
   let all_halted () =
     !pending = 0
     &&
     let ok = ref true in
     for v = 0 to n - 1 do
-      if not (algo.halted states.(v) || node_crashed v) then ok := false
+      if not (algo.halted states.(v) || node_crashed v || node_dormant v) then
+        ok := false
     done;
     !ok
   in
@@ -67,10 +71,10 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
        crash loses the frames in flight to the node, an edge going down
        loses the frame it was carrying *)
     let churn_dropped = ref 0 in
-    let newly_crashed = ref 0 in
+    let delta = ref Engine.Churn.no_delta in
     (match churn with
     | Some c ->
-      newly_crashed := Engine.Churn.advance c ~round:!round;
+      delta := Engine.Churn.advance c ~round:!round;
       for v = 0 to n - 1 do
         if Engine.Churn.crashed c v then
           List.iter
@@ -107,7 +111,7 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
     for v = 0 to n - 1 do
       let inbox = delivered.(v) in
       if inbox <> [] then incr receivers;
-      if node_crashed v then ()
+      if node_crashed v || node_dormant v then ()
       else if algo.halted states.(v) then begin
         if inbox <> [] then
           raise
@@ -129,7 +133,10 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
                    (Printf.sprintf "round %d: node %d sent to non-neighbor %d" !round v u));
             let churn_dead =
               match churn with
-              | Some c -> Engine.Churn.edge_down c ~src:v ~dst:u || Engine.Churn.crashed c u
+              | Some c ->
+                Engine.Churn.edge_down c ~src:v ~dst:u
+                || Engine.Churn.crashed c u
+                || Engine.Churn.dormant c u
               | None -> false
             in
             if churn_dead then begin
@@ -176,7 +183,10 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
           dropped = !churn_dropped;
           duplicated = 0;
           retransmits = 0;
-          crashed = !newly_crashed;
+          crashed = (!delta).Engine.Churn.d_crashed;
+          arrived = (!delta).Engine.Churn.d_arrived;
+          departed = (!delta).Engine.Churn.d_departed;
+          inserted = (!delta).Engine.Churn.d_inserted;
         };
     incr round
   done;

@@ -18,6 +18,9 @@ type span_stats = {
   s_duplicated : int;
   s_retransmits : int;
   s_crashed : int;
+  s_arrived : int;
+  s_departed : int;
+  s_inserted : int;
 }
 
 (* Growable buffer of round records, kept in ascending clock order. *)
@@ -37,6 +40,9 @@ let dummy_round : Engine.Sink.round_info =
     duplicated = 0;
     retransmits = 0;
     crashed = 0;
+    arrived = 0;
+    departed = 0;
+    inserted = 0;
   }
 
 type t = {
@@ -210,7 +216,10 @@ let span_stats t s =
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0
-  and crashed = ref 0 in
+  and crashed = ref 0
+  and arrived = ref 0
+  and departed = ref 0
+  and inserted = ref 0 in
   for i = i0 to i1 - 1 do
     let r = t.buf.rb.(i) in
     delivered := !delivered + r.delivered;
@@ -220,7 +229,10 @@ let span_stats t s =
     dropped := !dropped + r.dropped;
     duplicated := !duplicated + r.duplicated;
     retransmits := !retransmits + r.retransmits;
-    crashed := !crashed + r.crashed
+    crashed := !crashed + r.crashed;
+    arrived := !arrived + r.arrived;
+    departed := !departed + r.departed;
+    inserted := !inserted + r.inserted
   done;
   {
     s_rounds = stop - s.start_round;
@@ -232,6 +244,9 @@ let span_stats t s =
     s_duplicated = !duplicated;
     s_retransmits = !retransmits;
     s_crashed = !crashed;
+    s_arrived = !arrived;
+    s_departed = !departed;
+    s_inserted = !inserted;
   }
 
 let messages t = t.msgs
@@ -261,7 +276,7 @@ let notes t = List.rev t.notes_rev
 (* ------------------------------------------------------------------ *)
 (* export *)
 
-let schema_version = "kdom.trace.v1.3"
+let schema_version = "kdom.trace.v1.4"
 
 let escape name =
   let b = Buffer.create (String.length name) in
@@ -284,6 +299,9 @@ type totals = {
   t_duplicated : int;
   t_retransmits : int;
   t_crashed : int;
+  t_arrived : int;
+  t_departed : int;
+  t_inserted : int;
 }
 
 let totals t =
@@ -294,7 +312,10 @@ let totals t =
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0
-  and crashed = ref 0 in
+  and crashed = ref 0
+  and arrived = ref 0
+  and departed = ref 0
+  and inserted = ref 0 in
   for i = 0 to t.buf.rlen - 1 do
     let r = t.buf.rb.(i) in
     delivered := !delivered + r.delivered;
@@ -304,7 +325,10 @@ let totals t =
     dropped := !dropped + r.dropped;
     duplicated := !duplicated + r.duplicated;
     retransmits := !retransmits + r.retransmits;
-    crashed := !crashed + r.crashed
+    crashed := !crashed + r.crashed;
+    arrived := !arrived + r.arrived;
+    departed := !departed + r.departed;
+    inserted := !inserted + r.inserted
   done;
   {
     t_delivered = !delivered;
@@ -315,6 +339,9 @@ let totals t =
     t_duplicated = !duplicated;
     t_retransmits = !retransmits;
     t_crashed = !crashed;
+    t_arrived = !arrived;
+    t_departed = !departed;
+    t_inserted = !inserted;
   }
 
 let to_jsonl t =
@@ -333,11 +360,13 @@ let to_jsonl t =
            "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"depth\":%d,\
             \"track\":%d,\"start\":%d,\"end\":%d,\"rounds\":%d,\"delivered\":%d,\
             \"words\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
-            \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d}\n"
+            \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d,\
+            \"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
            s.id s.parent (escape s.name) s.depth s.track s.start_round
            (if s.stop_round < 0 then t.clock else s.stop_round)
            st.s_rounds st.s_delivered st.s_words st.s_skipped st.s_woken
-           st.s_dropped st.s_duplicated st.s_retransmits st.s_crashed))
+           st.s_dropped st.s_duplicated st.s_retransmits st.s_crashed
+           st.s_arrived st.s_departed st.s_inserted))
     spans;
   for i = 0 to t.buf.rlen - 1 do
     let r = t.buf.rb.(i) in
@@ -346,9 +375,10 @@ let to_jsonl t =
          "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
           \"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\"woken\":%d,\
           \"sent\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d,\
-          \"crashed\":%d}\n"
+          \"crashed\":%d,\"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
          r.round r.delivered r.delivered_words r.receivers r.stepped r.skipped
-         r.woken r.sent r.dropped r.duplicated r.retransmits r.crashed)
+         r.woken r.sent r.dropped r.duplicated r.retransmits r.crashed
+         r.arrived r.departed r.inserted)
   done;
   List.iter
     (fun (name, v) ->
@@ -362,10 +392,11 @@ let to_jsonl t =
        "{\"type\":\"summary\",\"clock\":%d,\"rounds\":%d,\"spans\":%d,\
         \"messages\":%d,\"delivered\":%d,\"words\":%d,\"peak_words\":%d,\
         \"budget\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
-        \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d}\n"
+        \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d,\
+        \"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
        t.clock t.buf.rlen (List.length spans) t.msgs tt.t_delivered tt.t_words
        t.peak t.budget tt.t_skipped tt.t_woken tt.t_dropped tt.t_duplicated
-       tt.t_retransmits tt.t_crashed);
+       tt.t_retransmits tt.t_crashed tt.t_arrived tt.t_departed tt.t_inserted);
   Buffer.contents b
 
 let export_jsonl t oc =
@@ -457,13 +488,14 @@ let int_fields = function
       [
         "id"; "parent"; "depth"; "track"; "start"; "end"; "rounds"; "delivered";
         "words"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
-        "crashed";
+        "crashed"; "arrived"; "departed"; "inserted";
       ]
   | "round" ->
     Some
       [
         "round"; "delivered"; "words"; "receivers"; "stepped"; "skipped"; "woken";
-        "sent"; "dropped"; "duplicated"; "retransmits"; "crashed";
+        "sent"; "dropped"; "duplicated"; "retransmits"; "crashed"; "arrived";
+        "departed"; "inserted";
       ]
   | "note" -> Some [ "value" ]
   | "summary" ->
@@ -471,7 +503,7 @@ let int_fields = function
       [
         "clock"; "rounds"; "spans"; "messages"; "delivered"; "words"; "peak_words";
         "budget"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
-        "crashed";
+        "crashed"; "arrived"; "departed"; "inserted";
       ]
   | _ -> None
 

@@ -54,6 +54,15 @@ type span_stats = {
   s_retransmits : int;
   s_crashed : int;
       (** nodes fail-stopped by a churn schedule during the span *)
+  s_arrived : int;
+      (** dormant nodes brought online ({!Engine.Churn} [Arrive]) during
+          the span *)
+  s_departed : int;
+      (** nodes that gracefully left ({!Engine.Churn} [Depart]) during the
+          span *)
+  s_inserted : int;
+      (** reserved edges brought up ({!Engine.Churn} [Edge_add]) during
+          the span *)
 }
 
 val create : unit -> t
@@ -157,11 +166,13 @@ val notes : t -> (string * int) list
 (** {2 Export} *)
 
 val schema_version : string
-(** The JSONL schema identifier, ["kdom.trace.v1.3"].  v1.1 added the
+(** The JSONL schema identifier, ["kdom.trace.v1.4"].  v1.1 added the
     frontier counters ([skipped]/[woken]) to the [round], [span] and
     [summary] records; v1.2 adds the churn counter ([crashed]) to the
     same three records; v1.3 adds the executor domain count ([shards])
-    to the [meta] record.  Any change to the record shapes below bumps
+    to the [meta] record; v1.4 adds the dynamic-graph counters
+    ([arrived]/[departed]/[inserted]) to the [round], [span] and
+    [summary] records.  Any change to the record shapes below bumps
     this string and the golden files. *)
 
 val to_jsonl : t -> string

@@ -1,0 +1,85 @@
+(** End-to-end dynamic-graph maintenance: the core-layer wiring of
+    {!Kdom_congest.Dynamic}.
+
+    The congest layer owns the incremental machinery (windowed repair
+    executions, checkpoint normalization, radius watchdog) but cannot
+    depend on this library, so its two centralized callbacks are injected
+    from here:
+
+    - {e local rebuild} ({!rebuild_cluster}): when the watchdog flags a
+      cluster, run [DiamDOM] on a BFS spanning tree of each surviving
+      component of the cluster's induced subgraph and carve the members
+      into nearest-dominator clusters — the centralized mirror of an
+      in-cluster redomination, charged the DiamDOM rounds (max across
+      components, which rebuild in parallel);
+    - {e recompute pricing} ({!recompute_rounds}): the counterfactual
+      from-scratch [FastDOM_G] on every surviving component (max across
+      components), which is what the incremental path is benchmarked
+      against.
+
+    {!scenario} builds the whole dynamic workload deterministically from a
+    seed: the union graph (base + arriving nodes + reserved insertion
+    edges), the initial FastDOM plan (joiner sentinel at reserved nodes)
+    and the churn script.  {!run} executes it — shared by [kdom_cli
+    dynamic] and [bench dynamic]. *)
+
+open Kdom_graph
+open Kdom_congest
+
+type scenario = {
+  union : Graph.t;  (** base graph + reserved nodes and edges *)
+  base_n : int;     (** nodes present from round 0 *)
+  k : int;
+  plan : Repair.plan;   (** initial FastDOM plan over the union id space *)
+  centers0 : int list;  (** initial dominators, ascending *)
+  fastdom_rounds : int; (** cost of the initial static construction *)
+  script : Faults.script;
+}
+
+val rebuild_cluster :
+  Graph.t ->
+  k:int ->
+  plan:Repair.plan ->
+  members:int list ->
+  down:(int * int) list ->
+  int
+(** Re-dominate one cluster in place on the surviving induced subgraph
+    (union graph minus [down] edges); returns the charged rounds.  The
+    [rebuild] callback for {!Kdom_congest.Dynamic.run}. *)
+
+val recompute_rounds :
+  Graph.t -> k:int -> alive:bool array -> down:(int * int) list -> int
+(** Price a from-scratch FastDOM_G of the surviving graph, per component
+    (components below the size floor cost one BFS).  The [recompute]
+    callback for {!Kdom_congest.Dynamic.run}. *)
+
+val scenario :
+  ?arrivals:int ->
+  ?insertions:int ->
+  ?cuts:int ->
+  ?crashes:int ->
+  ?departs:int ->
+  ?bursts:int ->
+  ?quiescence:int ->
+  Graph.t ->
+  k:int ->
+  seed:int ->
+  scenario
+(** Build a deterministic dynamic workload over connected [base] (which
+    must meet the FastDOM size floor [n >= max 2 (k+1)]).  Arriving nodes
+    (default 0) are appended after the base ids and wired to one or two
+    random existing nodes; insertions (default 0) reserve fresh non-edges
+    between base nodes; cuts/crashes/departs (default 0) hit random base
+    edges/nodes (at most [n-1] nodes churned).  [bursts] (default 4) and
+    [quiescence] (default 12) shape the script ({!Faults.churn_script},
+    seeded with [seed + 1]).  Raises [Invalid_argument] when the request
+    cannot be satisfied. *)
+
+val default_config : scenario -> Dynamic.config
+(** [beta = max 2 (k+1)], [lease = 2], [dmax = Repair.default_dmax],
+    a settle window covering detection plus the attach/takeover tail, and
+    a watchdog bound of [max (2*dmax) (4k+4)] — O(k) for FastDOM plans. *)
+
+val run : ?config:Dynamic.config -> scenario -> Dynamic.report
+(** Execute the scenario under {!Kdom_congest.Dynamic.run} with the two
+    callbacks above; [config] defaults to {!default_config}. *)

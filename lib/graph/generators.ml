@@ -48,6 +48,49 @@ let hidden_path ~rng ~n ~shortcuts =
   done;
   Graph.of_edges ~n !edges
 
+let preferential_attachment ~rng ~n ~m =
+  if n < 1 then invalid_arg "Generators.preferential_attachment";
+  if m < 1 || (n > 1 && m >= n) then
+    invalid_arg "Generators.preferential_attachment: need 1 <= m < n";
+  (* Barabási–Albert by endpoint multiset: every accepted edge pushes both
+     endpoints into the pool, so a uniform draw from the pool is a
+     degree-proportional draw.  Each joining node is seeded once so early
+     nodes with no edges yet remain reachable targets. *)
+  let pool = ref (Array.make (max 16 (4 * n * m)) 0) in
+  let pool_len = ref 0 in
+  let push v =
+    if !pool_len = Array.length !pool then begin
+      let bigger = Array.make (2 * Array.length !pool) 0 in
+      Array.blit !pool 0 bigger 0 !pool_len;
+      pool := bigger
+    end;
+    !pool.(!pool_len) <- v;
+    incr pool_len
+  in
+  push 0;
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    let wanted = min i m in
+    let chosen = Hashtbl.create wanted in
+    (* the pool only holds nodes < i, so every draw is a valid target;
+       rejection only dedups, and at most [i] distinct targets exist *)
+    while Hashtbl.length chosen < wanted do
+      let t = !pool.(Rng.int rng !pool_len) in
+      if not (Hashtbl.mem chosen t) then Hashtbl.replace chosen t ()
+    done;
+    let targets =
+      Hashtbl.fold (fun t () acc -> t :: acc) chosen [] |> List.sort compare
+    in
+    List.iter
+      (fun t ->
+        edges := (t, i) :: !edges;
+        push t;
+        push i)
+      targets;
+    push i
+  done;
+  build ~rng ~n (List.rev !edges)
+
 let reweight ~rng g =
   let ws = distinct_weights ~rng (Graph.m g) in
   Graph.of_edge_array ~n:(Graph.n g)

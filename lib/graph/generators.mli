@@ -74,6 +74,14 @@ val hidden_path : rng:Rng.t -> n:int -> shortcuts:int -> Graph.t
     is exactly the regime where [FastMST]'s [O(sqrt(n) log* n + Diam)]
     beats [O(n)]-ish fragment algorithms. *)
 
+val preferential_attachment : rng:Rng.t -> n:int -> m:int -> Graph.t
+(** Barabási–Albert preferential attachment: each node [i >= 1] attaches
+    [min i m] edges to distinct earlier nodes drawn with probability
+    proportional to degree (endpoint-multiset draw, every joining node
+    seeded once).  Power-law degree tail, diameter [O(log n)] — the
+    dynamic-bench family whose hubs make dominator crashes maximally
+    disruptive.  Connected by construction.  Requires [1 <= m < n]. *)
+
 val random_geometric : rng:Rng.t -> n:int -> radius:float -> Graph.t
 (** Random geometric graph: [n] points uniform on the unit square, nodes
     within [radius] adjacent, made connected by a random spanning skeleton

@@ -378,6 +378,109 @@ let test_validate_plan_rejects () =
       depth = [| 0; 1; 2; 3 |];
     }
 
+(* A node crash and a cut of one of its incident tree edges in the same
+   round must compose deterministically: same-round events apply in
+   (round, list-position) order before any send of that round, so both
+   orderings of the pair produce bit-identical executions — sequential
+   and sharded alike.  The crash boundary is half-open in rounds exactly
+   like [Faults]'s float windows: the node is down {e at} the crash
+   round, so no suspicion can precede it. *)
+let test_crash_and_cut_same_round () =
+  let g = Generators.random_tree ~rng:(Rng.create 37) 16 in
+  let plan = plan_of g ~k:2 in
+  (* the busiest dominator and one of its cluster-tree children *)
+  let count = Array.make (Graph.n g) 0 in
+  Array.iter (fun d -> count.(d) <- count.(d) + 1) plan.dominator;
+  let dom = ref 0 in
+  Array.iteri (fun v c -> if c > count.(!dom) then dom := v) count;
+  let child = ref (-1) in
+  Array.iteri (fun v p -> if p = !dom then child := v) plan.parent;
+  if !child < 0 then Alcotest.fail "busiest dominator has no tree child";
+  let at = 7 in
+  let crash = Engine.Churn.Crash { node = !dom; at } in
+  let cut =
+    [
+      Engine.Churn.Edge_down { src = !dom; dst = !child; at };
+      Engine.Churn.Edge_down { src = !child; dst = !dom; at };
+    ]
+  in
+  let cfg =
+    { Repair.plan; beta = 3; lease = 2; dmax = Repair.default_dmax plan; horizon = 200 }
+  in
+  let exec events domains =
+    let saved = !Engine.default_domains in
+    Fun.protect
+      ~finally:(fun () -> Engine.default_domains := saved)
+      (fun () ->
+        Engine.default_domains := domains;
+        let e = Engine.create g in
+        let churn = Engine.Churn.compile e events in
+        let states, _ = Repair.run ~churn e cfg in
+        (states, churn))
+  in
+  let states, churn = exec (crash :: cut) 1 in
+  let rep = Repair.decode states in
+  if rep.first_suspect >= 0 && rep.first_suspect < at then
+    Alcotest.failf "suspicion at round %d precedes the crash round %d"
+      rep.first_suspect at;
+  check_survivors_dominated ~what:"crash + cut, same round" g rep churn
+    ~bound:(Graph.n g);
+  (* the two orderings of the same-round pair are indistinguishable *)
+  let states_swapped, _ = exec (cut @ [ crash ]) 1 in
+  if states <> states_swapped then
+    Alcotest.fail "same-round crash and cut are order-sensitive";
+  (* and the sharded engine sees the identical composition *)
+  let states_4, _ = exec (crash :: cut) 4 in
+  if states <> states_4 then
+    Alcotest.fail "same-round crash and cut differ at domains=4"
+
+(* A churn script with zero events drives [Dynamic] through a single
+   quiet window that must be heartbeat-only: no suspicions, no repair
+   frames, no re-parenting, no watchdog — and exactly the frame counts
+   of a bare quiescent [Repair.run] under the same config. *)
+let prop_empty_script_heartbeat_only =
+  QCheck2.Test.make ~name:"dynamic: empty churn script is heartbeat-only"
+    ~count:15 (QCheck2.Gen.int_bound 10_000) (fun seed ->
+      let n = 8 + (seed mod 10) in
+      let g = Generators.random_tree ~rng:(Rng.create seed) n in
+      let k = 1 + (seed mod 3) in
+      let plan = plan_of g ~k in
+      let script =
+        Faults.churn_script g ~seed ~arrivals:[] ~insertions:[] ~cuts:[]
+          ~crashes:[] ~departs:[] ()
+      in
+      let beta = 2 + (seed mod 2) and lease = 2 in
+      let dmax = Repair.default_dmax plan in
+      let settle = 40 in
+      let cfg = Dynamic.{ plan; beta; lease; dmax; settle; bound = n } in
+      let rep =
+        Dynamic.run
+          ~rebuild:(fun ~plan:_ ~members:_ ~down:_ ->
+            Alcotest.fail "watchdog fired on a quiescent script")
+          ~recompute:(fun ~alive:_ ~down:_ -> 0)
+          g cfg script
+      in
+      let w =
+        match rep.Dynamic.windows with
+        | [ w ] -> w
+        | ws -> Alcotest.failf "expected one window, got %d" (List.length ws)
+      in
+      Alcotest.(check int) "no suspicions" 0 w.Dynamic.w_suspicions;
+      Alcotest.(check int) "no repair frames" 0 w.Dynamic.w_repair_frames;
+      Alcotest.(check int) "no re-parenting" 0 w.Dynamic.w_reparents;
+      Alcotest.(check int) "no repair latency" 0 w.Dynamic.w_repair_latency;
+      (* frame-for-frame the quiescent baseline *)
+      let rcfg = { Repair.plan; beta; lease; dmax; horizon = settle } in
+      let states, _ =
+        Repair.run ~max_rounds:(settle + 2) (Engine.create g) rcfg
+      in
+      let base = Repair.decode states in
+      Alcotest.(check int) "heartbeat count matches the quiescent baseline"
+        base.hb_frames w.Dynamic.w_hb_frames;
+      Alcotest.(check (array int)) "plan untouched" plan.dominator
+        rep.Dynamic.final_plan.Repair.dominator;
+      true)
+
 (* The headline property: random tree, random k, seeded churn ending by
    round [last]; once the dust settles every surviving component must again
    be dominated by a live center — reattached across cluster boundaries or
@@ -438,9 +541,14 @@ let () =
             test_dominator_crash;
           Alcotest.test_case "tree-edge cut forces takeover" `Quick
             test_tree_edge_cut;
+          Alcotest.test_case "crash + incident cut, same round" `Quick
+            test_crash_and_cut_same_round;
           Alcotest.test_case "validate_plan rejects bad forests" `Quick
             test_validate_plan_rejects;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_self_healing ] );
+        [
+          QCheck_alcotest.to_alcotest prop_self_healing;
+          QCheck_alcotest.to_alcotest prop_empty_script_heartbeat_only;
+        ] );
     ]
