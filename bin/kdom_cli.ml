@@ -637,6 +637,141 @@ let centers_t =
     (Cmd.info "centers" ~doc:"Server placement and directory replication.")
     Term.(const centers_cmd $ family_arg $ n_arg $ k_arg $ seed_arg)
 
+(* serve: drive a request workload through the cluster forest *)
+
+let serve_plan g ~k =
+  if Tree.is_tree g then
+    Kdom.Dom_partition.repair_plan g (Kdom.Dom_partition.run g ~k)
+  else
+    let dom = Kdom.Fastdom_graph.run g ~k in
+    Kdom.Cluster.plan_of_partition dom.partition
+
+let serve_cmd family n k seed mix_name requests window crashes retries domains
+    trace_file validate =
+  set_domains domains;
+  let open Kdom_congest in
+  let g = make_graph ~family ~n ~seed in
+  describe g;
+  let plan = serve_plan g ~k in
+  let mix =
+    match mix_name with
+    | "uniform" -> Kdom.Workload.uniform
+    | "hotspot" -> Kdom.Workload.hotspot
+    | other -> invalid_arg (Printf.sprintf "unknown mix %S (uniform, hotspot)" other)
+  in
+  let reqs = Kdom.Workload.generate g plan mix ~seed:(seed + 1) ~requests ~window in
+  let dmax = Array.fold_left max 0 plan.Repair.depth in
+  let retry_after = (4 * dmax) + 8 in
+  let horizon = window + ((retries + 1) * retry_after) + requests + 8 in
+  let cfg = { Serve.plan; requests = reqs; horizon; retry_after; retries } in
+  Format.printf "plan: max depth %d; %d requests (%s) over window %d, horizon %d@."
+    dmax requests mix_name window horizon;
+  let e = Engine.create g in
+  let tr = make_trace trace_file in
+  Option.iter (fun t -> Trace.set_shards t domains) tr;
+  let failures =
+    if crashes = 0 then begin
+      let states, stats = Serve.run ?trace:tr e cfg in
+      let rep = Serve.decode cfg states in
+      Format.printf
+        "run: %d rounds, %d frames, queue peak %d; answered %d, rejected %d, \
+         lost %d (%d local, %d retries)@."
+        stats.Engine.rounds rep.Serve.frames rep.Serve.queue_peak
+        rep.Serve.answered rep.Serve.rejected rep.Serve.lost rep.Serve.local
+        rep.Serve.retries_used;
+      Format.printf "latency p50/p99 = %d/%d rounds, hops p50/p99 = %d/%d@."
+        (Serve.percentile rep.Serve.latencies 50)
+        (Serve.percentile rep.Serve.latencies 99)
+        (Serve.percentile rep.Serve.hop_counts 50)
+        (Serve.percentile rep.Serve.hop_counts 99);
+      if validate then Serve.check g cfg rep else []
+    end
+    else begin
+      let beta = max 2 (k + 1) and lease = 2 in
+      let last = window in
+      let events =
+        Faults.random_churn g ~seed:(seed + 3) ~crashes ~edge_cuts:0 ~last
+      in
+      let settle = last + (2 * ((lease * beta) + (3 * dmax) + 12)) + Graph.n g in
+      let h = Serve.with_repair ?trace:tr ~beta ~lease ~settle e cfg ~churn:events in
+      Format.printf
+        "phase 1 (under %d crashes): answered %d, rejected %d, lost %d; \
+         repair: %d suspicions, %d reparents@."
+        crashes h.Serve.phase1.Serve.answered h.Serve.phase1.Serve.rejected
+        h.Serve.phase1.Serve.lost h.Serve.repair.Repair.suspicions
+        h.Serve.repair.Repair.reparents;
+      (match h.Serve.phase2 with
+      | None -> Format.printf "phase 2: nothing survived unanswered@."
+      | Some p2 ->
+        Format.printf
+          "phase 2 (healed forest): %d re-injected; answered %d, rejected %d, \
+           lost %d@."
+          (Array.length h.Serve.retried)
+          p2.Serve.answered p2.Serve.rejected p2.Serve.lost);
+      if validate then Serve.check_handover g cfg h else []
+    end
+  in
+  write_trace tr trace_file;
+  if validate then begin
+    match failures with
+    | [] -> Format.printf "oracle: ok@."
+    | fs ->
+      List.iter
+        (fun f -> Format.printf "oracle FAILED [%s]: %s@." f.Oracle.check f.Oracle.detail)
+        fs;
+      exit 1
+  end
+
+let serve_t =
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:"Workload mix: uniform (60/20/20, no skew) or hotspot (Zipf origins).")
+  in
+  let requests_arg =
+    Arg.(value & opt int 500 & info [ "requests" ] ~docv:"R" ~doc:"Requests to inject.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"W" ~doc:"Injection window in rounds.")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"N"
+          ~doc:
+            "Crash $(docv) nodes mid-traffic, heal the forest with the repair \
+             layer and re-inject the lost requests against it.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N" ~doc:"Origin re-sends per request after the first.")
+  in
+  let validate_flag =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Check the run against the serving oracle (exact round trips \
+             churn-free; eventual service across the repair handover) and \
+             exit non-zero on failure.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive a synthetic lookup/publish/route workload through the cluster \
+          forest on the CONGEST engine, with per-request latency and hop \
+          accounting; optionally crash dominators mid-traffic and hand \
+          requests over to the healed forest.")
+    Term.(
+      const serve_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ mix_arg
+      $ requests_arg $ window_arg $ crashes_arg $ retries_arg $ domains_arg
+      $ trace_file_arg $ validate_flag)
+
 (* live dynamic-graph maintenance: a seeded churn script (arrivals,
    insertions, cuts, crashes, departures in bursts) maintained by the
    incremental repair layer, priced against a full recompute *)
@@ -717,4 +852,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t; trace_t; dynamic_t ]))
+          [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t; trace_t; dynamic_t; serve_t ]))

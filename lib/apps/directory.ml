@@ -14,14 +14,24 @@ type costs = {
   max_lookup : int;
   avg_lookup : float;
   update_cost : int;
+  reachable : int;
+  unreachable_copies : int;
 }
 
-let place g ~k =
-  let dom = Fastdom_graph.run g ~k in
-  let copies = dom.dominating in
+let of_copies g ~k ~copies =
+  let n = Graph.n g in
+  if copies = [] then invalid_arg "Directory.of_copies: no copies";
+  List.iter
+    (fun c ->
+      if c < 0 || c >= n then invalid_arg "Directory.of_copies: copy out of range")
+    copies;
   let nearest = Domination.dominator_assignment g copies in
   let lookup_dist = (Traversal.bfs_multi g copies).dist in
   { graph = g; k; copies; nearest; lookup_dist }
+
+let place g ~k =
+  let dom = Fastdom_graph.run g ~k in
+  of_copies g ~k ~copies:dom.dominating
 
 let lookup d v = (d.nearest.(v), d.lookup_dist.(v))
 
@@ -29,29 +39,48 @@ let lookup d v = (d.nearest.(v), d.lookup_dist.(v))
    prefix that spans all copies — the union of root-to-copy paths in a BFS
    tree rooted at the first copy (a 2-approximate Steiner tree on hop
    counts). *)
-let update_cost (d : directory) =
+let update_cost_stats (d : directory) =
   match d.copies with
-  | [] -> 0
+  | [] -> (0, 0)
   | root :: _ ->
     let b = Traversal.bfs d.graph root in
     let marked = Hashtbl.create 64 in
-    let count = ref 0 in
+    let count = ref 0 and unreachable = ref 0 in
     List.iter
       (fun copy ->
-        let v = ref copy in
-        while !v <> root && not (Hashtbl.mem marked !v) do
-          Hashtbl.replace marked !v ();
-          incr count;
-          v := b.parent.(!v)
-        done)
+        (* a copy in another component has no root-to-copy path: its parent
+           chain bottoms out at -1 before reaching the root, so walking it
+           would index out of bounds — count it instead of spanning it *)
+        if b.dist.(copy) = max_int then incr unreachable
+        else begin
+          let v = ref copy in
+          while !v <> root && not (Hashtbl.mem marked !v) do
+            Hashtbl.replace marked !v ();
+            incr count;
+            v := b.parent.(!v)
+          done
+        end)
       d.copies;
-    !count
+    (!count, !unreachable)
 
 let evaluate d =
-  let n = Graph.n d.graph in
+  let reachable = ref 0 and sum = ref 0 and mx = ref 0 in
+  Array.iter
+    (fun dist ->
+      if dist < max_int then begin
+        incr reachable;
+        sum := !sum + dist;
+        if dist > !mx then mx := dist
+      end)
+    d.lookup_dist;
+  let update_cost, unreachable_copies = update_cost_stats d in
   {
     copies = List.length d.copies;
-    max_lookup = Array.fold_left max 0 d.lookup_dist;
-    avg_lookup = float_of_int (Array.fold_left ( + ) 0 d.lookup_dist) /. float_of_int n;
-    update_cost = update_cost d;
+    max_lookup = !mx;
+    avg_lookup =
+      (if !reachable = 0 then 0.
+       else float_of_int !sum /. float_of_int !reachable);
+    update_cost;
+    reachable = !reachable;
+    unreachable_copies;
   }

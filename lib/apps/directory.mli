@@ -20,15 +20,35 @@ type directory = {
 
 type costs = {
   copies : int;
-  max_lookup : int;          (** [<= k] by construction *)
-  avg_lookup : float;
-  update_cost : int;         (** edges of the BFS tree spanning the copies *)
+  max_lookup : int;          (** [<= k] by construction; over reachable
+                                 nodes only *)
+  avg_lookup : float;        (** mean over reachable nodes — nodes with no
+                                 copy in their component carry a [max_int]
+                                 sentinel distance and are excluded *)
+  update_cost : int;         (** edges of the BFS tree spanning the
+                                 reachable copies *)
+  reachable : int;           (** nodes with a finite lookup distance *)
+  unreachable_copies : int;  (** copies in a different component than the
+                                 update tree's root, left out of
+                                 [update_cost] *)
 }
 
 val place : Graph.t -> k:int -> directory
-(** Copies on the [FastDOM_G] k-dominating set. *)
+(** Copies on the [FastDOM_G] k-dominating set (requires a connected
+    graph — the [FastDOM_G] precondition). *)
+
+val of_copies : Graph.t -> k:int -> copies:int list -> directory
+(** A directory over a hand-picked copy set — the constructor for
+    disconnected or churn-censored graphs, where {!place} cannot run.
+    Nodes with no copy in their component get [nearest = -1] and a
+    [max_int] lookup distance.  Raises [Invalid_argument] on an empty or
+    out-of-range copy list. *)
 
 val lookup : directory -> int -> int * int
-(** [lookup d v] = [(copy, hops)]. *)
+(** [lookup d v] = [(copy, hops)] — [(-1, max_int)] when no copy is
+    reachable from [v]. *)
 
 val evaluate : directory -> costs
+(** Total-cost summary.  Unreachable nodes and copies are excluded from
+    the averages and counted in [reachable] / [unreachable_copies]
+    instead of poisoning them with sentinel distances. *)

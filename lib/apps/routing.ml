@@ -20,11 +20,12 @@ type report = {
   avg_table : float;
   max_table : int;
   pairs : int;
+  reachable : int;
 }
 
-let build g ~k =
-  let dom = Fastdom_graph.run g ~k in
-  let partition = dom.partition in
+exception Unreachable of { src : int; dst : int }
+
+let of_partition g ~k partition =
   let cluster_of = Cluster.cluster_of_array partition in
   let centers =
     Array.of_list (List.map (fun (c : Cluster.t) -> c.center) partition.clusters)
@@ -40,6 +41,10 @@ let build g ~k =
     Array.init n (fun v -> cluster_sizes.(cluster_of.(v)) + Array.length centers)
   in
   { graph = g; k; partition; cluster_of; centers; table_entries; towards }
+
+let build g ~k =
+  let dom = Fastdom_graph.run g ~k in
+  of_partition g ~k dom.partition
 
 (* Shortest path from [src] to [dst] inside the member set of a cluster. *)
 let intra_path scheme ~src ~dst =
@@ -60,8 +65,7 @@ let intra_path scheme ~src ~dst =
         end)
       (Graph.neighbors scheme.graph v)
   done;
-  if not (Hashtbl.mem parent dst) then
-    invalid_arg "Routing.intra_path: cluster not connected";
+  if not (Hashtbl.mem parent dst) then raise (Unreachable { src; dst });
   let rec walk v acc = if v = -1 then acc else walk (Hashtbl.find parent v) (v :: acc) in
   walk dst []
 
@@ -71,11 +75,16 @@ let route scheme ~src ~dst =
     else begin
       let ci = scheme.cluster_of.(dst) in
       let center = scheme.centers.(ci) in
-      (* leg 1: climb the center's BFS tree *)
+      (* leg 1: climb the center's BFS tree; a source in another component
+         carries the -1 parent sentinel, which used to index out of
+         bounds — surface it as a typed failure instead *)
       let leg1 =
         let rec go v acc =
           if v = center then List.rev (v :: acc)
-          else go scheme.towards.(ci).(v) (v :: acc)
+          else
+            let next = scheme.towards.(ci).(v) in
+            if next < 0 then raise (Unreachable { src; dst })
+            else go next (v :: acc)
         in
         go src []
       in
@@ -92,25 +101,34 @@ let route scheme ~src ~dst =
   in
   { path; hops; shortest; stretch }
 
+let route_opt scheme ~src ~dst =
+  match route scheme ~src ~dst with
+  | r -> Some r
+  | exception Unreachable _ -> None
+
 let evaluate ~rng scheme ~pairs =
   let n = Graph.n scheme.graph in
-  let total = ref 0.0 and worst = ref 1.0 and count = ref 0 in
+  let total = ref 0.0 and worst = ref 1.0 and count = ref 0 and reached = ref 0 in
   for _i = 1 to pairs do
     let src = Rng.int rng n and dst = Rng.int rng n in
     if src <> dst then begin
-      let r = route scheme ~src ~dst in
-      total := !total +. r.stretch;
-      worst := Float.max !worst r.stretch;
-      incr count
+      incr count;
+      match route_opt scheme ~src ~dst with
+      | Some r ->
+        incr reached;
+        total := !total +. r.stretch;
+        worst := Float.max !worst r.stretch
+      | None -> ()
     end
   done;
   let entries = Array.fold_left ( + ) 0 scheme.table_entries in
   {
-    avg_stretch = (if !count = 0 then 1.0 else !total /. float_of_int !count);
+    avg_stretch = (if !reached = 0 then 1.0 else !total /. float_of_int !reached);
     max_stretch = !worst;
     avg_table = float_of_int entries /. float_of_int n;
     max_table = Array.fold_left max 0 scheme.table_entries;
     pairs = !count;
+    reachable = !reached;
   }
 
 let full_table_size g = Graph.n g

@@ -28,22 +28,42 @@ type scheme = {
 
 type route = { path : int list; hops : int; shortest : int; stretch : float }
 
+exception Unreachable of { src : int; dst : int }
+(** No route exists: the endpoints are in different components (or a
+    hand-built cluster is not induced-connected).  Before this existed,
+    cross-component pairs walked the [-1] BFS-parent sentinel straight
+    out of the [towards] arrays. *)
+
 val build : Graph.t -> k:int -> scheme
-(** Runs [FastDOM_G] and assembles the tables. *)
+(** Runs [FastDOM_G] and assembles the tables (requires a connected
+    graph — the [FastDOM_G] precondition). *)
+
+val of_partition : Graph.t -> k:int -> Cluster.partition -> scheme
+(** Assemble the tables over a hand-built partition — the constructor
+    for disconnected graphs (one cluster per component, say), where
+    {!build} cannot run. *)
 
 val route : scheme -> src:int -> dst:int -> route
-(** Deliver hop by hop using only table information. *)
+(** Deliver hop by hop using only table information.  Raises
+    {!Unreachable} when no route exists. *)
+
+val route_opt : scheme -> src:int -> dst:int -> route option
+(** {!route} with [None] instead of {!Unreachable}. *)
 
 type report = {
   avg_stretch : float;
   max_stretch : float;
   avg_table : float;
   max_table : int;
-  pairs : int;
+  pairs : int;       (** distinct pairs sampled *)
+  reachable : int;   (** pairs that actually routed — cross-component
+                         pairs are skipped, not averaged in as sentinel
+                         stretches *)
 }
 
 val evaluate : rng:Rng.t -> scheme -> pairs:int -> report
-(** Stretch statistics over uniformly sampled source/destination pairs. *)
+(** Stretch statistics over uniformly sampled source/destination pairs;
+    averages are over the [reachable] pairs only. *)
 
 val full_table_size : Graph.t -> int
 (** [n] — the per-node cost of shortest-path routing, the baseline. *)

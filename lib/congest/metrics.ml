@@ -35,6 +35,7 @@ type t = {
   edge_peaks : (int * int) list;
   span_reports : span_report list;
   notes : (string * int) list;
+  hists : (string * (int * int) list) list;
 }
 
 let report tr =
@@ -129,6 +130,7 @@ let report tr =
     edge_peaks = Trace.edge_peak_hist tr;
     span_reports = List.rev_map (Hashtbl.find by_name) !order;
     notes = Trace.notes tr;
+    hists = Trace.histograms tr;
   }
 
 let within_budget r =
@@ -179,6 +181,15 @@ let pp ppf r =
   if r.notes <> [] then begin
     Format.fprintf ppf "@,@[<v 2>notes:";
     List.iter (fun (k, v) -> Format.fprintf ppf "@,%s = %d" k v) r.notes;
+    Format.fprintf ppf "@]"
+  end;
+  if r.hists <> [] then begin
+    Format.fprintf ppf "@,@[<v 2>histograms:";
+    List.iter
+      (fun (k, buckets) ->
+        Format.fprintf ppf "@,%s =" k;
+        List.iter (fun (v, c) -> Format.fprintf ppf " %d:%d" v c) buckets)
+      r.hists;
     Format.fprintf ppf "@]"
   end;
   Format.fprintf ppf "@]"

@@ -41,6 +41,9 @@ type t = {
   span_reports : span_report list;
       (** one per distinct span name, in first-appearance order *)
   notes : (string * int) list;
+  hists : (string * (int * int) list) list;
+      (** named [(value, count)] histograms ({!Trace.histogram}) — e.g.
+          the serving layer's latency / hop / edge-load distributions *)
 }
 
 val report : Trace.t -> t

@@ -58,6 +58,7 @@ type t = {
   mutable budget : int;           (* -1 = unset *)
   mutable shards : int;           (* executor domain count; 1 = sequential *)
   mutable notes_rev : (string * int) list;
+  mutable hists_rev : (string * (int * int) list) list;
 }
 
 let create () =
@@ -74,6 +75,7 @@ let create () =
     budget = -1;
     shards = 1;
     notes_rev = [];
+    hists_rev = [];
   }
 
 let clock t = t.clock
@@ -182,6 +184,13 @@ let add_span t ?(track = 0) ~name ~start_round ~stop_round () =
 let note t name value =
   t.notes_rev <- (name, value) :: List.remove_assoc name t.notes_rev
 
+let histogram t name buckets =
+  List.iter
+    (fun (_, c) ->
+      if c < 0 then invalid_arg "Trace.histogram: negative bucket count")
+    buckets;
+  t.hists_rev <- (name, buckets) :: List.remove_assoc name t.hists_rev
+
 let set_budget t w = if w > t.budget then t.budget <- w
 let budget t = if t.budget < 0 then None else Some t.budget
 
@@ -272,11 +281,12 @@ let edge_peak_hist t =
   Hashtbl.fold (fun p c acc -> (p, c) :: acc) h [] |> List.sort compare
 
 let notes t = List.rev t.notes_rev
+let histograms t = List.rev t.hists_rev
 
 (* ------------------------------------------------------------------ *)
 (* export *)
 
-let schema_version = "kdom.trace.v1.4"
+let schema_version = "kdom.trace.v1.5"
 
 let escape name =
   let b = Buffer.create (String.length name) in
@@ -386,6 +396,14 @@ let to_jsonl t =
         (Printf.sprintf "{\"type\":\"note\",\"name\":\"%s\",\"value\":%d}\n"
            (escape name) v))
     (notes t);
+  List.iter
+    (fun (name, buckets) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"type\":\"hist\",\"name\":\"%s\",\"buckets\":[%s]}\n"
+           (escape name)
+           (String.concat ","
+              (List.map (fun (v, c) -> Printf.sprintf "[%d,%d]" v c) buckets))))
+    (histograms t);
   let tt = totals t in
   Buffer.add_string b
     (Printf.sprintf
@@ -457,6 +475,14 @@ let has_int_field line key =
     if j < llen && (line.[j] = '-' || (line.[j] >= '0' && line.[j] <= '9')) then Ok ()
     else Error (Printf.sprintf "field %S is not an integer" key)
 
+let has_array_field line key =
+  let pat = Printf.sprintf "\"%s\":[" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then false else String.sub line i plen = pat || find (i + 1)
+  in
+  if find 0 then Ok () else Error (Printf.sprintf "missing array field %S" key)
+
 let has_string_field line key =
   let pat = Printf.sprintf "\"%s\":\"" key in
   let plen = String.length pat and llen = String.length line in
@@ -498,6 +524,7 @@ let int_fields = function
         "departed"; "inserted";
       ]
   | "note" -> Some [ "value" ]
+  | "hist" -> Some []
   | "summary" ->
     Some
       [
@@ -509,8 +536,10 @@ let int_fields = function
 
 let string_fields = function
   | "meta" -> [ "schema" ]
-  | "span" | "note" -> [ "name" ]
+  | "span" | "note" | "hist" -> [ "name" ]
   | _ -> []
+
+let array_fields = function "hist" -> [ "buckets" ] | _ -> []
 
 let validate_line ?(first = false) line =
   let ( let* ) = Result.bind in
@@ -544,9 +573,14 @@ let validate_line ?(first = false) line =
     else Ok ()
   in
   let* () = List.fold_left (fun acc k -> Result.bind acc (fun () -> has_int_field line k)) (Ok ()) ints in
+  let* () =
+    List.fold_left
+      (fun acc k -> Result.bind acc (fun () -> has_string_field line k))
+      (Ok ()) (string_fields ty)
+  in
   List.fold_left
-    (fun acc k -> Result.bind acc (fun () -> has_string_field line k))
-    (Ok ()) (string_fields ty)
+    (fun acc k -> Result.bind acc (fun () -> has_array_field line k))
+    (Ok ()) (array_fields ty)
 
 let validate_lines lines =
   let rec go i last_ty = function

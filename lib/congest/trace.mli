@@ -112,6 +112,13 @@ val note : t -> string -> int -> unit
 (** Attach a named scalar to the trace summary (fault-layer totals, frame
     counts...).  Re-noting a name overwrites it. *)
 
+val histogram : t -> string -> (int * int) list -> unit
+(** Attach a named [(value, count)] histogram to the trace — request
+    latency and hop-count distributions, per-edge load ({!Serve}), or any
+    other empirical distribution a protocol wants recorded.  Exported as a
+    [hist] JSONL record.  Re-recording a name overwrites it; raises
+    [Invalid_argument] on a negative count. *)
+
 val set_budget : t -> int -> unit
 (** Declare the per-message word budget in force; kept as the maximum over
     all declarations, compared against the observed peak by {!Metrics}. *)
@@ -163,24 +170,30 @@ val edge_peak_hist : t -> (int * int) list
 val notes : t -> (string * int) list
 (** Notes in insertion order. *)
 
+val histograms : t -> (string * (int * int) list) list
+(** Named histograms in insertion order. *)
+
 (** {2 Export} *)
 
 val schema_version : string
-(** The JSONL schema identifier, ["kdom.trace.v1.4"].  v1.1 added the
+(** The JSONL schema identifier, ["kdom.trace.v1.5"].  v1.1 added the
     frontier counters ([skipped]/[woken]) to the [round], [span] and
     [summary] records; v1.2 adds the churn counter ([crashed]) to the
     same three records; v1.3 adds the executor domain count ([shards])
     to the [meta] record; v1.4 adds the dynamic-graph counters
     ([arrived]/[departed]/[inserted]) to the [round], [span] and
-    [summary] records.  Any change to the record shapes below bumps
-    this string and the golden files. *)
+    [summary] records; v1.5 adds the [hist] record ({!histogram} —
+    named [(value, count)] distributions, e.g. the serving layer's
+    latency / hop-count / edge-load histograms).  Any change to the
+    record shapes below bumps this string and the golden files. *)
 
 val to_jsonl : t -> string
 (** The versioned JSONL trace: a [meta] line, one [span] line per span
     (start-round order), one [round] line per buffered round record with
     {e every} field present (fault counters included, always — the schema
-    is homogeneous by construction), [note] lines, and a final [summary]
-    line.  All values are integers, so output is bit-deterministic. *)
+    is homogeneous by construction), [note] lines, [hist] lines, and a
+    final [summary] line.  All values are integers, so output is
+    bit-deterministic. *)
 
 val export_jsonl : t -> out_channel -> unit
 

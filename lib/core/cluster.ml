@@ -99,6 +99,44 @@ let write_tree host c ~parent ~depth =
         invalid_arg "Cluster.write_tree: induced subgraph disconnected")
     c.members
 
+let plan_of_partition p =
+  let n = Graph.n p.host in
+  let dominator = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun c ->
+      List.iter (fun v -> dominator.(v) <- c.center) c.members;
+      write_tree p.host c ~parent ~depth)
+    p.clusters;
+  { Kdom_congest.Repair.dominator; parent; depth }
+
+let plan_of_centers g centers =
+  let n = Graph.n g in
+  if centers = [] then invalid_arg "Cluster.plan_of_centers: no centers";
+  List.iter
+    (fun c ->
+      if c < 0 || c >= n then
+        invalid_arg "Cluster.plan_of_centers: center out of range")
+    centers;
+  let b = Traversal.bfs_multi g centers in
+  let dominator = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  List.iter (fun c -> dominator.(c) <- c) centers;
+  (* visit order guarantees a node's BFS parent is finished first, so
+     ownership flows outward from each center; unreachable nodes keep the
+     joiner sentinel (-1, -1, 0) *)
+  Array.iter
+    (fun v ->
+      if b.Traversal.dist.(v) > 0 then begin
+        parent.(v) <- b.Traversal.parent.(v);
+        depth.(v) <- b.Traversal.dist.(v);
+        dominator.(v) <- dominator.(b.Traversal.parent.(v))
+      end)
+    b.Traversal.order;
+  { Kdom_congest.Repair.dominator; parent; depth }
+
 let induced g members =
   let members = Array.of_list members in
   let local = Hashtbl.create (Array.length members) in

@@ -46,6 +46,24 @@ val write_tree : Graph.t -> t -> parent:int array -> depth:int array -> unit
     [Invalid_argument] if the induced subgraph is disconnected.  Building
     block of [Dom_partition.repair_plan]. *)
 
+val plan_of_partition : partition -> Kdom_congest.Repair.plan
+(** Materialize a partition as a serving/repair plan: every member points
+    at its cluster's center through a {!write_tree} BFS tree.  Works on
+    disconnected hosts as long as each cluster's induced subgraph is
+    connected (raises otherwise) — the hand-built counterpart of
+    [Dom_partition.repair_plan] for partitions that did not come out of
+    the FastDOM pipeline. *)
+
+val plan_of_centers : Graph.t -> int list -> Kdom_congest.Repair.plan
+(** Voronoi plan around a center list: each node joins its nearest center
+    (ties by BFS visit order) with the multi-source BFS tree as cluster
+    tree, so [depth] is the true hop distance to the dominator.  Nodes
+    unreachable from every center keep the joiner sentinel
+    [(-1, -1, 0)].  Centralized and O(m) — the cheap way to stand up a
+    servable forest at benchmark scale (millions of nodes) where the
+    full FastDOM construction is not the thing being measured.  Raises
+    [Invalid_argument] on an empty or out-of-range center list. *)
+
 val induced : Graph.t -> int list -> Graph.t * int array
 (** [induced g members] extracts the subgraph induced by [members] with
     nodes renumbered [0 .. |members|-1]; returns it with the

@@ -1,0 +1,78 @@
+open Kdom_graph
+module Serve = Kdom_congest.Serve
+
+type mix = { lookups : int; publishes : int; routes : int; zipf : float }
+
+let uniform = { lookups = 60; publishes = 20; routes = 20; zipf = 0. }
+let hotspot = { uniform with zipf = 1.2 }
+
+(* Draw from a cumulative weight table by binary search. *)
+let draw_cum rng cum =
+  let total = cum.(Array.length cum - 1) in
+  let u = Rng.float rng total in
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) <= u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let generate g (plan : Kdom_congest.Repair.plan) mix ~seed ~requests ~window =
+  if requests < 0 then invalid_arg "Workload.generate: requests < 0";
+  if window < 1 then invalid_arg "Workload.generate: window < 1";
+  if mix.lookups < 0 || mix.publishes < 0 || mix.routes < 0 then
+    invalid_arg "Workload.generate: negative mix weight";
+  if mix.lookups + mix.publishes + mix.routes <= 0 then
+    invalid_arg "Workload.generate: mix has no positive weight";
+  if mix.zipf < 0. then invalid_arg "Workload.generate: negative zipf exponent";
+  let n = Graph.n g in
+  if n = 0 && requests > 0 then
+    invalid_arg "Workload.generate: empty graph cannot host requests";
+  let rng = Rng.create seed in
+  (* origin sampler *)
+  let pick_origin =
+    if mix.zipf = 0. then fun () -> Rng.int rng n
+    else begin
+      let ranked = Array.init n Fun.id in
+      Rng.shuffle rng ranked;
+      let cum = Array.make n 0. in
+      let acc = ref 0. in
+      for r = 0 to n - 1 do
+        acc := !acc +. (1. /. Float.of_int (r + 1) ** mix.zipf);
+        cum.(r) <- !acc
+      done;
+      fun () -> ranked.(draw_cum rng cum)
+    end
+  in
+  (* cluster member tables for route destinations *)
+  let members = Hashtbl.create 64 in
+  Array.iteri
+    (fun v d ->
+      if d >= 0 then
+        Hashtbl.replace members d (v :: Option.value ~default:[] (Hashtbl.find_opt members d)))
+    plan.dominator;
+  let members = Hashtbl.fold (fun d l acc -> (d, Array.of_list l) :: acc) members [] in
+  let members = List.to_seq members |> Hashtbl.of_seq in
+  let kind_cum =
+    [| Float.of_int mix.lookups;
+       Float.of_int (mix.lookups + mix.publishes);
+       Float.of_int (mix.lookups + mix.publishes + mix.routes) |]
+  in
+  Array.init requests (fun _ ->
+      let origin = pick_origin () in
+      let kind =
+        match draw_cum rng kind_cum with
+        | 0 -> Serve.Lookup
+        | 1 -> Serve.Publish
+        | _ ->
+          let dst =
+            match
+              if plan.dominator.(origin) < 0 then None
+              else Hashtbl.find_opt members plan.dominator.(origin)
+            with
+            | Some peers -> Rng.pick rng peers
+            | None -> origin
+          in
+          Serve.Route dst
+      in
+      { Serve.origin; kind; at = Rng.int rng window })

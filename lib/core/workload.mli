@@ -1,0 +1,45 @@
+(** Synthetic request timelines for the serving layer.
+
+    A workload turns a {!Kdom_congest.Repair.plan} (the cluster forest to
+    serve through) into a [Kdom_congest.Serve.request array]: a mix of
+    lookups, publishes and intra-cluster routes, injected at origins drawn
+    either uniformly or from a Zipf-like hotspot distribution, with
+    injection rounds uniform over a warm-up window.  Everything is
+    deterministic from the seed ({!Kdom_graph.Rng}), so benchmark rows and
+    golden traces are reproducible. *)
+
+type mix = {
+  lookups : int;   (** relative weight of {!Kdom_congest.Serve.Lookup} *)
+  publishes : int; (** relative weight of {!Kdom_congest.Serve.Publish} *)
+  routes : int;    (** relative weight of {!Kdom_congest.Serve.Route} —
+                       destinations are drawn uniformly from the origin's
+                       own cluster, so a churn-free run answers them *)
+  zipf : float;
+      (** origin skew: [0.] draws origins uniformly; [s > 0.] ranks the
+          nodes by a seeded shuffle and draws rank [r] with probability
+          proportional to [1 / (r+1)^s] — the hotspot workloads that
+          expose queueing at popular dominators *)
+}
+
+val uniform : mix
+(** 60% lookups, 20% publishes, 20% routes, no skew. *)
+
+val hotspot : mix
+(** The same kind ratios under a [zipf = 1.2] origin skew. *)
+
+val generate :
+  Kdom_graph.Graph.t ->
+  Kdom_congest.Repair.plan ->
+  mix ->
+  seed:int ->
+  requests:int ->
+  window:int ->
+  Kdom_congest.Serve.request array
+(** [generate g plan mix ~seed ~requests ~window] draws [requests]
+    requests with injection rounds uniform in [\[0, window)].  Origins
+    are drawn over all of [g]'s nodes (sentinel origins are legal — the
+    serving layer rejects them locally); route destinations are drawn
+    from the origin's cluster members, falling back to a self-route when
+    the origin is a sentinel.  Raises [Invalid_argument] when [requests
+    < 0], [window < 1], the mix has no positive weight, or [zipf] is
+    negative. *)

@@ -361,7 +361,28 @@ let golden_faulty () =
   Trace.note tr "duplicated" frep.duplicated;
   tr
 
-let golden_cases = [ ("trace_sync.jsonl", golden_sync); ("trace_faulty.jsonl", golden_faulty) ]
+(* a serving run: exercises the v1.5 [hist] records (serve.latency,
+   serve.hops, serve.edge_load) alongside notes and spans *)
+let golden_serve () =
+  let g = golden_graph () in
+  let plan = Kdom.Dom_partition.repair_plan g (Kdom.Dom_partition.run g ~k:2) in
+  let requests =
+    Kdom.Workload.generate g plan Kdom.Workload.uniform ~seed:3 ~requests:12
+      ~window:4
+  in
+  let cfg =
+    { Serve.plan; requests; horizon = 64; retry_after = 32; retries = 1 }
+  in
+  let tr = Trace.create () in
+  ignore (Serve.run ~trace:tr (Engine.create g) cfg);
+  tr
+
+let golden_cases =
+  [
+    ("trace_sync.jsonl", golden_sync);
+    ("trace_faulty.jsonl", golden_faulty);
+    ("trace_serve.jsonl", golden_serve);
+  ]
 
 (* dune runtest runs in test/, dune exec in the project root *)
 let golden_path file =
