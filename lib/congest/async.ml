@@ -352,6 +352,7 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
   let instrumented = sink != Engine.Sink.null in
   let t_delivered = Tally.create () in
   let t_words = Tally.create () in
+  let t_bits = Tally.create () in
   let t_receivers = Tally.create () in
   let t_stepped = Tally.create () in
   let t_sent = Tally.create () in
@@ -479,7 +480,8 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
         ((src, payload) :: Option.value ~default:[] (Hashtbl.find_opt nd.buffers slot));
       if instrumented then begin
         Tally.add t_delivered slot 1;
-        Tally.add t_words slot (Array.length payload)
+        Tally.add t_words slot (Array.length payload);
+        Tally.add t_bits slot (Codec.measured_bits payload)
       end;
       send_sync time ~src:dst ~dst:src (WAck src_pulse)
     | WAck pulse ->
@@ -561,6 +563,7 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
           round = p;
           delivered = Tally.get t_delivered p;
           delivered_words = Tally.get t_words p;
+          delivered_bits = Tally.get t_bits p;
           receivers = Tally.get t_receivers p;
           stepped = Tally.get t_stepped p;
           skipped = 0;

@@ -21,55 +21,127 @@ let bits_needed n =
 let default_max_words n = max 4 (2 + ((bits_needed n + word_bits - 1) / word_bits))
 let default_max_rounds n = 10_000 + (100 * n)
 
-(* Empty slots hold this sentinel.  It must be physically distinct from any
-   payload an algorithm can produce: zero-length OCaml arrays are a shared
-   atom, so the sentinel is a private 1-element array instead. *)
-let none : payload = Array.make 1 min_int
-
-(* A zero-copy view over the engine's reusable inbox arena: flat sender and
-   payload arrays, filled in sender-ascending order.  The engine reuses one
-   arena for every step, so a view is only valid for the duration of the
-   [step] call it was passed to. *)
+(* A zero-copy view over the engine's packed delivery arena: flat sender
+   and slot arrays, filled in sender-ascending order.  Each entry is either
+   a reference into the arena ([slot >= 0]: the frame lives packed at byte
+   offset [slot * a_stride]) or a boxed payload ([slot = -1], the shape
+   [of_list] builds for the reference simulator and the async layer).  The
+   engine reuses one arena for every step, so a view is only valid for the
+   duration of the [step] call it was passed to; [read] repositions a
+   shared decoder, so at most one frame is being read at a time. *)
 module Inbox = struct
   type t = {
     mutable src : int array;
-    mutable pay : payload array;
+    mutable slot : int array; (* arena slot of entry i, -1 = boxed *)
+    mutable pay : payload array; (* boxed payloads for slot = -1 entries *)
     mutable len : int;
+    (* Arena attachment, installed by the engine per delivery phase. *)
+    mutable a_data : Bytes.t;
+    mutable a_wire : int array;
+    mutable a_wlog : int array;
+    mutable a_stride : int;
+    rd : Codec.reader; (* shared repositionable frame decoder *)
+    wr : Codec.writer; (* scratch encoder for [read] on boxed entries *)
+    (* Lazy arena fill: the executors mark the stepping node instead of
+       scanning its in-ports up front; the scan runs on the first
+       accessor call, so kernels that ignore their mail this step
+       (flood-style broadcasts) never pay for it. *)
+    mutable fill_node : int; (* node awaiting a deferred fill, -1 = none *)
+    mutable filler : t -> unit; (* installed per executor *)
   }
 
-  let create ~cap () =
-    { src = Array.make (max 1 cap) 0; pay = Array.make (max 1 cap) none; len = 0 }
+  let no_fill (_ : t) = ()
 
-  let length t = t.len
-  let is_empty t = t.len = 0
+  let create ~cap () =
+    {
+      src = Array.make (max 1 cap) 0;
+      slot = Array.make (max 1 cap) (-1);
+      pay = Array.make (max 1 cap) [||];
+      len = 0;
+      a_data = Bytes.empty;
+      a_wire = [||];
+      a_wlog = [||];
+      a_stride = 0;
+      rd = Codec.reader ();
+      wr = Codec.writer ();
+      fill_node = -1;
+      filler = no_fill;
+    }
+
+  let ensure t = if t.fill_node >= 0 then t.filler t
+
+  let attach t ~data ~wire ~wlog ~stride =
+    t.a_data <- data;
+    t.a_wire <- wire;
+    t.a_wlog <- wlog;
+    t.a_stride <- stride
+
+  let length t =
+    ensure t;
+    t.len
+
+  let is_empty t =
+    ensure t;
+    t.len = 0
 
   let check t i =
+    ensure t;
     if i < 0 || i >= t.len then invalid_arg "Engine.Inbox: index out of bounds"
 
   let sender t i =
     check t i;
     t.src.(i)
 
+  let payload_unchecked t i =
+    let s = t.slot.(i) in
+    if s < 0 then t.pay.(i)
+    else
+      Codec.decode t.a_data ~base:(s * t.a_stride) ~wire:t.a_wire.(s)
+        ~words:t.a_wlog.(s)
+
   let payload t i =
     check t i;
-    t.pay.(i)
+    payload_unchecked t i
+
+  let words t i =
+    check t i;
+    let s = t.slot.(i) in
+    if s < 0 then Array.length t.pay.(i) else t.a_wlog.(s)
+
+  let read t i =
+    check t i;
+    let s = t.slot.(i) in
+    if s >= 0 then
+      Codec.attach_reader t.rd t.a_data ~base:(s * t.a_stride)
+        ~wire:t.a_wire.(s) ~words:t.a_wlog.(s)
+    else begin
+      let p = t.pay.(i) in
+      Codec.scratch_writer t.wr ~budget:(Array.length p);
+      Array.iter (Codec.put t.wr) p;
+      Codec.attach_reader t.rd (Codec.writer_bytes t.wr) ~base:0
+        ~wire:(Codec.wire t.wr) ~words:(Codec.words t.wr)
+    end;
+    t.rd
 
   let iter f t =
+    ensure t;
     for i = 0 to t.len - 1 do
-      f t.src.(i) t.pay.(i)
+      f t.src.(i) (payload_unchecked t i)
     done
 
   let fold f init t =
+    ensure t;
     let acc = ref init in
     for i = 0 to t.len - 1 do
-      acc := f !acc t.src.(i) t.pay.(i)
+      acc := f !acc t.src.(i) (payload_unchecked t i)
     done;
     !acc
 
   let to_list t =
+    ensure t;
     let acc = ref [] in
     for i = t.len - 1 downto 0 do
-      acc := (t.src.(i), t.pay.(i)) :: !acc
+      acc := (t.src.(i), payload_unchecked t i) :: !acc
     done;
     !acc
 
@@ -79,6 +151,7 @@ module Inbox = struct
     List.iter
       (fun (u, p) ->
         t.src.(t.len) <- u;
+        t.slot.(t.len) <- -1;
         t.pay.(t.len) <- p;
         t.len <- t.len + 1)
       l;
@@ -105,11 +178,102 @@ type 'st algorithm = {
 let always _ = Always
 let list_step step g ~round ~node st ib = step g ~round ~node st (Inbox.to_list ib)
 
+(* The allocation-free send path.  An emitter is a reusable cursor the
+   executor attaches to its own send machinery: [start] positions the
+   shared writer directly on the destination slot's arena region (after
+   the same non-neighbor / duplicate-edge checks the list path performs),
+   the algorithm [Codec.put]s the frame's words, and [commit] publishes
+   the frame — no payload array, no cons cell, no copy.  [frame1]..
+   [frame4] are closure-free shorthands for fixed-shape frames; [send]
+   is the closure flavor from the issue statement. *)
+module Emit = struct
+  type t = {
+    ew : Codec.writer;
+    mutable enode : int; (* current sender, set by the executor *)
+    mutable eslot : int; (* destination slot of the open frame *)
+    mutable edst : int;
+    mutable edead : bool; (* open frame targets a churn-dead endpoint *)
+    mutable eopen : bool;
+    mutable estart : t -> int -> Codec.writer; (* installed per executor *)
+    mutable ecommit : t -> unit;
+    mutable ebroadcast1 : t -> int -> unit;
+  }
+
+  let unattached : t -> int -> Codec.writer =
+   fun _ _ -> invalid_arg "Engine.Emit: emitter not attached to an executor"
+
+  let unattached_commit : t -> unit =
+   fun _ -> invalid_arg "Engine.Emit: emitter not attached to an executor"
+
+  let unattached_broadcast : t -> int -> unit =
+   fun _ _ -> invalid_arg "Engine.Emit: emitter not attached to an executor"
+
+  let make () =
+    {
+      ew = Codec.writer ();
+      enode = -1;
+      eslot = -1;
+      edst = -1;
+      edead = false;
+      eopen = false;
+      estart = unattached;
+      ecommit = unattached_commit;
+      ebroadcast1 = unattached_broadcast;
+    }
+
+  let start t ~dst = t.estart t dst
+  let commit t = t.ecommit t
+  let broadcast1 t a = t.ebroadcast1 t a
+
+  let send t ~dst f =
+    f (t.estart t dst);
+    t.ecommit t
+
+  let frame1 t ~dst a =
+    let w = t.estart t dst in
+    Codec.put w a;
+    t.ecommit t
+
+  let frame2 t ~dst a b =
+    let w = t.estart t dst in
+    Codec.put w a;
+    Codec.put w b;
+    t.ecommit t
+
+  let frame3 t ~dst a b c =
+    let w = t.estart t dst in
+    Codec.put w a;
+    Codec.put w b;
+    Codec.put w c;
+    t.ecommit t
+
+  let frame4 t ~dst a b c d =
+    let w = t.estart t dst in
+    Codec.put w a;
+    Codec.put w b;
+    Codec.put w c;
+    Codec.put w d;
+    t.ecommit t
+end
+
+type 'st ealgorithm = {
+  einit : Graph.t -> int -> 'st;
+  estep :
+    Graph.t -> round:int -> node:int -> 'st -> Inbox.t -> Emit.t -> 'st;
+  ehalted : 'st -> bool;
+  ewake : 'st -> wake;
+}
+
+(* Internal sum the executors dispatch on: both the legacy list shape and
+   the emit shape run through the same scheduling/delivery machinery. *)
+type 'st anyalg = A_list of 'st algorithm | A_emit of 'st ealgorithm
+
 module Sink = struct
   type round_info = {
     round : int;
     delivered : int;
     delivered_words : int;
+    delivered_bits : int;
     receivers : int;
     stepped : int;
     skipped : int;
@@ -171,6 +335,7 @@ module Sink = struct
       round = a.round;
       delivered = a.delivered + b.delivered;
       delivered_words = a.delivered_words + b.delivered_words;
+      delivered_bits = a.delivered_bits + b.delivered_bits;
       receivers = a.receivers + b.receivers;
       stepped = a.stepped + b.stepped;
       skipped = a.skipped + b.skipped;
@@ -190,6 +355,7 @@ module Sink = struct
       round;
       delivered = 0;
       delivered_words = 0;
+      delivered_bits = 0;
       receivers = 0;
       stepped = 0;
       skipped = 0;
@@ -245,10 +411,10 @@ module Sink = struct
           in
           Printf.fprintf oc
             "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
-             \"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\"woken\":%d,\
-             \"sent\":%d%s}\n"
-            ri.round ri.delivered ri.delivered_words ri.receivers ri.stepped
-            ri.skipped ri.woken ri.sent fault_fields);
+             \"bits\":%d,\"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\
+             \"woken\":%d,\"sent\":%d%s}\n"
+            ri.round ri.delivered ri.delivered_words ri.delivered_bits
+            ri.receivers ri.stepped ri.skipped ri.woken ri.sent fault_fields);
       on_finish = (fun () -> flush oc);
     }
 end
@@ -256,14 +422,18 @@ end
 (* One direction of the double buffer: slot-indexed payloads plus the
    bookkeeping needed to visit and clear only what was touched. *)
 type buf = {
-  slots : payload array;  (* port_count; [none] = empty *)
+  mutable data : Bytes.t; (* packed frame arena, [stride] bytes per slot;
+                             sized lazily at [exec] once max_words is known *)
+  wire : int array;       (* per slot: wire words of the frame, -1 = empty *)
+  wlog : int array;       (* per slot: logical words of the frame *)
   written : int array;    (* stack of slot ids written this round *)
   mutable wlen : int;
   count : int array;      (* per node: messages addressed to it *)
   active : int array;     (* stack of receivers with count > 0 *)
   mutable alen : int;
   mutable total : int;
-  mutable words : int;
+  mutable words : int;    (* logical words buffered *)
+  mutable bits : int;     (* measured wire bits buffered *)
 }
 
 type t = {
@@ -293,7 +463,9 @@ type t = {
 
 let make_buf ~n ~ports =
   {
-    slots = Array.make (max 1 ports) none;
+    data = Bytes.empty;
+    wire = Array.make (max 1 ports) (-1);
+    wlog = Array.make (max 1 ports) 0;
     written = Array.make (max 1 ports) 0;
     wlen = 0;
     count = Array.make (max 1 n) 0;
@@ -301,7 +473,16 @@ let make_buf ~n ~ports =
     alen = 0;
     total = 0;
     words = 0;
+    bits = 0;
   }
+
+(* Arena stride for a given per-message word budget: every logical word
+   needs at most [Codec.max_wire_words] 16-bit wire words. *)
+let stride_for ~max_words = 2 * Codec.max_wire_words * max 1 max_words
+
+let ensure_arena buf ~ports ~stride =
+  let need = max 2 (ports * stride) in
+  if Bytes.length buf.data < need then buf.data <- Bytes.create need
 
 let create g =
   let n = Graph.n g in
@@ -614,12 +795,13 @@ module Churn = struct
 end
 
 let reset_buf b =
-  Array.fill b.slots 0 (Array.length b.slots) none;
+  Array.fill b.wire 0 (Array.length b.wire) (-1);
   Array.fill b.count 0 (Array.length b.count) 0;
   b.wlen <- 0;
   b.alen <- 0;
   b.total <- 0;
-  b.words <- 0
+  b.words <- 0;
+  b.bits <- 0
 
 (* In-place heapsort of [a.(0) .. a.(len-1)]: the frontier must be stepped
    in ascending node id (the reference's visiting order), and its three
@@ -679,9 +861,17 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     reset_buf e.buf_a;
     reset_buf e.buf_b
   end;
+  let stride = stride_for ~max_words in
+  ensure_arena e.buf_a ~ports:e.ports ~stride;
+  ensure_arena e.buf_b ~ports:e.ports ~stride;
   e.running <- true;
   e.dirty <- true;
-  let states = Array.init n (fun v -> algo.init g v) in
+  let a_init, a_halted, a_wake =
+    match algo with
+    | A_list a -> (a.init, a.halted, a.wake)
+    | A_emit a -> (a.einit, a.ehalted, a.ewake)
+  in
+  let states = Array.init n (fun v -> a_init g v) in
   (* Hoisted churn views: the empty arrays are never indexed (short-circuit
      on [churn_on]), so the no-churn send path costs one extra branch. *)
   let churn_edge_down, churn_crashed, churn_dormant =
@@ -694,7 +884,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   let live = e.live and is_live = e.is_live in
   let live_len = ref 0 in
   for v = 0 to n - 1 do
-    if algo.halted states.(v) || (churn_on && churn_dormant.(v)) then
+    if a_halted states.(v) || (churn_on && churn_dormant.(v)) then
       is_live.(v) <- false
     else begin
       is_live.(v) <- true;
@@ -729,7 +919,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     e.buckets.(k) <- v :: e.buckets.(k)
   in
   let apply_wake v st r =
-    match algo.wake st with
+    match a_wake st with
     | Always ->
       if not e.is_always.(v) then begin
         e.is_always.(v) <- true;
@@ -756,12 +946,220 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   let cur = ref e.buf_a and nxt = ref e.buf_b in
   let messages = ref 0 and max_inflight = ref 0 and round = ref 0 in
   let instrumented = sink != Sink.null in
+  (* Hoisted out of the round loop so the emitter closures (created once
+     per exec) can account churn-dropped frames; reset every round. *)
+  let churn_dropped = ref 0 in
+  (* The emit fast path: one reusable emitter whose start/commit write the
+     frame straight into the send arena.  [start] performs the same checks
+     as the list path's store loop (non-neighbor, then churn-dead, then
+     duplicate edge); width is enforced by the writer budget as the frame
+     is built; [commit] publishes the slot and bumps the counters. *)
+  let em = Emit.make () in
+  (if match algo with A_emit _ -> true | A_list _ -> false then begin
+     em.Emit.estart <-
+       (fun t u ->
+         if t.Emit.eopen then
+           invalid_arg "Engine.Emit.start: frame already open";
+         let v = t.Emit.enode in
+         let slot = find_port e ~src:v ~dst:u in
+         if slot < 0 then
+           raise
+             (Congestion_violation
+                (Printf.sprintf "round %d: node %d sent to non-neighbor %d"
+                   !round v u));
+         let sd = !nxt in
+         if
+           churn_on
+           && (churn_edge_down.(slot) || churn_crashed.(u)
+              || churn_dormant.(u))
+         then
+           (* frame onto a dead port or to a crashed node: build it (the
+              width budget still applies) but never publish the slot *)
+           t.Emit.edead <- true
+         else begin
+           if sd.wire.(slot) >= 0 then
+             raise
+               (Congestion_violation
+                  (Printf.sprintf "round %d: node %d sent twice over edge to %d"
+                     !round v u));
+           t.Emit.edead <- false
+         end;
+         t.Emit.edst <- u;
+         t.Emit.eslot <- slot;
+         t.Emit.eopen <- true;
+         Codec.attach_writer t.Emit.ew sd.data ~base:(slot * stride)
+           ~budget:max_words;
+         t.Emit.ew);
+     em.Emit.ecommit <-
+       (fun t ->
+         if not t.Emit.eopen then
+           invalid_arg "Engine.Emit.commit: no open frame";
+         t.Emit.eopen <- false;
+         if t.Emit.edead then incr churn_dropped
+         else begin
+           let sd = !nxt in
+           let slot = t.Emit.eslot and u = t.Emit.edst in
+           let w = Codec.words t.Emit.ew and wire = Codec.wire t.Emit.ew in
+           sd.wire.(slot) <- wire;
+           sd.wlog.(slot) <- w;
+           sd.written.(sd.wlen) <- slot;
+           sd.wlen <- sd.wlen + 1;
+           if sd.count.(u) = 0 then begin
+             sd.active.(sd.alen) <- u;
+             sd.alen <- sd.alen + 1
+           end;
+           sd.count.(u) <- sd.count.(u) + 1;
+           sd.total <- sd.total + 1;
+           sd.words <- sd.words + w;
+           sd.bits <- sd.bits + (word_bits * wire);
+           if instrumented then
+             sink.on_message ~round:!round ~src:t.Emit.enode ~dst:u ~words:w
+         end);
+     (* Broadcast fast path: encode the one-word frame once into a scratch
+        region, then walk the node's contiguous out-port segment directly —
+        no per-neighbor binary search, no per-frame start/commit pair.
+        Totals are batched after the churn-free loop; the churn loop keeps
+        per-slot accounting because dropped ports send nothing. *)
+     let bscratch = Bytes.create (2 * Codec.max_wire_words) in
+     em.Emit.ebroadcast1 <-
+       (fun t a ->
+         if t.Emit.eopen then
+           invalid_arg "Engine.Emit.broadcast1: frame already open";
+         let v = t.Emit.enode in
+         if max_words < 1 then
+           raise
+             (Congestion_violation
+                (Printf.sprintf
+                   "round %d: node %d payload of %d words exceeds %d" !round v
+                   1 max_words));
+         let wire = Codec.encode1 bscratch ~base:0 a in
+         let sd = !nxt in
+         let first = e.out_off.(v) and stop = e.out_off.(v + 1) in
+         if not churn_on then begin
+           (* arrays hoisted into locals: without flambda every
+              [sd.field.(slot)] reloads the field inside the loop *)
+           let data = sd.data
+           and swire = sd.wire
+           and swlog = sd.wlog
+           and written = sd.written
+           and count = sd.count
+           and active = sd.active
+           and out_dst = e.out_dst in
+           (* every slot of the range is written, so the [written] cursor
+              is [wbase + slot] — no loop-carried ref (a ref would be a
+              per-step allocation on the zero-alloc path) *)
+           let wbase = sd.wlen - first in
+           if wire = 1 && not instrumented then begin
+             (* the lean loop: a small value on an uninstrumented run is
+                one u16 store plus the minimum bookkeeping *)
+             let g = Bytes.get_uint16_le bscratch 0 in
+             for slot = first to stop - 1 do
+               let u = out_dst.(slot) in
+               if swire.(slot) >= 0 then
+                 raise
+                   (Congestion_violation
+                      (Printf.sprintf
+                         "round %d: node %d sent twice over edge to %d" !round
+                         v u));
+               Bytes.set_uint16_le data (slot * stride) g;
+               swire.(slot) <- 1;
+               swlog.(slot) <- 1;
+               written.(wbase + slot) <- slot;
+               let c = count.(u) in
+               if c = 0 then begin
+                 active.(sd.alen) <- u;
+                 sd.alen <- sd.alen + 1
+               end;
+               count.(u) <- c + 1
+             done
+           end
+           else
+             for slot = first to stop - 1 do
+               let u = out_dst.(slot) in
+               if swire.(slot) >= 0 then
+                 raise
+                   (Congestion_violation
+                      (Printf.sprintf
+                         "round %d: node %d sent twice over edge to %d" !round
+                         v u));
+               if wire = 1 then
+                 Bytes.set_uint16_le data (slot * stride)
+                   (Bytes.get_uint16_le bscratch 0)
+               else Bytes.blit bscratch 0 data (slot * stride) (2 * wire);
+               swire.(slot) <- wire;
+               swlog.(slot) <- 1;
+               written.(wbase + slot) <- slot;
+               let c = count.(u) in
+               if c = 0 then begin
+                 active.(sd.alen) <- u;
+                 sd.alen <- sd.alen + 1
+               end;
+               count.(u) <- c + 1;
+               if instrumented then
+                 sink.on_message ~round:!round ~src:v ~dst:u ~words:1
+             done;
+           let sent = stop - first in
+           sd.wlen <- sd.wlen + sent;
+           sd.total <- sd.total + sent;
+           sd.words <- sd.words + sent;
+           sd.bits <- sd.bits + (word_bits * wire * sent)
+         end
+         else
+           for slot = first to stop - 1 do
+             let u = e.out_dst.(slot) in
+             if
+               churn_edge_down.(slot) || churn_crashed.(u)
+               || churn_dormant.(u)
+             then incr churn_dropped
+             else begin
+               if sd.wire.(slot) >= 0 then
+                 raise
+                   (Congestion_violation
+                      (Printf.sprintf
+                         "round %d: node %d sent twice over edge to %d" !round
+                         v u));
+               Bytes.blit bscratch 0 sd.data (slot * stride) (2 * wire);
+               sd.wire.(slot) <- wire;
+               sd.wlog.(slot) <- 1;
+               sd.written.(sd.wlen) <- slot;
+               sd.wlen <- sd.wlen + 1;
+               if sd.count.(u) = 0 then begin
+                 sd.active.(sd.alen) <- u;
+                 sd.alen <- sd.alen + 1
+               end;
+               sd.count.(u) <- sd.count.(u) + 1;
+               sd.total <- sd.total + 1;
+               sd.words <- sd.words + 1;
+               sd.bits <- sd.bits + (word_bits * wire);
+               if instrumented then
+                 sink.on_message ~round:!round ~src:v ~dst:u ~words:1
+             end
+           done)
+   end);
+  (* The deferred in-port scan behind [Inbox.ensure]: forward order is
+     sender-ascending, preserving the inbox ordering guarantee.  [!cur]
+     is the delivery side for the round being stepped. *)
+  e.ib.Inbox.filler <-
+    (fun ib ->
+      let v = ib.Inbox.fill_node in
+      ib.Inbox.fill_node <- -1;
+      let dv = !cur in
+      if dv.count.(v) > 0 then
+        for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
+          let slot = e.in_slot.(j) in
+          if dv.wire.(slot) >= 0 then begin
+            ib.Inbox.src.(ib.Inbox.len) <- e.in_src.(j);
+            ib.Inbox.slot.(ib.Inbox.len) <- slot;
+            ib.Inbox.len <- ib.Inbox.len + 1
+          end
+        done);
   while !live_len > 0 || (!nxt).total > 0 do
     if !round > max_rounds then raise (Round_limit_exceeded !round);
     let tmp = !cur in
     cur := !nxt;
     nxt := tmp;
     let dv = !cur and sd = !nxt in
+    Inbox.attach e.ib ~data:dv.data ~wire:dv.wire ~wlog:dv.wlog ~stride;
     let r = !round in
     (* Apply the churn events due this round before anything is delivered:
        a node crashing at round r does not execute round r and the frames
@@ -769,7 +1167,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
        at round r loses the frame it was carrying.  Frames a node sent
        before its crash are still delivered — the crash kills the
        processor, not the wires. *)
-    let churn_dropped = ref 0 in
+    churn_dropped := 0;
     let newly_crashed = ref 0 in
     let newly_arrived = ref 0 in
     let newly_departed = ref 0 in
@@ -784,11 +1182,12 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
         if dv.count.(v) > 0 then begin
           for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
             let slot = e.in_slot.(j) in
-            let p = dv.slots.(slot) in
-            if p != none then begin
-              dv.slots.(slot) <- none;
+            let wv = dv.wire.(slot) in
+            if wv >= 0 then begin
+              dv.wire.(slot) <- -1;
               dv.total <- dv.total - 1;
-              dv.words <- dv.words - Array.length p;
+              dv.words <- dv.words - dv.wlog.(slot);
+              dv.bits <- dv.bits - (word_bits * wv);
               incr churn_dropped
             end
           done;
@@ -828,7 +1227,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           if c.Churn.dormant.(v) then begin
             c.Churn.dormant.(v) <- false;
             incr newly_arrived;
-            if (not c.Churn.crashed.(v)) && not (algo.halted states.(v))
+            if (not c.Churn.crashed.(v)) && not (a_halted states.(v))
             then begin
               is_live.(v) <- true;
               live.(!live_len) <- v;
@@ -848,11 +1247,12 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
         | Churn.Op_down slot ->
           if not c.Churn.edge_down.(slot) then begin
             c.Churn.edge_down.(slot) <- true;
-            let p = dv.slots.(slot) in
-            if p != none then begin
-              dv.slots.(slot) <- none;
+            let wv = dv.wire.(slot) in
+            if wv >= 0 then begin
+              dv.wire.(slot) <- -1;
               dv.total <- dv.total - 1;
-              dv.words <- dv.words - Array.length p;
+              dv.words <- dv.words - dv.wlog.(slot);
+              dv.bits <- dv.bits - (word_bits * wv);
               dv.count.(e.out_dst.(slot)) <- dv.count.(e.out_dst.(slot)) - 1;
               incr churn_dropped
             end
@@ -888,70 +1288,83 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
         raise
           (Congestion_violation
              (Printf.sprintf "round %d: halted node %d received a message" r !v_min));
-      (* fill the inbox arena from the in-ports; forward order is
-         sender-ascending, preserving the inbox ordering guarantee *)
+      (* mark the inbox for a lazy fill: the in-port scan runs only if
+         the kernel touches its mail this step *)
       let ib = e.ib in
       ib.Inbox.len <- 0;
-      if dv.count.(v) > 0 then
-        for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
-          let p = dv.slots.(e.in_slot.(j)) in
-          if p != none then begin
-            ib.Inbox.src.(ib.Inbox.len) <- e.in_src.(j);
-            ib.Inbox.pay.(ib.Inbox.len) <- p;
-            ib.Inbox.len <- ib.Inbox.len + 1
-          end
-        done;
-      let st, outbox = algo.step g ~round:r ~node:v states.(v) ib in
-      states.(v) <- st;
-      List.iter
-        (fun (u, p) ->
-          let slot = find_port e ~src:v ~dst:u in
-          if slot < 0 then
-            raise
-              (Congestion_violation
-                 (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r v u));
-          if
-            churn_on
-            && (churn_edge_down.(slot) || churn_crashed.(u)
-               || churn_dormant.(u))
-          then begin
-            (* frame onto a dead port or to a crashed node: silently lost
-               (and counted).  The width check still applies — churn must
-               not mask an algorithm exceeding its budget — but the
-               duplicate-slot check cannot (nothing occupies the slot). *)
-            let w = Array.length p in
-            if w > max_words then
+      ib.Inbox.fill_node <- v;
+      let st =
+        match algo with
+        | A_list a ->
+          let st, outbox = a.step g ~round:r ~node:v states.(v) ib in
+          List.iter
+            (fun (u, p) ->
+              let slot = find_port e ~src:v ~dst:u in
+              if slot < 0 then
+                raise
+                  (Congestion_violation
+                     (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r v u));
+              if
+                churn_on
+                && (churn_edge_down.(slot) || churn_crashed.(u)
+                   || churn_dormant.(u))
+              then begin
+                (* frame onto a dead port or to a crashed node: silently lost
+                   (and counted).  The width check still applies — churn must
+                   not mask an algorithm exceeding its budget — but the
+                   duplicate-slot check cannot (nothing occupies the slot). *)
+                let w = Array.length p in
+                if w > max_words then
+                  raise
+                    (Congestion_violation
+                       (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
+                          r v w max_words));
+                incr churn_dropped
+              end
+              else begin
+              if sd.wire.(slot) >= 0 then
+                raise
+                  (Congestion_violation
+                     (Printf.sprintf "round %d: node %d sent twice over edge to %d" r v u));
+              let w = Array.length p in
+              if w > max_words then
+                raise
+                  (Congestion_violation
+                     (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
+                        r v w max_words));
+              let wire = Codec.encode sd.data ~base:(slot * stride) p in
+              sd.wire.(slot) <- wire;
+              sd.wlog.(slot) <- w;
+              sd.written.(sd.wlen) <- slot;
+              sd.wlen <- sd.wlen + 1;
+              if sd.count.(u) = 0 then begin
+                sd.active.(sd.alen) <- u;
+                sd.alen <- sd.alen + 1
+              end;
+              sd.count.(u) <- sd.count.(u) + 1;
+              sd.total <- sd.total + 1;
+              sd.words <- sd.words + w;
+              sd.bits <- sd.bits + (word_bits * wire);
+              if instrumented then sink.on_message ~round:r ~src:v ~dst:u ~words:w
+              end)
+            outbox;
+          st
+        | A_emit a ->
+          em.Emit.enode <- v;
+          let st =
+            try a.estep g ~round:r ~node:v states.(v) ib em
+            with Codec.Width_exceeded { budget; words } ->
               raise
                 (Congestion_violation
                    (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
-                      r v w max_words));
-            incr churn_dropped
-          end
-          else begin
-          if sd.slots.(slot) != none then
-            raise
-              (Congestion_violation
-                 (Printf.sprintf "round %d: node %d sent twice over edge to %d" r v u));
-          let w = Array.length p in
-          if w > max_words then
-            raise
-              (Congestion_violation
-                 (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
-                    r v w max_words));
-          sd.slots.(slot) <- p;
-          sd.written.(sd.wlen) <- slot;
-          sd.wlen <- sd.wlen + 1;
-          if sd.count.(u) = 0 then begin
-            sd.active.(sd.alen) <- u;
-            sd.alen <- sd.alen + 1
-          end;
-          sd.count.(u) <- sd.count.(u) + 1;
-          sd.total <- sd.total + 1;
-          sd.words <- sd.words + w;
-          if instrumented then sink.on_message ~round:r ~src:v ~dst:u ~words:w
-          end)
-        outbox;
-      if algo.halted st then begin
+                      r v words budget))
+          in
+          if em.Emit.eopen then
+            invalid_arg "Engine.Emit: frame left open at end of step";
+          st
+      in
+      states.(v) <- st;
+      if a_halted st then begin
         is_live.(v) <- false;
         compacted := true;
         if e.is_always.(v) then begin
@@ -1030,9 +1443,10 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
         done;
         !c
       end
-    and delivered_words = dv.words in
+    and delivered_words = dv.words
+    and delivered_bits = dv.bits in
     for j = 0 to dv.wlen - 1 do
-      dv.slots.(dv.written.(j)) <- none
+      dv.wire.(dv.written.(j)) <- -1
     done;
     for i = 0 to dv.alen - 1 do
       dv.count.(dv.active.(i)) <- 0
@@ -1041,6 +1455,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     dv.alen <- 0;
     dv.total <- 0;
     dv.words <- 0;
+    dv.bits <- 0;
     if !compacted then begin
       (* stable compaction keeps the live list ascending *)
       let w = ref 0 in
@@ -1088,6 +1503,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           round = r;
           delivered = this_round;
           delivered_words;
+          delivered_bits;
           receivers;
           stepped = !stepped;
           skipped = live_snapshot - !stepped;
@@ -1150,15 +1566,23 @@ type sbuf = {
   mutable s_alen : int;
   mutable s_total : int;
   mutable s_words : int;
+  mutable s_bits : int;
 }
 
-(* Cross-shard frame arena for one (src shard, dst shard) pair: appended by
+(* Cross-shard frame list for one (src shard, dst shard) pair: appended by
    the source in stepping order during phase A, drained and reset by the
    destination during phase B.  The phases are barrier-separated, so the
-   two owners never touch it concurrently. *)
+   two owners never touch it concurrently.
+
+   With the packed arena the frame *data* no longer travels through here:
+   every directed slot has a unique sender, so the source encodes the
+   frame straight into the shared send arena (bytes, wire and word counts
+   are all slot-indexed cells only that source writes this round) and the
+   destination merely learns *which* slots arrived — the per-frame boxed
+   copy of the old exchange, and the flat blit that was to replace it,
+   both optimize away to an int push. *)
 type xarena = {
   mutable x_slot : int array;
-  mutable x_pay : payload array;
   mutable x_len : int;
 }
 
@@ -1178,6 +1602,7 @@ type shard = {
   mutable sh_woken : int;
   mutable sh_receivers : int;
   mutable sh_delivered_words : int;
+  mutable sh_delivered_bits : int;
   mutable sh_emitted : int;
   mutable sh_send_dropped : int;
   mutable sh_hinted : bool;
@@ -1197,6 +1622,7 @@ type shard = {
   mutable sh_ev_dst : int array;
   mutable sh_ev_w : int array;
   mutable sh_ev_len : int;
+  sh_em : Emit.t; (* per-shard emitter for the emit fast path *)
 }
 
 let contiguous_partition ~n ~shards =
@@ -1240,15 +1666,30 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       p
   in
   e.running <- true;
-  let states = Array.init n (fun v -> algo.init g v) in
+  let a_init, a_halted, a_wake =
+    match algo with
+    | A_list a -> (a.init, a.halted, a.wake)
+    | A_emit a -> (a.einit, a.ehalted, a.ewake)
+  in
+  let states = Array.init n (fun v -> a_init g v) in
   (* shared per-node / per-port arrays; each entry has one owning shard *)
   let is_live = Array.make (max 1 n) false in
   let is_always = Array.make (max 1 n) false in
   let wake_at = Array.make (max 1 n) (-1) in
   let fstamp = Array.make (max 1 n) (-1) in
   let sent_stamp = Array.make (max 1 e.ports) (-1) in
-  let slots_a = Array.make (max 1 e.ports) none in
-  let slots_b = Array.make (max 1 e.ports) none in
+  (* Packed frame arenas, one per buffer direction.  Every slot-indexed
+     cell (bytes region, wire count, word count) is written by exactly one
+     shard per phase — the slot's unique sender during phase A, nobody
+     afterwards — and read only after the phase barrier, so the shards
+     never race on them. *)
+  let stride = stride_for ~max_words in
+  let data_a = Bytes.create (max 2 (e.ports * stride)) in
+  let data_b = Bytes.create (max 2 (e.ports * stride)) in
+  let wire_a = Array.make (max 1 e.ports) (-1) in
+  let wire_b = Array.make (max 1 e.ports) (-1) in
+  let wlog_a = Array.make (max 1 e.ports) 0 in
+  let wlog_b = Array.make (max 1 e.ports) 0 in
   let count_a = Array.make (max 1 n) 0 in
   let count_b = Array.make (max 1 n) 0 in
   (* build shards: sizes, in-port write capacities, max in-degrees *)
@@ -1276,6 +1717,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
             s_alen = 0;
             s_total = 0;
             s_words = 0;
+            s_bits = 0;
           }
         in
         {
@@ -1293,6 +1735,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           sh_woken = 0;
           sh_receivers = 0;
           sh_delivered_words = 0;
+          sh_delivered_bits = 0;
           sh_emitted = 0;
           sh_send_dropped = 0;
           sh_hinted = false;
@@ -1309,6 +1752,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           sh_ev_dst = [||];
           sh_ev_w = [||];
           sh_ev_len = 0;
+          sh_em = Emit.make ();
         })
   in
   let fill = Array.make d 0 in
@@ -1318,21 +1762,17 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     fill.(s) <- fill.(s) + 1
   done;
   let xas =
-    Array.init d (fun _ ->
-        Array.init d (fun _ -> { x_slot = [||]; x_pay = [||]; x_len = 0 }))
+    Array.init d (fun _ -> Array.init d (fun _ -> { x_slot = [||]; x_len = 0 }))
   in
-  let xpush xa slot p =
+  let xpush xa slot =
     let cap = Array.length xa.x_slot in
     if xa.x_len = cap then begin
       let ncap = max 8 (2 * cap) in
-      let ns = Array.make ncap 0 and np = Array.make ncap none in
+      let ns = Array.make ncap 0 in
       Array.blit xa.x_slot 0 ns 0 cap;
-      Array.blit xa.x_pay 0 np 0 cap;
-      xa.x_slot <- ns;
-      xa.x_pay <- np
+      xa.x_slot <- ns
     end;
     xa.x_slot.(xa.x_len) <- slot;
-    xa.x_pay.(xa.x_len) <- p;
     xa.x_len <- xa.x_len + 1
   in
   let instrumented = sink != Sink.null in
@@ -1394,7 +1834,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   let churn_on = churn <> None in
   (* initial liveness *)
   for v = 0 to n - 1 do
-    if (not (algo.halted states.(v))) && not (churn_on && churn_dormant.(v))
+    if (not (a_halted states.(v))) && not (churn_on && churn_dormant.(v))
     then begin
       let sh = shards.(shard_of.(v)) in
       is_live.(v) <- true;
@@ -1429,7 +1869,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     sh.sh_buckets.(k) <- v :: sh.sh_buckets.(k)
   in
   let apply_wake sh v st r =
-    match algo.wake st with
+    match a_wake st with
     | Always ->
       if not is_always.(v) then begin
         is_always.(v) <- true;
@@ -1456,6 +1896,165 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     sh.sh_vexn <- Some exn;
     raise Stop_shard
   in
+  (* Per-shard emitters: same checks and bookkeeping as the list path's
+     store loop, but the frame is encoded directly into the shared send
+     arena by its unique sender.  Cross-shard destinations get an int
+     push; the owning destination shard completes the receiver-side
+     bookkeeping at phase B. *)
+  (match algo with
+  | A_list _ -> ()
+  | A_emit _ ->
+    Array.iteri
+      (fun s sh ->
+        let em = sh.sh_em in
+        em.Emit.estart <-
+          (fun t u ->
+            if t.Emit.eopen then
+              invalid_arg "Engine.Emit.start: frame already open";
+            let v = t.Emit.enode in
+            let r = !round in
+            let slot = find_port e ~src:v ~dst:u in
+            if slot < 0 then
+              record sh v 1
+                (Congestion_violation
+                   (Printf.sprintf "round %d: node %d sent to non-neighbor %d"
+                      r v u));
+            if
+              churn_on
+              && (churn_edge_down.(slot) || churn_crashed.(u)
+                 || churn_dormant.(u))
+            then t.Emit.edead <- true
+            else begin
+              if sent_stamp.(slot) = r then
+                record sh v 1
+                  (Congestion_violation
+                     (Printf.sprintf
+                        "round %d: node %d sent twice over edge to %d" r v u));
+              sent_stamp.(slot) <- r;
+              t.Emit.edead <- false
+            end;
+            t.Emit.edst <- u;
+            t.Emit.eslot <- slot;
+            t.Emit.eopen <- true;
+            let sdata = if !cur_is_a then data_b else data_a in
+            Codec.attach_writer t.Emit.ew sdata ~base:(slot * stride)
+              ~budget:max_words;
+            t.Emit.ew);
+        em.Emit.ecommit <-
+          (fun t ->
+            if not t.Emit.eopen then
+              invalid_arg "Engine.Emit.commit: no open frame";
+            t.Emit.eopen <- false;
+            if t.Emit.edead then
+              sh.sh_send_dropped <- sh.sh_send_dropped + 1
+            else begin
+              let slot = t.Emit.eslot and u = t.Emit.edst in
+              let w = Codec.words t.Emit.ew
+              and wire = Codec.wire t.Emit.ew in
+              let swire = if !cur_is_a then wire_b else wire_a in
+              let swlog = if !cur_is_a then wlog_b else wlog_a in
+              swire.(slot) <- wire;
+              swlog.(slot) <- w;
+              let tgt = shard_of.(u) in
+              if tgt = s then begin
+                let svb = sbuf_of sh ~delivery:false in
+                let scount = if !cur_is_a then count_b else count_a in
+                svb.s_written.(svb.s_wlen) <- slot;
+                svb.s_wlen <- svb.s_wlen + 1;
+                if scount.(u) = 0 then begin
+                  svb.s_active.(svb.s_alen) <- u;
+                  svb.s_alen <- svb.s_alen + 1
+                end;
+                scount.(u) <- scount.(u) + 1;
+                svb.s_total <- svb.s_total + 1;
+                svb.s_words <- svb.s_words + w;
+                svb.s_bits <- svb.s_bits + (word_bits * wire)
+              end
+              else xpush xas.(s).(tgt) slot;
+              sh.sh_emitted <- sh.sh_emitted + 1;
+              if instrumented then evpush sh t.Emit.enode u w
+            end);
+        (* Broadcast fast path, sharded: encode once into the shard's
+           scratch, then walk the sender's contiguous out-port segment —
+           every slot belongs to this shard's sender, so the writes race
+           with nobody; only the cross-shard pushes go through [xpush]. *)
+        let bscratch = Bytes.create (2 * Codec.max_wire_words) in
+        em.Emit.ebroadcast1 <-
+          (fun t a ->
+            if t.Emit.eopen then
+              invalid_arg "Engine.Emit.broadcast1: frame already open";
+            let v = t.Emit.enode in
+            let r = !round in
+            if max_words < 1 then
+              record sh v 1
+                (Congestion_violation
+                   (Printf.sprintf
+                      "round %d: node %d payload of %d words exceeds %d" r v 1
+                      max_words));
+            let wire = Codec.encode1 bscratch ~base:0 a in
+            let sdata = if !cur_is_a then data_b else data_a in
+            let swire = if !cur_is_a then wire_b else wire_a in
+            let swlog = if !cur_is_a then wlog_b else wlog_a in
+            let scount = if !cur_is_a then count_b else count_a in
+            let svb = sbuf_of sh ~delivery:false in
+            for slot = e.out_off.(v) to e.out_off.(v + 1) - 1 do
+              let u = e.out_dst.(slot) in
+              if
+                churn_on
+                && (churn_edge_down.(slot) || churn_crashed.(u)
+                   || churn_dormant.(u))
+              then sh.sh_send_dropped <- sh.sh_send_dropped + 1
+              else begin
+                if sent_stamp.(slot) = r then
+                  record sh v 1
+                    (Congestion_violation
+                       (Printf.sprintf
+                          "round %d: node %d sent twice over edge to %d" r v u));
+                sent_stamp.(slot) <- r;
+                Bytes.blit bscratch 0 sdata (slot * stride) (2 * wire);
+                swire.(slot) <- wire;
+                swlog.(slot) <- 1;
+                let tgt = shard_of.(u) in
+                if tgt = s then begin
+                  svb.s_written.(svb.s_wlen) <- slot;
+                  svb.s_wlen <- svb.s_wlen + 1;
+                  if scount.(u) = 0 then begin
+                    svb.s_active.(svb.s_alen) <- u;
+                    svb.s_alen <- svb.s_alen + 1
+                  end;
+                  scount.(u) <- scount.(u) + 1;
+                  svb.s_total <- svb.s_total + 1;
+                  svb.s_words <- svb.s_words + 1;
+                  svb.s_bits <- svb.s_bits + (word_bits * wire)
+                end
+                else xpush xas.(s).(tgt) slot;
+                sh.sh_emitted <- sh.sh_emitted + 1;
+                if instrumented then evpush sh v u 1
+              end
+            done))
+      shards);
+  (* Per-shard deferred in-port scans (see the sequential executor): the
+     delivery side is re-derived from [cur_is_a] at fill time, and every
+     filled slot was published at the last frame exchange, so the lazy
+     scan reads exactly what the eager one did. *)
+  Array.iter
+    (fun sh ->
+      sh.sh_ib.Inbox.filler <-
+        (fun ib ->
+          let v = ib.Inbox.fill_node in
+          ib.Inbox.fill_node <- -1;
+          let dwire = if !cur_is_a then wire_a else wire_b in
+          let dcount = if !cur_is_a then count_a else count_b in
+          if dcount.(v) > 0 then
+            for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
+              let slot = e.in_slot.(j) in
+              if dwire.(slot) >= 0 then begin
+                ib.Inbox.src.(ib.Inbox.len) <- e.in_src.(j);
+                ib.Inbox.slot.(ib.Inbox.len) <- slot;
+                ib.Inbox.len <- ib.Inbox.len + 1
+              end
+            done))
+    shards;
   (* phase A: step this shard's frontier for round [!round] *)
   let phase_step s =
     let sh = shards.(s) in
@@ -1463,10 +2062,15 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     let v_min = !vmin_flag in
     let dvb = sbuf_of sh ~delivery:true in
     let svb = sbuf_of sh ~delivery:false in
-    let dslots = if !cur_is_a then slots_a else slots_b in
+    let ddata = if !cur_is_a then data_a else data_b in
+    let dwire = if !cur_is_a then wire_a else wire_b in
+    let dwlog = if !cur_is_a then wlog_a else wlog_b in
     let dcount = if !cur_is_a then count_a else count_b in
-    let sslots = if !cur_is_a then slots_b else slots_a in
+    let sdata = if !cur_is_a then data_b else data_a in
+    let swire = if !cur_is_a then wire_b else wire_a in
+    let swlog = if !cur_is_a then wlog_b else wlog_a in
     let scount = if !cur_is_a then count_b else count_a in
+    Inbox.attach sh.sh_ib ~data:ddata ~wire:dwire ~wlog:dwlog ~stride;
     sh.sh_stepped <- 0;
     sh.sh_woken <- 0;
     sh.sh_emitted <- 0;
@@ -1493,79 +2097,101 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           (Congestion_violation
              (Printf.sprintf "round %d: halted node %d received a message" r
                 v_min));
+      (* mark the inbox for a lazy fill, as in the sequential executor *)
       let ib = sh.sh_ib in
       ib.Inbox.len <- 0;
-      if dcount.(v) > 0 then
-        for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
-          let p = dslots.(e.in_slot.(j)) in
-          if p != none then begin
-            ib.Inbox.src.(ib.Inbox.len) <- e.in_src.(j);
-            ib.Inbox.pay.(ib.Inbox.len) <- p;
-            ib.Inbox.len <- ib.Inbox.len + 1
-          end
-        done;
-      let st, outbox =
-        try algo.step g ~round:r ~node:v states.(v) ib
-        with
-        | Stop_shard as exn -> raise exn
-        | exn -> record sh v 1 exn
+      ib.Inbox.fill_node <- v;
+      let st =
+        match algo with
+        | A_list a ->
+          let st, outbox =
+            try a.step g ~round:r ~node:v states.(v) ib
+            with
+            | Stop_shard as exn -> raise exn
+            | exn -> record sh v 1 exn
+          in
+          List.iter
+            (fun (u, p) ->
+              let slot = find_port e ~src:v ~dst:u in
+              if slot < 0 then
+                record sh v 1
+                  (Congestion_violation
+                     (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r
+                        v u));
+              if
+                churn_on
+                && (churn_edge_down.(slot) || churn_crashed.(u)
+                   || churn_dormant.(u))
+              then begin
+                let w = Array.length p in
+                if w > max_words then
+                  record sh v 1
+                    (Congestion_violation
+                       (Printf.sprintf
+                          "round %d: node %d payload of %d words exceeds %d" r v w
+                          max_words));
+                sh.sh_send_dropped <- sh.sh_send_dropped + 1
+              end
+              else begin
+                if sent_stamp.(slot) = r then
+                  record sh v 1
+                    (Congestion_violation
+                       (Printf.sprintf "round %d: node %d sent twice over edge to %d"
+                          r v u));
+                let w = Array.length p in
+                if w > max_words then
+                  record sh v 1
+                    (Congestion_violation
+                       (Printf.sprintf
+                          "round %d: node %d payload of %d words exceeds %d" r v w
+                          max_words));
+                sent_stamp.(slot) <- r;
+                let wire = Codec.encode sdata ~base:(slot * stride) p in
+                swire.(slot) <- wire;
+                swlog.(slot) <- w;
+                let t = shard_of.(u) in
+                if t = s then begin
+                  svb.s_written.(svb.s_wlen) <- slot;
+                  svb.s_wlen <- svb.s_wlen + 1;
+                  if scount.(u) = 0 then begin
+                    svb.s_active.(svb.s_alen) <- u;
+                    svb.s_alen <- svb.s_alen + 1
+                  end;
+                  scount.(u) <- scount.(u) + 1;
+                  svb.s_total <- svb.s_total + 1;
+                  svb.s_words <- svb.s_words + w;
+                  svb.s_bits <- svb.s_bits + (word_bits * wire)
+                end
+                else xpush xas.(s).(t) slot;
+                sh.sh_emitted <- sh.sh_emitted + 1;
+                if instrumented then evpush sh v u w
+              end)
+            outbox;
+          st
+        | A_emit a ->
+          let em = sh.sh_em in
+          em.Emit.enode <- v;
+          let st =
+            try a.estep g ~round:r ~node:v states.(v) ib em
+            with
+            | Stop_shard as exn -> raise exn
+            | Codec.Width_exceeded { budget; words } ->
+              record sh v 1
+                (Congestion_violation
+                   (Printf.sprintf
+                      "round %d: node %d payload of %d words exceeds %d" r v
+                      words budget))
+            | exn -> record sh v 1 exn
+          in
+          if em.Emit.eopen then begin
+            em.Emit.eopen <- false;
+            record sh v 1
+              (Invalid_argument "Engine.Emit: frame left open at end of step")
+          end;
+          st
       in
       states.(v) <- st;
-      List.iter
-        (fun (u, p) ->
-          let slot = find_port e ~src:v ~dst:u in
-          if slot < 0 then
-            record sh v 1
-              (Congestion_violation
-                 (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r
-                    v u));
-          if
-            churn_on
-            && (churn_edge_down.(slot) || churn_crashed.(u)
-               || churn_dormant.(u))
-          then begin
-            let w = Array.length p in
-            if w > max_words then
-              record sh v 1
-                (Congestion_violation
-                   (Printf.sprintf
-                      "round %d: node %d payload of %d words exceeds %d" r v w
-                      max_words));
-            sh.sh_send_dropped <- sh.sh_send_dropped + 1
-          end
-          else begin
-            if sent_stamp.(slot) = r then
-              record sh v 1
-                (Congestion_violation
-                   (Printf.sprintf "round %d: node %d sent twice over edge to %d"
-                      r v u));
-            let w = Array.length p in
-            if w > max_words then
-              record sh v 1
-                (Congestion_violation
-                   (Printf.sprintf
-                      "round %d: node %d payload of %d words exceeds %d" r v w
-                      max_words));
-            sent_stamp.(slot) <- r;
-            let t = shard_of.(u) in
-            if t = s then begin
-              sslots.(slot) <- p;
-              svb.s_written.(svb.s_wlen) <- slot;
-              svb.s_wlen <- svb.s_wlen + 1;
-              if scount.(u) = 0 then begin
-                svb.s_active.(svb.s_alen) <- u;
-                svb.s_alen <- svb.s_alen + 1
-              end;
-              scount.(u) <- scount.(u) + 1;
-              svb.s_total <- svb.s_total + 1;
-              svb.s_words <- svb.s_words + w
-            end
-            else xpush xas.(s).(t) slot p;
-            sh.sh_emitted <- sh.sh_emitted + 1;
-            if instrumented then evpush sh v u w
-          end)
-        outbox;
-      if algo.halted st then begin
+      if a_halted st then begin
         is_live.(v) <- false;
         sh.sh_compact <- true;
         if is_always.(v) then begin
@@ -1634,8 +2260,9 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
          end
          else dvb.s_alen);
       sh.sh_delivered_words <- dvb.s_words;
+      sh.sh_delivered_bits <- dvb.s_bits;
       for j = 0 to dvb.s_wlen - 1 do
-        dslots.(dvb.s_written.(j)) <- none
+        dwire.(dvb.s_written.(j)) <- -1
       done;
       for i = 0 to dvb.s_alen - 1 do
         dcount.(dvb.s_active.(i)) <- 0
@@ -1644,6 +2271,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       dvb.s_alen <- 0;
       dvb.s_total <- 0;
       dvb.s_words <- 0;
+      dvb.s_bits <- 0;
       if sh.sh_compact then begin
         let w = ref 0 in
         for i = 0 to sh.sh_live_len - 1 do
@@ -1679,15 +2307,14 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
   let phase_exchange t =
     let sh = shards.(t) in
     let svb = sbuf_of sh ~delivery:false in
-    let sslots = if !cur_is_a then slots_b else slots_a in
+    let swire = if !cur_is_a then wire_b else wire_a in
+    let swlog = if !cur_is_a then wlog_b else wlog_a in
     let scount = if !cur_is_a then count_b else count_a in
     for s = 0 to d - 1 do
       let xa = xas.(s).(t) in
       for i = 0 to xa.x_len - 1 do
         let slot = xa.x_slot.(i) in
-        let p = xa.x_pay.(i) in
         let u = e.out_dst.(slot) in
-        sslots.(slot) <- p;
         svb.s_written.(svb.s_wlen) <- slot;
         svb.s_wlen <- svb.s_wlen + 1;
         if scount.(u) = 0 then begin
@@ -1696,8 +2323,8 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
         end;
         scount.(u) <- scount.(u) + 1;
         svb.s_total <- svb.s_total + 1;
-        svb.s_words <- svb.s_words + Array.length p;
-        xa.x_pay.(i) <- none
+        svb.s_words <- svb.s_words + swlog.(slot);
+        svb.s_bits <- svb.s_bits + (word_bits * swire.(slot))
       done;
       xa.x_len <- 0
     done;
@@ -1714,7 +2341,8 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       if !round > max_rounds then raise (Round_limit_exceeded !round);
       cur_is_a := not !cur_is_a;
       let r = !round in
-      let dslots = if !cur_is_a then slots_a else slots_b in
+      let dwire = if !cur_is_a then wire_a else wire_b in
+      let dwlog = if !cur_is_a then wlog_a else wlog_b in
       let dcount = if !cur_is_a then count_a else count_b in
       (* churn is applied serially: it is rare, touches arbitrary shards,
          and must be globally ordered before the halted-receiver minimum *)
@@ -1739,11 +2367,12 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           if dcount.(v) > 0 then begin
             for j = e.in_off.(v) to e.in_off.(v + 1) - 1 do
               let slot = e.in_slot.(j) in
-              let p = dslots.(slot) in
-              if p != none then begin
-                dslots.(slot) <- none;
+              let wv = dwire.(slot) in
+              if wv >= 0 then begin
+                dwire.(slot) <- -1;
                 dvb.s_total <- dvb.s_total - 1;
-                dvb.s_words <- dvb.s_words - Array.length p;
+                dvb.s_words <- dvb.s_words - dwlog.(slot);
+                dvb.s_bits <- dvb.s_bits - (word_bits * wv);
                 incr churn_dropped
               end
             done;
@@ -1783,7 +2412,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
             if c.Churn.dormant.(v) then begin
               c.Churn.dormant.(v) <- false;
               incr newly_arrived;
-              if (not c.Churn.crashed.(v)) && not (algo.halted states.(v))
+              if (not c.Churn.crashed.(v)) && not (a_halted states.(v))
               then begin
                 let sh = shards.(shard_of.(v)) in
                 is_live.(v) <- true;
@@ -1801,14 +2430,15 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           | Churn.Op_down slot ->
             if not c.Churn.edge_down.(slot) then begin
               c.Churn.edge_down.(slot) <- true;
-              let p = dslots.(slot) in
-              if p != none then begin
+              let wv = dwire.(slot) in
+              if wv >= 0 then begin
                 let u = e.out_dst.(slot) in
                 let sh = shards.(shard_of.(u)) in
                 let dvb = sbuf_of sh ~delivery:true in
-                dslots.(slot) <- none;
+                dwire.(slot) <- -1;
                 dvb.s_total <- dvb.s_total - 1;
-                dvb.s_words <- dvb.s_words - Array.length p;
+                dvb.s_words <- dvb.s_words - dwlog.(slot);
+                dvb.s_bits <- dvb.s_bits - (word_bits * wv);
                 dcount.(u) <- dcount.(u) - 1;
                 incr churn_dropped;
                 sh.sh_hit <- true
@@ -1906,6 +2536,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                   Sink.round = r;
                   delivered = 0;
                   delivered_words = sh.sh_delivered_words;
+                  delivered_bits = sh.sh_delivered_bits;
                   receivers = sh.sh_receivers;
                   stepped = sh.sh_stepped;
                   skipped = 0;
@@ -1955,8 +2586,8 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
    syntactically.  1 = the sequential engine, the bit-exact baseline. *)
 let default_domains = ref 1
 
-let exec ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
-    algo =
+let exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
+    e algo =
   if e.running then
     invalid_arg "Engine.exec: engine already running (re-entrant call)";
   let domains = match domains with Some d -> d | None -> !default_domains in
@@ -1973,7 +2604,88 @@ let exec ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
     e.running <- false;
     raise exn
 
+let exec ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
+    algo =
+  exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
+    (A_list algo)
+
+let exec_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
+    e ealgo =
+  exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
+    (A_emit ealgo)
+
 let run ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition g
     algo =
   exec ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
     (create g) algo
+
+let run_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
+    g ealgo =
+  exec_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
+    (create g) ealgo
+
+(* The emit -> list compat adapter: wraps an emit-native algorithm into the
+   legacy list-returning shape so it can run under [run_reference], the
+   async layer, or any harness that still consumes [algorithm].  All emit
+   state is step-local (one small writer per step), so the adapted
+   algorithm is safe under the sharded executor too.  With [?max_words]
+   the scratch writer enforces the same budget at the same put — raising
+   the same [Congestion_violation] text the engine's emit path produces —
+   so differential runs agree byte-for-byte; without it frames are
+   unbounded here and the executor's own width check applies instead. *)
+let to_algorithm ?max_words (ea : 'st ealgorithm) : 'st algorithm =
+  let budget = match max_words with Some w -> w | None -> max_int in
+  {
+    init = ea.einit;
+    step =
+      (fun g ~round ~node st ib ->
+        let em = Emit.make () in
+        let acc = ref [] in
+        em.Emit.estart <-
+          (fun t u ->
+            if t.Emit.eopen then
+              invalid_arg "Engine.Emit.start: frame already open";
+            t.Emit.edst <- u;
+            t.Emit.eopen <- true;
+            Codec.scratch_writer t.Emit.ew ~budget;
+            t.Emit.ew);
+        em.Emit.ecommit <-
+          (fun t ->
+            if not t.Emit.eopen then
+              invalid_arg "Engine.Emit.commit: no open frame";
+            t.Emit.eopen <- false;
+            let p =
+              Codec.decode (Codec.writer_bytes t.Emit.ew) ~base:0
+                ~wire:(Codec.wire t.Emit.ew) ~words:(Codec.words t.Emit.ew)
+            in
+            acc := (t.Emit.edst, p) :: !acc);
+        em.Emit.ebroadcast1 <-
+          (fun t a ->
+            if t.Emit.eopen then
+              invalid_arg "Engine.Emit.broadcast1: frame already open";
+            if budget < 1 then
+              raise (Codec.Width_exceeded { budget; words = 1 });
+            (* pushed in descending order: the step's whole send list is
+               reversed once at the end, so these come out ascending — the
+               same per-slot order the packed engine's broadcast writes. *)
+            let nbrs = Graph.neighbors g t.Emit.enode in
+            for i = Array.length nbrs - 1 downto 0 do
+              let u, _ = nbrs.(i) in
+              acc := (u, [| a |]) :: !acc
+            done);
+        em.Emit.enode <- node;
+        let st =
+          try ea.estep g ~round ~node st ib em
+          with Codec.Width_exceeded { budget; words } ->
+            raise
+              (Congestion_violation
+                 (Printf.sprintf
+                    "round %d: node %d payload of %d words exceeds %d" round
+                    node words budget))
+        in
+        if em.Emit.eopen then
+          invalid_arg "Engine.Emit: frame left open at end of step";
+        (st, List.rev !acc));
+    halted = ea.ehalted;
+    wake = ea.ewake;
+  }

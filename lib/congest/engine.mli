@@ -2,16 +2,26 @@
 
     The engine precomputes a CSR {e port map} for a graph — every directed
     edge [(u, v)] gets a stable integer slot — and delivers messages through
-    two swapped, slot-indexed payload buffers.  Compared to the list-based
-    reference runtime ({!Runtime.run_reference}) this gives:
+    two swapped, slot-indexed {e packed frame arenas}: each buffer direction
+    is one flat [Bytes] with a fixed stride per slot, frames encoded as
+    16-bit model words by {!Codec}.  Compared to the list-based reference
+    runtime ({!Runtime.run_reference}) this gives:
 
     - O(log deg) neighbor validation, duplicate-send detection and width
       checks per outbound message (binary search of the sender's sorted CSR
       segment plus a slot-occupancy test), instead of a per-message edge
       search and a per-step scratch table — and no O(m) hash table;
     - zero per-round allocation in the delivery machinery: inboxes are a
-      zero-copy {!Inbox.t} view over a reusable arena, so the hot path
-      allocates only what [step] itself allocates;
+      zero-copy {!Inbox.t} view over the arena, so the hot path allocates
+      only what [step] itself allocates — and with the {!Emit} fast path
+      ({!ealgorithm}) the send side is allocation-free too: frames are
+      encoded straight into the destination slot, no payload array, no
+      cons cell;
+    - {e measured} congestion accounting: every frame's width is the wire
+      length its values actually encode to ({!Codec.measured_bits}), so
+      word budgets and per-round bit counters
+      ({!Sink.round_info.delivered_bits}) report genuine O(log n)-bit
+      model cost, not declared array lengths;
     - {e event-driven rounds}: with {!wake} hints, a round costs
       O(receivers + woken), not O(live) — a node is stepped only when it
       received a message, its self-scheduled timer fired, it declared
@@ -65,8 +75,20 @@ module Inbox : sig
       Ascending in [i]. *)
 
   val payload : t -> int -> payload
-  (** [payload ib i] is the [i]-th payload.  The array belongs to the
-      sender and must not be mutated. *)
+  (** [payload ib i] is the [i]-th payload, decoded from the packed arena
+      into a fresh array (compat path — allocates).  Emit-native
+      algorithms should prefer {!read}, which decodes in place. *)
+
+  val words : t -> int -> int
+  (** [words ib i] is the logical word count of the [i]-th frame, without
+      decoding it. *)
+
+  val read : t -> int -> Codec.reader
+  (** [read ib i] positions a shared decoder on the [i]-th frame and
+      returns it: zero-copy, zero-allocation access to the packed words
+      via {!Codec.get}.  The reader is shared by the whole view — a
+      subsequent [read] repositions it, so finish one frame before
+      starting the next. *)
 
   val iter : (int -> payload -> unit) -> t -> unit
   val fold : ('a -> int -> payload -> 'a) -> 'a -> t -> 'a
@@ -116,6 +138,78 @@ type 'st algorithm = {
       (** Scheduling hint derived from the post-step state; see {!wake}.
           Use {!always} when unsure — it is always sound. *)
 }
+
+(** The allocation-free send path.  An emitter is a reusable cursor owned
+    by the executor: {!start} performs the same checks as the list path
+    (non-neighbor, duplicate edge) and positions a shared {!Codec.writer}
+    directly on the destination slot's arena region; the algorithm
+    {!Codec.put}s the frame's words (the word budget is enforced per put —
+    exceeding it raises the same [Congestion_violation] the list path
+    produces); {!commit} publishes the frame.  Exactly one frame may be
+    open at a time, and every started frame must be committed before
+    [step] returns.
+
+    [frame1]..[frame4] emit fixed-shape frames without any closure;
+    {!send} is the [emit ~dst (fun w -> ...)] flavor (the closure itself
+    may allocate — the fixed-arity helpers are what keep hot kernels at
+    zero words per round). *)
+module Emit : sig
+  type t
+
+  val start : t -> dst:int -> Codec.writer
+  (** Open a frame to neighbor [dst] and return the writer positioned on
+      its slot. *)
+
+  val commit : t -> unit
+  (** Publish the open frame ([Invalid_argument] if none is open). *)
+
+  val send : t -> dst:int -> (Codec.writer -> unit) -> unit
+  (** [send t ~dst f] = [f (start t ~dst); commit t]. *)
+
+  val frame1 : t -> dst:int -> int -> unit
+  val frame2 : t -> dst:int -> int -> int -> unit
+  val frame3 : t -> dst:int -> int -> int -> int -> unit
+  val frame4 : t -> dst:int -> int -> int -> int -> int -> unit
+
+  val broadcast1 : t -> int -> unit
+  (** [broadcast1 t a] sends the one-word frame [|a|] to {e every}
+      neighbor of the stepping node.  Semantically identical to
+      [frame1 t ~dst:u a] over each neighbor [u] in ascending order, but
+      the executors encode the frame once and fan the bytes out over the
+      node's contiguous out-port segment — no per-neighbor port lookup
+      and no per-frame start/commit pair, so flood-style kernels pay
+      near-[memcpy] cost per edge.  The usual rules apply: counts as one
+      frame per edge for the once-per-edge check, each copy is metered at
+      the frame's measured bits, and churn-dead ports are skipped.
+      [Invalid_argument] if a frame is currently open. *)
+end
+
+type 'st ealgorithm = {
+  einit : Graph.t -> int -> 'st;
+  estep : Graph.t -> round:int -> node:int -> 'st -> Inbox.t -> Emit.t -> 'st;
+      (** One synchronous step on the emit fast path: consume the inbox
+          view (prefer {!Inbox.read}), emit frames through the emitter,
+          return the new state. *)
+  ehalted : 'st -> bool;
+  ewake : 'st -> wake;
+}
+(** The emit-native algorithm shape: identical semantics to {!algorithm}
+    — same checks, same violation messages, same scheduling — but sends
+    go through {!Emit} instead of a returned list, so a steady-state step
+    can run without allocating.  Run with {!exec_emit}/{!run_emit}, or
+    adapt to the legacy shape with {!to_algorithm}. *)
+
+val to_algorithm : ?max_words:int -> 'st ealgorithm -> 'st algorithm
+(** Compat adapter: wrap an emit-native algorithm into the legacy
+    list-returning shape (for {!Runtime.run_reference}, the async layer,
+    or any harness consuming {!algorithm}).  Each step uses a private
+    scratch emitter, so the result is safe under the sharded executor.
+    Pass the [max_words] the algorithm will be executed with to get
+    byte-identical width violations to the engine's emit path (the
+    scratch writer then enforces the budget at the same put); without it
+    frames are unbounded here and the executor's own width check applies.
+    The adapter allocates per frame — it is the compatibility path, not
+    the fast path. *)
 
 val always : 'st -> wake
 (** [always _ = Always] — the default wake hint; reproduces the legacy
@@ -175,7 +269,11 @@ module Sink : sig
   type round_info = {
     round : int;  (** the round that just executed *)
     delivered : int;  (** messages delivered this round *)
-    delivered_words : int;  (** total payload words delivered *)
+    delivered_words : int;  (** total payload (logical) words delivered *)
+    delivered_bits : int;
+        (** total {e measured} wire bits delivered this round: the sum of
+            {!Codec.measured_bits} over the delivered frames — the honest
+            O(log n)-bit model cost, as encoded, not as declared *)
     receivers : int;  (** nodes with a non-empty inbox *)
     stepped : int;  (** live nodes that executed [step] *)
     skipped : int;
@@ -438,6 +536,22 @@ val exec :
     mutates its state entry), so they must not mutate state shared across
     nodes — pure per-node closures, the norm in this library, qualify. *)
 
+val exec_emit :
+  ?max_rounds:int ->
+  ?max_words:int ->
+  ?sink:Sink.t ->
+  ?degrade:bool ->
+  ?churn:Churn.t ->
+  ?domains:int ->
+  ?partition:int array ->
+  t ->
+  'st ealgorithm ->
+  'st array * stats
+(** {!exec} for the emit-native shape: identical semantics and options,
+    allocation-free send path.  [exec_emit e ea] is bit-identical to
+    [exec e (to_algorithm ~max_words ea)] for topology-respecting
+    algorithms, sequential or sharded. *)
+
 val run :
   ?max_rounds:int ->
   ?max_words:int ->
@@ -452,3 +566,16 @@ val run :
 (** [run g algo] is [exec (create g) algo] — one-shot convenience.  (With
     [?churn] prefer [create] + {!Churn.compile} + [exec]: the schedule must
     be compiled against the same engine.) *)
+
+val run_emit :
+  ?max_rounds:int ->
+  ?max_words:int ->
+  ?sink:Sink.t ->
+  ?degrade:bool ->
+  ?churn:Churn.t ->
+  ?domains:int ->
+  ?partition:int array ->
+  Graph.t ->
+  'st ealgorithm ->
+  'st array * stats
+(** [run_emit g ea] is [exec_emit (create g) ea]. *)

@@ -5,6 +5,7 @@ type span_report = {
   r_max_rounds : int;
   r_delivered : int;
   r_words : int;
+  r_bits : int;
   r_skipped : int;
   r_woken : int;
   r_dropped : int;
@@ -21,6 +22,7 @@ type t = {
   messages : int;
   delivered : int;
   words : int;
+  bits : int;
   peak_words : int;
   budget : int option;
   skipped : int;
@@ -56,6 +58,7 @@ let report tr =
             r_max_rounds = 0;
             r_delivered = 0;
             r_words = 0;
+            r_bits = 0;
             r_skipped = 0;
             r_woken = 0;
             r_dropped = 0;
@@ -75,6 +78,7 @@ let report tr =
           r_max_rounds = max r.r_max_rounds st.Trace.s_rounds;
           r_delivered = r.r_delivered + st.Trace.s_delivered;
           r_words = r.r_words + st.Trace.s_words;
+          r_bits = r.r_bits + st.Trace.s_bits;
           r_skipped = r.r_skipped + st.Trace.s_skipped;
           r_woken = r.r_woken + st.Trace.s_woken;
           r_dropped = r.r_dropped + st.Trace.s_dropped;
@@ -88,6 +92,7 @@ let report tr =
     (Trace.spans tr);
   let delivered = ref 0
   and words = ref 0
+  and bits = ref 0
   and skipped = ref 0
   and woken = ref 0
   and dropped = ref 0
@@ -101,6 +106,7 @@ let report tr =
     (fun (ri : Engine.Sink.round_info) ->
       delivered := !delivered + ri.delivered;
       words := !words + ri.delivered_words;
+      bits := !bits + ri.delivered_bits;
       skipped := !skipped + ri.skipped;
       woken := !woken + ri.woken;
       dropped := !dropped + ri.dropped;
@@ -116,6 +122,7 @@ let report tr =
     messages = Trace.messages tr;
     delivered = !delivered;
     words = !words;
+    bits = !bits;
     peak_words = Trace.peak_words tr;
     budget = Trace.budget tr;
     skipped = !skipped;
@@ -152,8 +159,8 @@ let span_index name =
   | _ -> None
 
 let pp ppf r =
-  Format.fprintf ppf "@[<v>rounds %d  messages %d  delivered %d  words %d@,"
-    r.rounds r.messages r.delivered r.words;
+  Format.fprintf ppf "@[<v>rounds %d  messages %d  delivered %d  words %d  bits %d@,"
+    r.rounds r.messages r.delivered r.words r.bits;
   Format.fprintf ppf "peak words %d%a" r.peak_words
     (fun ppf -> function
       | None -> ()

@@ -9,6 +9,7 @@ type span_report = {
   r_max_rounds : int;   (** longest single span *)
   r_delivered : int;
   r_words : int;
+  r_bits : int;      (** measured wire bits ({!Codec.measured_bits}) *)
   r_skipped : int;   (** live-node steps the sparse scheduler elided *)
   r_woken : int;     (** timer-driven wake-ups *)
   r_dropped : int;
@@ -24,7 +25,10 @@ type t = {
   rounds : int;         (** final value of the trace's round clock *)
   messages : int;       (** messages observed at send time *)
   delivered : int;      (** messages delivered (sums engine round records) *)
-  words : int;          (** payload words delivered *)
+  words : int;          (** payload (logical) words delivered *)
+  bits : int;
+      (** measured wire bits delivered — the honest O(log n)-bit cost of the
+          run as encoded by {!Codec}, not the declared word budget *)
   peak_words : int;     (** widest single message *)
   budget : int option;  (** declared word budget, if any *)
   skipped : int;        (** total elided steps (frontier saving) *)

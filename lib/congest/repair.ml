@@ -93,7 +93,7 @@ let validate g cfg =
 
 let default_dmax (p : plan) = (2 * Array.fold_left max 0 p.depth) + 2
 
-let algorithm g cfg : state Engine.algorithm =
+let ealgorithm g cfg : state Engine.ealgorithm =
   let n = Graph.n g in
   let { plan; beta; lease; dmax; horizon } = cfg in
   let children_of = Array.make (max 1 n) [] in
@@ -101,7 +101,7 @@ let algorithm g cfg : state Engine.algorithm =
     let p = plan.parent.(v) in
     if p >= 0 then children_of.(p) <- v :: children_of.(p)
   done;
-  let init _g v =
+  let einit _g v =
     let joiner = plan.dominator.(v) = -1 && plan.parent.(v) = -1 in
     {
       neighbors = Array.to_list (Array.map fst (Graph.neighbors g v));
@@ -123,21 +123,24 @@ let algorithm g cfg : state Engine.algorithm =
       halted = false;
     }
   in
-  let step _g ~round:r ~node st inbox =
-    if st.halted then (st, [])
-    else if r >= horizon then ({ st with halted = true }, [])
+  let estep _g ~round:r ~node st inbox em =
+    if st.halted then st
+    else if r >= horizon then { st with halted = true }
     else begin
       (* A frame sent at [horizon - 1] would arrive after every node has
          halted — suppress sends (never state transitions) at the edge. *)
       let can_send = r < horizon - 1 in
-      let out = ref [] in
       let hb_sent = ref st.hb_sent and repair_sent = ref st.repair_sent in
       let send_hb u dom depth =
-        out := (u, [| tag_hb; dom; depth |]) :: !out;
+        Engine.Emit.frame3 em ~dst:u tag_hb dom depth;
         incr hb_sent
       in
-      let send_rep u p =
-        out := (u, p) :: !out;
+      let send_rep1 u tag =
+        Engine.Emit.frame1 em ~dst:u tag;
+        incr repair_sent
+      in
+      let send_rep3 u tag a b =
+        Engine.Emit.frame3 em ~dst:u tag a b;
         incr repair_sent
       in
       (* One pass over the inbox.  HB from the current parent renews the
@@ -150,49 +153,54 @@ let algorithm g cfg : state Engine.algorithm =
       let best_reparent = ref None in
       let best_welcome = ref None in
       let best_newdom = ref None in
-      Engine.Inbox.iter
-        (fun u p ->
-          match p.(0) with
-          | t when t = tag_attach -> attachers := u :: !attachers
-          | t when t = tag_adopted -> adopters := u :: !adopters
-          | t when t = tag_hb ->
-            if u = st.parent then hb := Some (p.(1), p.(2))
-            else if
-              st.phase = Member && st.parent >= 0 && p.(1) = st.dom
-              && st.dom >= 0
-              && p.(2) + 1 < st.depth
-            then begin
-              let better =
-                match !best_reparent with
-                | None -> true
-                | Some (d, s, _) -> (p.(2), u) < (d, s)
-              in
-              if better then best_reparent := Some (p.(2), u, p.(1))
-            end
-          | t when t = tag_welcome ->
-            (* the depth cap guarantees the lease argument terminates: in a
-               region with no live dominator every re-adoption strictly
-               deepens the stale tree, so refusing over-deep offers starves
-               the ping-pong and forces the region into takeover *)
-            if st.phase = Orphan && p.(2) < dmax then begin
-              let better =
-                match !best_welcome with
-                | None -> true
-                | Some (d, s, _) -> (p.(2), u) < (d, s)
-              in
-              if better then best_welcome := Some (p.(2), u, p.(1))
-            end
-          | t when t = tag_newdom ->
+      for i = 0 to Engine.Inbox.length inbox - 1 do
+        let u = Engine.Inbox.sender inbox i in
+        let rd = Engine.Inbox.read inbox i in
+        match Codec.get rd with
+        | t when t = tag_attach -> attachers := u :: !attachers
+        | t when t = tag_adopted -> adopters := u :: !adopters
+        | t when t = tag_hb ->
+          let dom = Codec.get rd in
+          let pd = Codec.get rd in
+          if u = st.parent then hb := Some (dom, pd)
+          else if
+            st.phase = Member && st.parent >= 0 && dom = st.dom && st.dom >= 0
+            && pd + 1 < st.depth
+          then begin
             let better =
-              match !best_newdom with
+              match !best_reparent with
               | None -> true
-              | Some (s0, w0, d0) ->
-                wave_prefers (p.(1), p.(2)) (w0, d0)
-                || ((p.(1), p.(2)) = (w0, d0) && u < s0)
+              | Some (d, s, _) -> (pd, u) < (d, s)
             in
-            if better then best_newdom := Some (u, p.(1), p.(2))
-          | t -> invalid_arg (Printf.sprintf "Repair: unknown tag %d" t))
-        inbox;
+            if better then best_reparent := Some (pd, u, dom)
+          end
+        | t when t = tag_welcome ->
+          (* the depth cap guarantees the lease argument terminates: in a
+             region with no live dominator every re-adoption strictly
+             deepens the stale tree, so refusing over-deep offers starves
+             the ping-pong and forces the region into takeover *)
+          let dom = Codec.get rd in
+          let pd = Codec.get rd in
+          if st.phase = Orphan && pd < dmax then begin
+            let better =
+              match !best_welcome with
+              | None -> true
+              | Some (d, s, _) -> (pd, u) < (d, s)
+            in
+            if better then best_welcome := Some (pd, u, dom)
+          end
+        | t when t = tag_newdom ->
+          let w = Codec.get rd in
+          let d = Codec.get rd in
+          let better =
+            match !best_newdom with
+            | None -> true
+            | Some (s0, w0, d0) ->
+              wave_prefers (w, d) (w0, d0) || ((w, d) = (w0, d0) && u < s0)
+          in
+          if better then best_newdom := Some (u, w, d)
+        | t -> invalid_arg (Printf.sprintf "Repair: unknown tag %d" t)
+      done;
       let attachers = !attachers in
       (* An ATTACH sender has renounced its place in our subtree; an ADOPTED
          sender has just joined it.  Doing this before any heartbeat
@@ -234,8 +242,7 @@ let algorithm g cfg : state Engine.algorithm =
           else st.deadline
         in
         let next_wake = min horizon (max (r + 1) target) in
-        ( { st with next_wake; hb_sent = !hb_sent; repair_sent = !repair_sent },
-          !out )
+        { st with next_wake; hb_sent = !hb_sent; repair_sent = !repair_sent }
       in
       if st.parent >= 0 && st.phase <> Orphan && r >= st.deadline then begin
         (* Missed lease: the dominator (or the tree path to it) is gone.
@@ -253,7 +260,7 @@ let algorithm g cfg : state Engine.algorithm =
             attach_deadline = r + 3;
           }
         in
-        if can_send then List.iter (fun u -> send_rep u [| tag_attach |]) st.neighbors;
+        if can_send then List.iter (fun u -> send_rep1 u tag_attach) st.neighbors;
         finish st
       end
       else if st.phase = Orphan then begin
@@ -273,7 +280,7 @@ let algorithm g cfg : state Engine.algorithm =
               repaired_at = r;
             }
           in
-          if can_send then send_rep u [| tag_adopted |];
+          if can_send then send_rep1 u tag_adopted;
           finish st
         | None -> (
           match !best_newdom with
@@ -293,9 +300,9 @@ let algorithm g cfg : state Engine.algorithm =
               }
             in
             if can_send then begin
-              send_rep u [| tag_adopted |];
+              send_rep1 u tag_adopted;
               List.iter
-                (fun x -> if x <> u then send_rep x [| tag_newdom; w; depth |])
+                (fun x -> if x <> u then send_rep3 x tag_newdom w depth)
                 st.neighbors
             end;
             finish st
@@ -306,7 +313,7 @@ let algorithm g cfg : state Engine.algorithm =
                   { st with attach_left = st.attach_left - 1; attach_deadline = r + 3 }
                 in
                 if can_send then
-                  List.iter (fun u -> send_rep u [| tag_attach |]) st.neighbors;
+                  List.iter (fun u -> send_rep1 u tag_attach) st.neighbors;
                 finish st
               end
               else begin
@@ -317,7 +324,7 @@ let algorithm g cfg : state Engine.algorithm =
                     repaired_at = r }
                 in
                 if can_send then
-                  List.iter (fun u -> send_rep u [| tag_newdom; node; 0 |]) st.neighbors;
+                  List.iter (fun u -> send_rep3 u tag_newdom node 0) st.neighbors;
                 finish st
               end
             else finish st)
@@ -342,9 +349,9 @@ let algorithm g cfg : state Engine.algorithm =
                 }
               in
               if can_send then begin
-                send_rep u [| tag_adopted |];
+                send_rep1 u tag_adopted;
                 List.iter
-                  (fun x -> if x <> u then send_rep x [| tag_newdom; w; depth |])
+                  (fun x -> if x <> u then send_rep3 x tag_newdom w depth)
                   st.neighbors
               end;
               (true, st)
@@ -379,7 +386,7 @@ let algorithm g cfg : state Engine.algorithm =
           in
           if can_send then begin
             (match reparent_to with
-            | Some u -> send_rep u [| tag_adopted |]
+            | Some u -> send_rep1 u tag_adopted
             | None -> ());
             (* Heartbeats: a dominator (original or takeover) emits a wave
                every [beta] rounds; everyone else relays the parent's.  The
@@ -409,7 +416,7 @@ let algorithm g cfg : state Engine.algorithm =
             in
             if st.dom >= 0 && st.depth < dmax && fresh then
               List.iter
-                (fun u -> send_rep u [| tag_welcome; st.dom; st.depth |])
+                (fun u -> send_rep3 u tag_welcome st.dom st.depth)
                 attachers
           end;
           finish st
@@ -417,13 +424,18 @@ let algorithm g cfg : state Engine.algorithm =
       end
     end
   in
-  let halted st = st.halted in
+  let ehalted st = st.halted in
   (* Everything is either message-driven (the engine always steps a node
      with a non-empty inbox) or timer-driven: the next lease check, attach
      retry, heartbeat emission or the final halt at [horizon] — whichever
-     is earliest, precomputed into [next_wake] by [step]. *)
-  let wake st = if st.halted then Engine.OnMessage else Engine.At st.next_wake in
-  { Engine.init; step; halted; wake }
+     is earliest, precomputed into [next_wake] by [estep]. *)
+  let ewake st =
+    if st.halted then Engine.OnMessage else Engine.At st.next_wake
+  in
+  { Engine.einit; estep; ehalted; ewake }
+
+let algorithm g cfg : state Engine.algorithm =
+  Engine.to_algorithm ~max_words (ealgorithm g cfg)
 
 (* ------------------------------------------------------------------ *)
 (* decoding *)
@@ -483,7 +495,8 @@ let run ?trace ?sink ?degrade ?churn ?max_rounds e cfg =
   let sink = Trace.wrap ?trace ?sink () in
   let states, stats =
     Trace.span_opt trace "repair" (fun () ->
-        Engine.exec ~max_rounds ~max_words ~sink ?degrade ?churn e (algorithm g cfg))
+        Engine.exec_emit ~max_rounds ~max_words ~sink ?degrade ?churn e
+          (ealgorithm g cfg))
   in
   let rep = decode states in
   (match trace with

@@ -12,6 +12,14 @@ type 'st algorithm = 'st Engine.algorithm = {
   wake : 'st -> wake;
 }
 
+type 'st ealgorithm = 'st Engine.ealgorithm = {
+  einit : Graph.t -> int -> 'st;
+  estep :
+    Graph.t -> round:int -> node:int -> 'st -> Engine.Inbox.t -> Engine.Emit.t -> 'st;
+  ehalted : 'st -> bool;
+  ewake : 'st -> wake;
+}
+
 type stats = Engine.stats = { rounds : int; messages : int; max_inflight : int }
 
 exception Round_limit_exceeded = Engine.Round_limit_exceeded
@@ -19,6 +27,9 @@ exception Congestion_violation = Engine.Congestion_violation
 
 let run ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g algo =
   Engine.run ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g algo
+
+let run_emit ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g ea =
+  Engine.run_emit ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g ea
 
 (* ------------------------------------------------------------------ *)
 (* The original list-based simulator, kept verbatim as the executable
@@ -45,6 +56,7 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
   let in_flight : (int * payload) list array = Array.make n [] in
   let pending = ref 0 in
   let pending_words = ref 0 in
+  let pending_bits = ref 0 in
   let messages = ref 0 in
   let max_inflight = ref 0 in
   let round = ref 0 in
@@ -81,7 +93,8 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
             (fun (_, p) ->
               incr churn_dropped;
               decr pending;
-              pending_words := !pending_words - Array.length p)
+              pending_words := !pending_words - Array.length p;
+              pending_bits := !pending_bits - Codec.measured_bits p)
             in_flight.(v)
           |> fun () -> in_flight.(v) <- []
         else
@@ -92,6 +105,7 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
                   incr churn_dropped;
                   decr pending;
                   pending_words := !pending_words - Array.length p;
+                  pending_bits := !pending_bits - Codec.measured_bits p;
                   false
                 end
                 else true)
@@ -102,10 +116,12 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
     Array.fill in_flight 0 n [];
     let this_round = !pending in
     let this_round_words = !pending_words in
+    let this_round_bits = !pending_bits in
     max_inflight := max !max_inflight this_round;
     messages := !messages + this_round;
     pending := 0;
     pending_words := 0;
+    pending_bits := 0;
     let stepped = ref 0 in
     let receivers = ref 0 in
     for v = 0 to n - 1 do
@@ -164,7 +180,8 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
                 sink.on_message ~round:!round ~src:v ~dst:u ~words:(Array.length p);
               in_flight.(u) <- (v, p) :: in_flight.(u);
               incr pending;
-              pending_words := !pending_words + Array.length p
+              pending_words := !pending_words + Array.length p;
+              pending_bits := !pending_bits + Codec.measured_bits p
             end)
           outbox
       end
@@ -175,6 +192,7 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
           round = !round;
           delivered = this_round;
           delivered_words = this_round_words;
+          delivered_bits = this_round_bits;
           receivers = !receivers;
           stepped = !stepped;
           skipped = 0;

@@ -52,6 +52,17 @@ type 'st algorithm = 'st Engine.algorithm = {
         dense schedule the hints must be indistinguishable from. *)
 }
 
+type 'st ealgorithm = 'st Engine.ealgorithm = {
+  einit : Graph.t -> int -> 'st;
+  estep :
+    Graph.t -> round:int -> node:int -> 'st -> Engine.Inbox.t -> Engine.Emit.t -> 'st;
+  ehalted : 'st -> bool;
+  ewake : 'st -> wake;
+}
+(** Re-export of the engine's emit-native algorithm shape: [estep] writes
+    frames directly into the packed send arena via {!Engine.Emit} instead
+    of returning an outbox list.  See {!Engine.ealgorithm}. *)
+
 type stats = Engine.stats = {
   rounds : int;         (** rounds executed until quiescence *)
   messages : int;       (** total messages delivered *)
@@ -82,6 +93,13 @@ val run :
     crashy network — and check that the final states are nevertheless
     bit-identical — see {!Faults}, {!Async.run_reliable} and the output
     invariant checkers in {!Oracle}. *)
+
+val run_emit :
+  ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t -> ?degrade:bool ->
+  ?domains:int -> ?partition:int array ->
+  Graph.t -> 'st ealgorithm -> 'st array * stats
+(** {!run} for the emit-native shape — the allocation-free send path.
+    Semantically identical to running [Engine.to_algorithm ea]. *)
 
 val run_reference :
   ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t ->

@@ -132,7 +132,7 @@ let record t req ~round ~hops ~answer =
     Hashtbl.remove t.pending req
   end
 
-let algorithm g cfg : state Engine.algorithm =
+let ealgorithm g cfg : state Engine.ealgorithm =
   let n = Graph.n g in
   let { plan; requests; horizon; retry_after; retries } = cfg in
   let parent = plan.parent and dom = plan.dominator in
@@ -172,7 +172,7 @@ let algorithm g cfg : state Engine.algorithm =
              (List.rev ids)))
       tmp
   in
-  let init _g v =
+  let einit _g v =
     {
       tabs = (if Array.length inj.(v) > 0 then Some (mk_tabs ()) else None);
       next_wake = 0;
@@ -211,20 +211,25 @@ let algorithm g cfg : state Engine.algorithm =
         Hashtbl.replace t.pending req (r + retry_after, 0)
       end
   in
-  let step _g ~round:r ~node st inbox =
-    if st.halted then (st, [])
+  let estep _g ~round:r ~node st inbox em =
+    if st.halted then st
     else if r >= horizon then begin
       st.halted <- true;
-      (st, [])
+      st
     end
     else begin
       let can_send = r < horizon - 1 in
-      (* 1. consume the inbox *)
-      Engine.Inbox.iter
-        (fun u p ->
-          let t = tabs st in
-          let tag = p.(0) and req = p.(1) and aux = p.(2) and hops = p.(3) in
-          if tag = tag_reply then begin
+      (* 1. consume the inbox — every frame is [| tag; req; aux; hops |],
+         decoded in place from the packed arena *)
+      for i = 0 to Engine.Inbox.length inbox - 1 do
+        let u = Engine.Inbox.sender inbox i in
+        let rd = Engine.Inbox.read inbox i in
+        let t = tabs st in
+        let tag = Codec.get rd in
+        let req = Codec.get rd in
+        let aux = Codec.get rd in
+        let hops = Codec.get rd in
+        if tag = tag_reply then begin
             if requests.(req).origin = node then
               record t req ~round:r ~hops ~answer:aux
             else
@@ -260,8 +265,8 @@ let algorithm g cfg : state Engine.algorithm =
                 else (* root without the destination: NACK *)
                   enqueue t u [| tag_reply; req; -1; hops + 1 |]
           end
-          else invalid_arg (Printf.sprintf "Serve: unknown tag %d" tag))
-        inbox;
+          else invalid_arg (Printf.sprintf "Serve: unknown tag %d" tag)
+      done;
       (* 2. due injections *)
       let my = inj.(node) in
       if Array.length my > 0 then begin
@@ -295,8 +300,8 @@ let algorithm g cfg : state Engine.algorithm =
               Hashtbl.replace t.pending req (max_int, tries))
           expired
       | _ -> ());
-      (* 4. drain at most one frame per neighbor — the CONGEST discipline *)
-      let out = ref [] in
+      (* 4. drain at most one frame per neighbor — the CONGEST discipline.
+         The queued frame goes straight into the packed send arena. *)
       (match st.tabs with
       | Some t when can_send && t.qlist <> [] ->
         t.qlist <-
@@ -304,7 +309,8 @@ let algorithm g cfg : state Engine.algorithm =
             (fun u ->
               let q = Hashtbl.find t.outq u in
               let frame = Queue.pop q in
-              out := (u, frame) :: !out;
+              Engine.Emit.frame4 em ~dst:u frame.(0) frame.(1) frame.(2)
+                frame.(3);
               t.q_len <- t.q_len - 1;
               t.frames <- t.frames + 1;
               Hashtbl.replace t.sent_to u
@@ -328,12 +334,17 @@ let algorithm g cfg : state Engine.algorithm =
           end
       in
       st.next_wake <- min horizon (max (r + 1) target);
-      (st, !out)
+      st
     end
   in
-  let halted st = st.halted in
-  let wake st = if st.halted then Engine.OnMessage else Engine.At st.next_wake in
-  { Engine.init; step; halted; wake }
+  let ehalted st = st.halted in
+  let ewake st =
+    if st.halted then Engine.OnMessage else Engine.At st.next_wake
+  in
+  { Engine.einit; estep; ehalted; ewake }
+
+let algorithm g cfg : state Engine.algorithm =
+  Engine.to_algorithm ~max_words (ealgorithm g cfg)
 
 (* ------------------------------------------------------------------ *)
 (* decoding *)
@@ -453,7 +464,8 @@ let run ?trace ?sink ?degrade ?churn ?max_rounds e cfg =
   let sink = Trace.wrap ?trace ?sink () in
   let states, stats =
     Trace.span_opt trace "serve" (fun () ->
-        Engine.exec ~max_rounds ~max_words ~sink ?degrade ?churn e (algorithm g cfg))
+        Engine.exec_emit ~max_rounds ~max_words ~sink ?degrade ?churn e
+          (ealgorithm g cfg))
   in
   (match trace with
   | None -> ()

@@ -12,6 +12,7 @@ type span_stats = {
   s_rounds : int;
   s_delivered : int;
   s_words : int;
+  s_bits : int;
   s_skipped : int;
   s_woken : int;
   s_dropped : int;
@@ -31,6 +32,7 @@ let dummy_round : Engine.Sink.round_info =
     round = 0;
     delivered = 0;
     delivered_words = 0;
+    delivered_bits = 0;
     receivers = 0;
     stepped = 0;
     skipped = 0;
@@ -220,6 +222,7 @@ let span_stats t s =
   let i0 = lower_bound t s.start_round and i1 = lower_bound t stop in
   let delivered = ref 0
   and words = ref 0
+  and bits = ref 0
   and skipped = ref 0
   and woken = ref 0
   and dropped = ref 0
@@ -233,6 +236,7 @@ let span_stats t s =
     let r = t.buf.rb.(i) in
     delivered := !delivered + r.delivered;
     words := !words + r.delivered_words;
+    bits := !bits + r.delivered_bits;
     skipped := !skipped + r.skipped;
     woken := !woken + r.woken;
     dropped := !dropped + r.dropped;
@@ -247,6 +251,7 @@ let span_stats t s =
     s_rounds = stop - s.start_round;
     s_delivered = !delivered;
     s_words = !words;
+    s_bits = !bits;
     s_skipped = !skipped;
     s_woken = !woken;
     s_dropped = !dropped;
@@ -286,7 +291,7 @@ let histograms t = List.rev t.hists_rev
 (* ------------------------------------------------------------------ *)
 (* export *)
 
-let schema_version = "kdom.trace.v1.5"
+let schema_version = "kdom.trace.v1.6"
 
 let escape name =
   let b = Buffer.create (String.length name) in
@@ -303,6 +308,7 @@ let escape name =
 type totals = {
   t_delivered : int;
   t_words : int;
+  t_bits : int;
   t_skipped : int;
   t_woken : int;
   t_dropped : int;
@@ -317,6 +323,7 @@ type totals = {
 let totals t =
   let delivered = ref 0
   and words = ref 0
+  and bits = ref 0
   and skipped = ref 0
   and woken = ref 0
   and dropped = ref 0
@@ -330,6 +337,7 @@ let totals t =
     let r = t.buf.rb.(i) in
     delivered := !delivered + r.delivered;
     words := !words + r.delivered_words;
+    bits := !bits + r.delivered_bits;
     skipped := !skipped + r.skipped;
     woken := !woken + r.woken;
     dropped := !dropped + r.dropped;
@@ -343,6 +351,7 @@ let totals t =
   {
     t_delivered = !delivered;
     t_words = !words;
+    t_bits = !bits;
     t_skipped = !skipped;
     t_woken = !woken;
     t_dropped = !dropped;
@@ -369,12 +378,12 @@ let to_jsonl t =
         (Printf.sprintf
            "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"depth\":%d,\
             \"track\":%d,\"start\":%d,\"end\":%d,\"rounds\":%d,\"delivered\":%d,\
-            \"words\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
+            \"words\":%d,\"bits\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
             \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d,\
             \"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
            s.id s.parent (escape s.name) s.depth s.track s.start_round
            (if s.stop_round < 0 then t.clock else s.stop_round)
-           st.s_rounds st.s_delivered st.s_words st.s_skipped st.s_woken
+           st.s_rounds st.s_delivered st.s_words st.s_bits st.s_skipped st.s_woken
            st.s_dropped st.s_duplicated st.s_retransmits st.s_crashed
            st.s_arrived st.s_departed st.s_inserted))
     spans;
@@ -383,12 +392,12 @@ let to_jsonl t =
     Buffer.add_string b
       (Printf.sprintf
          "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
-          \"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\"woken\":%d,\
+          \"bits\":%d,\"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\"woken\":%d,\
           \"sent\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d,\
           \"crashed\":%d,\"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
-         r.round r.delivered r.delivered_words r.receivers r.stepped r.skipped
-         r.woken r.sent r.dropped r.duplicated r.retransmits r.crashed
-         r.arrived r.departed r.inserted)
+         r.round r.delivered r.delivered_words r.delivered_bits r.receivers
+         r.stepped r.skipped r.woken r.sent r.dropped r.duplicated r.retransmits
+         r.crashed r.arrived r.departed r.inserted)
   done;
   List.iter
     (fun (name, v) ->
@@ -408,13 +417,15 @@ let to_jsonl t =
   Buffer.add_string b
     (Printf.sprintf
        "{\"type\":\"summary\",\"clock\":%d,\"rounds\":%d,\"spans\":%d,\
-        \"messages\":%d,\"delivered\":%d,\"words\":%d,\"peak_words\":%d,\
+        \"messages\":%d,\"delivered\":%d,\"words\":%d,\"bits\":%d,\
+        \"peak_words\":%d,\
         \"budget\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
         \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d,\
         \"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
        t.clock t.buf.rlen (List.length spans) t.msgs tt.t_delivered tt.t_words
-       t.peak t.budget tt.t_skipped tt.t_woken tt.t_dropped tt.t_duplicated
-       tt.t_retransmits tt.t_crashed tt.t_arrived tt.t_departed tt.t_inserted);
+       tt.t_bits t.peak t.budget tt.t_skipped tt.t_woken tt.t_dropped
+       tt.t_duplicated tt.t_retransmits tt.t_crashed tt.t_arrived tt.t_departed
+       tt.t_inserted);
   Buffer.contents b
 
 let export_jsonl t oc =
@@ -513,22 +524,23 @@ let int_fields = function
     Some
       [
         "id"; "parent"; "depth"; "track"; "start"; "end"; "rounds"; "delivered";
-        "words"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
-        "crashed"; "arrived"; "departed"; "inserted";
+        "words"; "bits"; "skipped"; "woken"; "dropped"; "duplicated";
+        "retransmits"; "crashed"; "arrived"; "departed"; "inserted";
       ]
   | "round" ->
     Some
       [
-        "round"; "delivered"; "words"; "receivers"; "stepped"; "skipped"; "woken";
-        "sent"; "dropped"; "duplicated"; "retransmits"; "crashed"; "arrived";
-        "departed"; "inserted";
+        "round"; "delivered"; "words"; "bits"; "receivers"; "stepped"; "skipped";
+        "woken"; "sent"; "dropped"; "duplicated"; "retransmits"; "crashed";
+        "arrived"; "departed"; "inserted";
       ]
   | "note" -> Some [ "value" ]
   | "hist" -> Some []
   | "summary" ->
     Some
       [
-        "clock"; "rounds"; "spans"; "messages"; "delivered"; "words"; "peak_words";
+        "clock"; "rounds"; "spans"; "messages"; "delivered"; "words"; "bits";
+        "peak_words";
         "budget"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
         "crashed"; "arrived"; "departed"; "inserted";
       ]

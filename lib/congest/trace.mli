@@ -44,7 +44,10 @@ type span = {
 type span_stats = {
   s_rounds : int;       (** [stop_round - start_round] *)
   s_delivered : int;    (** messages delivered during the span *)
-  s_words : int;        (** payload words delivered during the span *)
+  s_words : int;        (** payload (logical) words delivered during the span *)
+  s_bits : int;
+      (** measured wire bits delivered during the span — the sum of
+          {!Codec.measured_bits} over every delivered frame *)
   s_skipped : int;
       (** live-node steps the sparse scheduler elided during the span —
           [s_skipped / s_rounds] is the average frontier saving *)

@@ -28,10 +28,15 @@ type census_state = {
 
 (* Census schedule: a node at depth [i] upcasts its census(l) counter at
    round [l + (M - i)]; the root owns totals at round [l + M]; the decision
-   broadcast of round [k + M + 1] reaches depth [i] at [k + M + 1 + i]. *)
-let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
+   broadcast of round [k + M + 1] reaches depth [i] at [k + M + 1 + i].
+
+   Emit-native: frames are read in place through the packed-inbox decoder
+   and written with the fixed-arity [Emit.frame*] helpers, so a census
+   step allocates only its own (immutable) state record. *)
+let census_ealgorithm (info : Bfs_tree.info) ~k : census_state Engine.ealgorithm
+    =
   let m = info.height in
-  let init _g v =
+  let einit _g v =
     {
       depth = info.depth.(v);
       parent = info.parent.(v);
@@ -45,17 +50,18 @@ let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
       halted = false;
     }
   in
-  let step _g ~round ~node:_ st inbox =
-    let out = ref [] in
+  let estep _g ~round ~node:_ st inbox em =
     let below = ref 0 in
     let result = ref (-1) in
-    Engine.Inbox.iter
-      (fun _u payload ->
-        match payload.(0) with
-        | t when t = tag_census -> below := !below + payload.(2)
-        | t when t = tag_result -> result := payload.(1)
-        | t -> invalid_arg (Printf.sprintf "Diam_dom: unknown tag %d" t))
-      inbox;
+    for i = 0 to Engine.Inbox.length inbox - 1 do
+      let rd = Engine.Inbox.read inbox i in
+      match Codec.get rd with
+      | t when t = tag_census ->
+        ignore (Codec.get rd);
+        below := !below + Codec.get rd
+      | t when t = tag_result -> result := Codec.get rd
+      | t -> invalid_arg (Printf.sprintf "Diam_dom: unknown tag %d" t)
+    done;
     let l = round - (st.m - st.depth) in
     let st =
       if l >= 0 && l <= st.k then begin
@@ -67,7 +73,7 @@ let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
           st
         end
         else begin
-          out := (st.parent, [| tag_census; l; counter |]) :: !out;
+          Engine.Emit.frame3 em ~dst:st.parent tag_census l counter;
           st
         end
       end
@@ -80,11 +86,15 @@ let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
           if st.totals.(l) < st.totals.(!best) then best := l
         done;
         let st = { st with decided = !best; member = true } in
-        List.iter (fun c -> out := (c, [| tag_result; !best |]) :: !out) st.children;
+        List.iter
+          (fun c -> Engine.Emit.frame2 em ~dst:c tag_result !best)
+          st.children;
         { st with halted = true }
       end
       else if !result >= 0 then begin
-        List.iter (fun c -> out := (c, [| tag_result; !result |]) :: !out) st.children;
+        List.iter
+          (fun c -> Engine.Emit.frame2 em ~dst:c tag_result !result)
+          st.children;
         {
           st with
           decided = !result;
@@ -103,20 +113,25 @@ let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
       else if round < start + st.k then round + 1
       else -1
     in
-    ({ st with wake_round }, !out)
+    { st with wake_round }
   in
-  let halted st = st.halted in
-  let wake st =
+  let ehalted st = st.halted in
+  let ewake st =
     if st.wake_round >= 0 then Engine.At st.wake_round else Engine.OnMessage
   in
-  { Engine.init; step; halted; wake }
+  { Engine.einit; estep; ehalted; ewake }
 
 (* Word budget: the widest message is [| tag_census; l; counter |] — 3
    words. *)
 let census_max_words = 3
 
+(* Legacy list shape, derived — keeps the differential suites and every
+   external caller on one source of truth. *)
+let census_algorithm (info : Bfs_tree.info) ~k : census_state Engine.algorithm =
+  Engine.to_algorithm ~max_words:census_max_words (census_ealgorithm info ~k)
+
 let census_run ?sink g (info : Bfs_tree.info) ~k =
-  Engine.run ~max_words:census_max_words ?sink g (census_algorithm info ~k)
+  Engine.run_emit ~max_words:census_max_words ?sink g (census_ealgorithm info ~k)
 
 let dominating_of_states states = Array.map (fun st -> st.member) states
 let decided_level states ~root = states.(root).decided

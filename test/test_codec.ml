@@ -1,0 +1,297 @@
+(* Codec properties and emit-path differentials.
+
+   Group 1 (qcheck): every payload that fits the engine's word budget
+   round-trips bit-identically through the packed codec — via the raw
+   [encode]/[decode] pair, via the writer/reader cursors over a fixed
+   arena region, and via the growable scratch mode the compat adapter
+   uses; the wire length always equals [measure]; [encode1] agrees with
+   [encode] on one-word frames; and the write of logical word
+   [budget + 1] raises the typed [Codec.Width_exceeded] — never a silent
+   truncation.
+
+   Group 2: the broadcast fast path.  A flood kernel written with
+   [Emit.broadcast1] must be bit-identical — final states and stats — to
+   the same kernel written against the legacy list API, under the
+   sequential executor, the sharded executor at 2 and 4 domains, the
+   list-based reference simulator (via [to_algorithm]), and with an
+   inbox-reading kernel that exercises the lazy in-port fill behind the
+   broadcast. *)
+
+open Kdom_graph
+open Kdom_congest
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let seed_gen = QCheck2.Gen.int_bound 10_000
+
+(* Values spanning the whole zigzag range: mostly small (the 1-wire-word
+   regime node ids and hop counts live in), sometimes full-width. *)
+let word_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        small_signed_int;
+        int_range (-32768) 32767;
+        int;
+        map (fun i -> -i - 1) int;
+        oneofl [ 0; 1; -1; max_int; min_int; 0x3FFF; 0x4000; -0x4000 ];
+      ])
+
+let payload_gen ~max_len =
+  QCheck2.Gen.(list_size (int_range 0 max_len) word_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Group 1: round trips *)
+
+let check_roundtrip p =
+  let words = Array.length p in
+  let cap = 2 * Codec.max_wire_words * max 1 words in
+  (* raw array pair *)
+  let buf = Bytes.make cap '\xff' in
+  let wire = Codec.encode buf ~base:0 p in
+  if wire <> Codec.measure p then
+    Alcotest.failf "encode wire %d <> measure %d" wire (Codec.measure p);
+  if Codec.measured_bits p <> Codec.word_bits * wire then
+    Alcotest.fail "measured_bits inconsistent with measure";
+  let q = Codec.decode buf ~base:0 ~wire ~words in
+  if q <> p then Alcotest.fail "encode/decode round trip differs";
+  (* writer/reader cursors over a fixed region, non-zero base *)
+  let base = 6 in
+  let arena = Bytes.make (base + cap) '\xff' in
+  let w = Codec.writer () in
+  Codec.attach_writer w arena ~base ~budget:words;
+  Array.iter (Codec.put w) p;
+  if Codec.words w <> words || Codec.wire w <> wire then
+    Alcotest.fail "writer words/wire differ from measure";
+  let r = Codec.reader () in
+  Codec.attach_reader r arena ~base ~wire ~words;
+  Array.iteri
+    (fun i v ->
+      if Codec.remaining r <> words - i then Alcotest.fail "remaining drifts";
+      if Codec.get r <> v then Alcotest.failf "reader word %d differs" i)
+    p;
+  if Codec.remaining r <> 0 then Alcotest.fail "reader not drained";
+  (* scratch mode (the compat adapter's path) *)
+  let sw = Codec.writer () in
+  Codec.scratch_writer sw ~budget:words;
+  Array.iter (Codec.put sw) p;
+  let sr = Codec.reader () in
+  Codec.attach_reader sr (Codec.writer_bytes sw) ~base:0 ~wire:(Codec.wire sw)
+    ~words;
+  Array.iter
+    (fun v -> if Codec.get sr <> v then Alcotest.fail "scratch trip differs")
+    p
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"codec round trip at the engine budget" ~count:500
+    QCheck2.Gen.(pair (int_range 2 1_000_000) (payload_gen ~max_len:12))
+    (fun (n, p) ->
+      let budget = Engine.default_max_words n in
+      let p = Array.of_list p in
+      let p =
+        if Array.length p > budget then Array.sub p 0 budget else p
+      in
+      check_roundtrip p;
+      true)
+
+let prop_encode1 =
+  QCheck2.Test.make ~name:"encode1 = encode on one-word frames" ~count:500
+    word_gen (fun v ->
+      let cap = 2 * Codec.max_wire_words in
+      let a = Bytes.make cap '\x00' and b = Bytes.make cap '\x00' in
+      let wa = Codec.encode a ~base:0 [| v |] in
+      let wb = Codec.encode1 b ~base:0 v in
+      wa = wb && Bytes.sub a 0 (2 * wa) = Bytes.sub b 0 (2 * wb))
+
+let prop_over_budget =
+  QCheck2.Test.make ~name:"put of word budget+1 raises Width_exceeded"
+    ~count:200
+    QCheck2.Gen.(int_range 1 8)
+    (fun budget ->
+      let w = Codec.writer () in
+      Codec.scratch_writer w ~budget;
+      for _ = 1 to budget do
+        Codec.put w 7
+      done;
+      match Codec.put w 7 with
+      | () -> false
+      | exception Codec.Width_exceeded { budget = b; words } ->
+        b = budget && words = budget + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Group 2: broadcast differential *)
+
+(* The same flood kernel in both shapes: every node broadcasts the round
+   number to all neighbors for [rounds] rounds, then halts. *)
+let flood_list ~rounds : int Engine.algorithm =
+  {
+    Engine.init = (fun _ _ -> 0);
+    step =
+      (fun g ~round ~node _st _ib ->
+        if round > rounds then (round, [])
+        else
+          ( round,
+            Array.to_list
+              (Array.map (fun (u, _) -> (u, [| round |])) (Graph.neighbors g node))
+          ));
+    halted = (fun st -> st > rounds);
+    wake = Engine.always;
+  }
+
+let flood_emit ~rounds : int Engine.ealgorithm =
+  {
+    Engine.einit = (fun _ _ -> 0);
+    estep =
+      (fun _g ~round ~node:_ _st _ib em ->
+        if round > rounds then round
+        else begin
+          Engine.Emit.broadcast1 em round;
+          round
+        end);
+    ehalted = (fun st -> st > rounds);
+    ewake = Engine.always;
+  }
+
+(* An inbox-consuming variant: fold the lazily filled inbox into a
+   digest, then broadcast it — exercises deferred fill + broadcast in
+   the same step.  A node halts (negative sentinel state) after folding
+   the mail of round [rounds], so no frame is ever sent to a halted
+   receiver. *)
+let gossip_list ~rounds : int Engine.algorithm =
+  {
+    Engine.init = (fun _ v -> v);
+    step =
+      (fun g ~round ~node st ib ->
+        let d =
+          Engine.Inbox.fold (fun acc src p -> acc + src + p.(0)) st ib
+          land 0xFFFFFF
+        in
+        if round >= rounds then (-d - 1, [])
+        else
+          ( d,
+            Array.to_list
+              (Array.map (fun (u, _) -> (u, [| d |])) (Graph.neighbors g node))
+          ));
+    halted = (fun st -> st < 0);
+    wake = Engine.always;
+  }
+
+let gossip_emit ~rounds : int Engine.ealgorithm =
+  {
+    Engine.einit = (fun _ v -> v);
+    estep =
+      (fun _g ~round ~node:_ st ib em ->
+        let d =
+          Engine.Inbox.fold (fun acc src p -> acc + src + p.(0)) st ib
+          land 0xFFFFFF
+        in
+        if round >= rounds then -d - 1
+        else begin
+          Engine.Emit.broadcast1 em d;
+          d
+        end);
+    ehalted = (fun st -> st < 0);
+    ewake = Engine.always;
+  }
+
+let check_stats what (a : Engine.stats) (b : Engine.stats) =
+  Alcotest.(check int) (what ^ ": rounds") b.rounds a.rounds;
+  Alcotest.(check int) (what ^ ": messages") b.messages a.messages;
+  Alcotest.(check int) (what ^ ": max_inflight") b.max_inflight a.max_inflight
+
+let graph_families seed =
+  let n = 8 + (seed mod 40) in
+  [
+    ("tree", Generators.random_tree ~rng:(Rng.create seed) n);
+    ("gnp", Generators.gnp_connected ~rng:(Rng.create (seed + 1)) ~n ~p:0.2);
+  ]
+
+let diff_broadcast what g list_alg emit_alg =
+  let ls, lst = Engine.run g list_alg in
+  (* sequential emit *)
+  let es, est = Engine.run_emit ~domains:1 g emit_alg in
+  if es <> ls then Alcotest.failf "%s: emit states differ (sequential)" what;
+  check_stats (what ^ "/seq") est lst;
+  (* sharded emit *)
+  List.iter
+    (fun d ->
+      let ss, sst = Engine.run_emit ~domains:d g emit_alg in
+      if ss <> ls then
+        Alcotest.failf "%s: emit states differ at %d domains" what d;
+      check_stats (Printf.sprintf "%s/d%d" what d) sst lst)
+    [ 2; 4 ];
+  (* compat adapter under the reference simulator *)
+  let n = Graph.n g in
+  let rs, rst =
+    Runtime.run_reference
+      ~max_words:(Engine.default_max_words n)
+      g
+      (Engine.to_algorithm ~max_words:(Engine.default_max_words n) emit_alg)
+  in
+  if rs <> ls then Alcotest.failf "%s: adapter states differ" what;
+  check_stats (what ^ "/ref") rst lst
+
+let prop_broadcast_flood =
+  QCheck2.Test.make ~name:"broadcast flood = list flood (seq/sharded/ref)"
+    ~count:25 seed_gen (fun seed ->
+      List.iter
+        (fun (fam, g) ->
+          diff_broadcast ("flood/" ^ fam) g (flood_list ~rounds:6)
+            (flood_emit ~rounds:6))
+        (graph_families seed);
+      true)
+
+let prop_broadcast_gossip =
+  QCheck2.Test.make ~name:"broadcast gossip = list gossip (lazy inbox)"
+    ~count:25 seed_gen (fun seed ->
+      List.iter
+        (fun (fam, g) ->
+          let max_rounds = 64 in
+          let ls, lst =
+            Engine.exec ~max_rounds (Engine.create g) (gossip_list ~rounds:5)
+          in
+          let es, est =
+            Engine.exec_emit ~max_rounds ~domains:1 (Engine.create g)
+              (gossip_emit ~rounds:5)
+          in
+          if es <> ls then
+            Alcotest.failf "gossip/%s: emit states differ" fam;
+          check_stats ("gossip/" ^ fam) est lst;
+          List.iter
+            (fun d ->
+              let ss, sst =
+                Engine.exec_emit ~max_rounds ~domains:d (Engine.create g)
+                  (gossip_emit ~rounds:5)
+              in
+              if ss <> ls then
+                Alcotest.failf "gossip/%s: differs at %d domains" fam d;
+              check_stats (Printf.sprintf "gossip/%s/d%d" fam d) sst lst)
+            [ 2; 4 ])
+        (graph_families seed);
+      true)
+
+(* broadcast refuses a zero-word budget with the legacy violation text *)
+let test_broadcast_width () =
+  let g = Generators.path ~rng:(Rng.create 7) 6 in
+  match Engine.run_emit ~max_words:0 g (flood_emit ~rounds:2) with
+  | _ -> Alcotest.fail "expected Congestion_violation"
+  | exception Engine.Congestion_violation msg ->
+    Alcotest.(check bool)
+      "message names the width" true
+      (String.length msg > 0
+      && String.ends_with ~suffix:"payload of 1 words exceeds 0" msg)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "roundtrip",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_encode1; prop_over_budget ] );
+      ( "broadcast",
+        QCheck_alcotest.to_alcotest prop_broadcast_flood
+        :: QCheck_alcotest.to_alcotest prop_broadcast_gossip
+        :: [
+             Alcotest.test_case "width violation" `Quick test_broadcast_width;
+           ] );
+    ]
