@@ -844,6 +844,92 @@ let dynamic_t =
       $ iarg 3 "bursts" "Number of churn bursts."
       $ iarg 10 "quiescence" "Quiet rounds after each burst.")
 
+(* ------------------------------------------------------------------ *)
+(* chaos: composed fault storms (loss + duplication + delay + crashes +
+   corruption + churn) judged by the oracles *)
+
+let chaos_cmd family n k seed algo storm_name validate domains =
+  set_domains domains;
+  let open Kdom_congest in
+  if validate then
+    List.iter
+      (fun (name, s) ->
+        Chaos.validate s;
+        Format.printf
+          "%-10s flip=%-7g burst=%d truncate=%-7g drop=%.2f dup=%.2f \
+           slow=%.2f crashes=%d kills=%d cuts=%d bursts=%d ok@."
+          name s.Chaos.flip s.Chaos.burst s.Chaos.truncate s.Chaos.drop
+          s.Chaos.duplicate s.Chaos.slow s.Chaos.crashes s.Chaos.kills
+          s.Chaos.cuts s.Chaos.bursts)
+      Chaos.presets
+  else begin
+    let storm = Chaos.storm_of_name storm_name in
+    Chaos.validate storm;
+    let g = make_graph ~family ~n ~seed in
+    describe g;
+    Format.printf
+      "storm: %s (flip=%g drop=%.2f dup=%.2f slow=%.2f crashes=%d kills=%d \
+       cuts=%d)@."
+      (String.lowercase_ascii storm_name)
+      storm.Chaos.flip storm.Chaos.drop storm.Chaos.duplicate storm.Chaos.slow
+      storm.Chaos.crashes storm.Chaos.kills storm.Chaos.cuts;
+    if algo = "repair" then begin
+      if not (Tree.is_tree g) then
+        invalid_arg "chaos repair needs a tree family (the partition host is a tree)";
+      let plan = Kdom.Dom_partition.repair_plan g (Kdom.Dom_partition.run g ~k) in
+      let v, rep = Chaos.run_repair ~seed ~storm g plan in
+      Format.printf "%a@." Chaos.pp_verdict v;
+      Format.printf
+        "repair: %d heartbeat frames, %d repair frames, %d suspicions@."
+        rep.Repair.hb_frames rep.Repair.repair_frames rep.Repair.suspicions;
+      Format.printf
+        "oracle: eventual k-domination over survivors ok; executors \
+         bit-identical@."
+    end
+    else begin
+      let (Fault_case (max_words, mk, verdict)) = fault_case g ~k algo in
+      let case =
+        Chaos.Case
+          ( algo,
+            max_words,
+            mk,
+            fun states ->
+              let d = verdict states in
+              if d <> "ok" then failwith (algo ^ ": " ^ d) )
+      in
+      let v = Chaos.run_message ~seed ~storm g case in
+      Format.printf "%a@." Chaos.pp_verdict v;
+      Format.printf
+        "oracle: ok; states bit-identical to the fault-free synchronous run@."
+    end
+  end
+
+let storm_arg =
+  Arg.(
+    value
+    & opt string "squall"
+    & info [ "storm" ] ~docv:"NAME"
+        ~doc:"Storm preset: calm, drizzle, squall or hurricane.")
+
+let chaos_validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:"Validate every storm preset and print its parameters, then exit.")
+
+let chaos_t =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run an algorithm through a composed fault storm — loss, \
+          duplication, delay, transient crashes and frame corruption at \
+          once — and require oracle-clean, bit-identical recovery; with \
+          $(b,repair) as the algorithm, run the self-healing maintenance \
+          layer over the storm's permanent churn plane instead.")
+    Term.(
+      const chaos_cmd $ family_arg $ n_arg $ k_arg $ seed_arg $ algo_arg
+      $ storm_arg $ chaos_validate_arg $ domains_arg)
+
 let () =
   let info =
     Cmd.info "kdom" ~version:"1.0.0"
@@ -852,4 +938,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t; trace_t; dynamic_t; serve_t ]))
+          [ dom_t; mst_t; route_t; hier_t; centers_t; faults_t; chaos_t;
+            trace_t; dynamic_t; serve_t ]))

@@ -247,6 +247,7 @@ type fault_report = {
   dropped : int;
   duplicated : int;
   crash_dropped : int;
+  corrupted : int;
 }
 
 exception Delivery_failed of { src : int; dst : int; attempts : int }
@@ -270,6 +271,10 @@ type frame =
 
 type rev =
   | Arrive of int * frame  (* destination, frame *)
+  | Garbled of int * int   (* destination, pulse: a copy whose wire bytes
+                              were corrupted in flight — the receiver's
+                              guard check rejects it, so it carries no
+                              usable frame, only its accounting identity *)
   | Timer of int * int     (* slot, seq: retransmission timeout *)
   | Wake of int            (* node recovers from a crash *)
 
@@ -359,11 +364,27 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
   let t_dropped = Tally.create () in
   let t_duplicated = Tally.create () in
   let t_retransmits = Tally.create () in
+  let t_corrupted = Tally.create () in
+  (* With corruption enabled every frame is implicitly guarded, so its
+     physical width gains the CRC wire word; control messages (acks,
+     SAFE announcements, link-level acks) are one-word frames. *)
+  let guarded = (Faults.spec flt).Faults.corrupt <> None in
+  let gw = if guarded then Codec.guard_words else 0 in
+  let frame_wire = function
+    | Data { msg = WAlg (_, payload); _ } -> Codec.measure payload + gw
+    | Data _ | Lack _ -> 1 + gw
+  in
   let transmit_frame now ~slot ~dst ~pulse frame =
     incr frames;
+    let wire = frame_wire frame in
     let copies =
       Faults.transmit flt ~now ~slot ~base_delay:delay (fun at ->
-          Events.push queue at (Arrive (dst, frame)))
+          (* per-copy verdict: a garbled copy still arrives — and is
+             rejected by the guard there — so its latency still occupies
+             the link and the sender's timer, like a real bad frame *)
+          if Faults.garble flt ~pulse ~wire then
+            Events.push queue at (Garbled (dst, pulse))
+          else Events.push queue at (Arrive (dst, frame)))
     in
     if instrumented then
       if copies = 0 then Tally.add t_dropped pulse 1
@@ -481,7 +502,8 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
       if instrumented then begin
         Tally.add t_delivered slot 1;
         Tally.add t_words slot (Array.length payload);
-        Tally.add t_bits slot (Codec.measured_bits payload)
+        Tally.add t_bits slot
+          (Codec.measured_bits payload + (Codec.word_bits * gw))
       end;
       send_sync time ~src:dst ~dst:src (WAck src_pulse)
     | WAck pulse ->
@@ -541,6 +563,14 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
           p.rto <- p.rto *. 2.0;
           Events.push queue (time +. p.rto) (Timer (slot, seq))
         end)
+    | Garbled (dst, pulse) ->
+      (* the guard check fails: drop and count, send no link-level ack —
+         the sender's retransmission timer recovers delivery *)
+      if Faults.down flt ~node:dst ~time then Faults.note_crash_drop flt
+      else begin
+        Faults.note_corrupt flt;
+        if instrumented then Tally.add t_corrupted pulse 1
+      end
     | Arrive (dst, frame) ->
       if Faults.down flt ~node:dst ~time then Faults.note_crash_drop flt
       else (
@@ -572,6 +602,7 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
           dropped = Tally.get t_dropped p;
           duplicated = Tally.get t_duplicated p;
           retransmits = Tally.get t_retransmits p;
+          corrupted = Tally.get t_corrupted p;
           crashed = 0;
           arrived = 0;
           departed = 0;
@@ -595,4 +626,5 @@ let run_reliable ~rng ?(faults = Faults.none) ?(max_delay = 1.0) ?max_words
       dropped = c.Faults.dropped;
       duplicated = c.Faults.duplicated;
       crash_dropped = c.Faults.crash_dropped;
+      corrupted = c.Faults.corrupted;
     } )

@@ -72,6 +72,11 @@ type fault_report = {
   dropped : int;  (** frames lost by the fault layer *)
   duplicated : int;  (** frame copies injected by the fault layer *)
   crash_dropped : int;  (** frames that arrived at a crashed node *)
+  corrupted : int;
+      (** frame copies garbled in flight and rejected by the receiver's
+          integrity guard — no link-level ack is sent, so the sender's
+          retransmission timer recovers delivery exactly as for a loss,
+          but the rejection is counted separately from [dropped] *)
 }
 
 exception Delivery_failed of { src : int; dst : int; attempts : int }

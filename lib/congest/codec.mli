@@ -17,7 +17,11 @@ val word_bits : int
 val max_wire_words : int
 (** Worst-case wire words per logical word (5): a 63-bit int needs
     [ceil 63/15] 15-bit groups.  Arena strides are
-    [2 * max_wire_words * max_words] bytes. *)
+    [2 * max_wire_words * max_words] bytes (plus one guard word per
+    frame when integrity guards are on). *)
+
+val guard_words : int
+(** Wire words appended per guarded frame (1): the CRC-16 guard. *)
 
 exception Width_exceeded of { budget : int; words : int }
 (** Raised by {!put} on the write of logical word [budget + 1].
@@ -27,8 +31,16 @@ exception Width_exceeded of { budget : int; words : int }
 
 exception Truncated_frame of { wire : int }
 (** Raised when decoding runs past the end of a frame: reading more
-    logical words than were written, or a continuation bit pointing
-    past the recorded wire length. *)
+    logical words than were written, a continuation bit pointing
+    past the recorded wire length, or a declared span that does not
+    fit the backing buffer. *)
+
+exception Corrupt_frame of { wire : int }
+(** Raised when the bytes themselves are provably not the output of
+    this codec: a varint whose continuation bits extend past the
+    canonical [max_wire_words] group count.  Guard verification
+    failures are reported by {!verify} returning [false]; the engine
+    drops such frames and counts them rather than decoding. *)
 
 val wire_length : int -> int
 (** Wire words needed to encode one logical word (1..5). *)
@@ -53,6 +65,39 @@ val decode : Bytes.t -> base:int -> wire:int -> words:int -> int array
 (** [decode buf ~base ~wire ~words] reads back a frame of [words]
     logical words spanning [wire] wire words. *)
 
+(** {1 Frame guards}
+
+    A guarded frame carries one extra raw (non-varint) wire word: the
+    CRC-16/CCITT (poly 0x1021, init 0xFFFF) of its data wire words,
+    fed in little-endian buffer byte order.  The polynomial's (x + 1)
+    factor detects every odd-weight error, and any burst confined to
+    16 bits — in particular any garbling of a single wire word — is
+    always detected; residual collision probability for wider
+    even-weight patterns is 2^-16.  Decoders read only the data wire
+    words, so the guard is invisible to inbox views; it is charged to
+    delivered bits like any other wire word. *)
+
+val verify : Bytes.t -> base:int -> wire:int -> bool
+(** [verify buf ~base ~wire] checks a guarded frame of [wire] total
+    wire words (data + guard): true iff the span fits the buffer and
+    the last wire word equals the CRC of the preceding ones. *)
+
+val well_formed : Bytes.t -> base:int -> wire:int -> words:int -> bool
+(** [well_formed buf ~base ~wire ~words] checks that [wire] data wire
+    words (guard excluded) are structurally decodable into exactly
+    [words] logical words: no continuation run exceeds
+    [max_wire_words] groups and the frame does not end mid-value.
+    True for any encoder output; the engine's corruption pass uses it
+    to keep a CRC-colliding garbled frame from reaching the decoder. *)
+
+val encode_guarded : Bytes.t -> base:int -> int array -> int
+(** Like {!encode}, then appends the guard word.  Returns the total
+    wire count including the guard; the caller guarantees room for
+    [max_wire_words * Array.length p + guard_words] wire words. *)
+
+val encode1_guarded : Bytes.t -> base:int -> int -> int
+(** Like {!encode1}, then appends the guard word. *)
+
 (** {1 Writers}
 
     A writer is a reusable cursor: the engine repositions one writer
@@ -64,19 +109,27 @@ type writer
 val writer : unit -> writer
 (** Fresh writer with its own small growable scratch buffer. *)
 
-val attach_writer : writer -> Bytes.t -> base:int -> budget:int -> unit
+val attach_writer :
+  ?guard:bool -> writer -> Bytes.t -> base:int -> budget:int -> unit
 (** Reposition onto a fixed arena region at byte offset [base] with a
     logical-word [budget].  The region must have room for
-    [max_wire_words * budget] wire words.  A writer that has been
+    [max_wire_words * budget] wire words ([+ guard_words] when
+    [~guard:true]).  With [~guard:true] the writer maintains a running
+    CRC and {!seal} appends the guard word.  A writer that has been
     attached to foreign bytes must not be reused in scratch mode. *)
 
-val scratch_writer : writer -> budget:int -> unit
+val scratch_writer : ?guard:bool -> writer -> budget:int -> unit
 (** Reposition onto the writer's own buffer (grown on demand), with a
     logical-word [budget].  Used by the emit->list compat adapter. *)
 
 val put : writer -> int -> unit
 (** Append one logical word.  @raise Width_exceeded on word
     [budget + 1]. *)
+
+val seal : writer -> int
+(** Finish the frame: appends the pending guard word if the writer was
+    repositioned with [~guard:true] (a no-op otherwise) and returns
+    the frame's total wire length.  Idempotent. *)
 
 val words : writer -> int
 (** Logical words written since the last reposition. *)

@@ -282,6 +282,7 @@ module Sink = struct
     dropped : int;
     duplicated : int;
     retransmits : int;
+    corrupted : int;
     crashed : int;
     arrived : int;
     departed : int;
@@ -344,6 +345,7 @@ module Sink = struct
       dropped = a.dropped + b.dropped;
       duplicated = a.duplicated + b.duplicated;
       retransmits = a.retransmits + b.retransmits;
+      corrupted = a.corrupted + b.corrupted;
       crashed = a.crashed + b.crashed;
       arrived = a.arrived + b.arrived;
       departed = a.departed + b.departed;
@@ -364,6 +366,7 @@ module Sink = struct
       dropped = 0;
       duplicated = 0;
       retransmits = 0;
+      corrupted = 0;
       crashed = 0;
       arrived = 0;
       departed = 0;
@@ -399,14 +402,15 @@ module Sink = struct
           let fault_fields =
             if
               faults || ri.dropped <> 0 || ri.duplicated <> 0
-              || ri.retransmits <> 0 || ri.crashed <> 0
+              || ri.retransmits <> 0 || ri.corrupted <> 0 || ri.crashed <> 0
               || ri.arrived <> 0 || ri.departed <> 0 || ri.inserted <> 0
             then
               Printf.sprintf
                 ",\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d,\
-                 \"crashed\":%d,\"arrived\":%d,\"departed\":%d,\"inserted\":%d"
-                ri.dropped ri.duplicated ri.retransmits ri.crashed ri.arrived
-                ri.departed ri.inserted
+                 \"corrupted\":%d,\"crashed\":%d,\"arrived\":%d,\
+                 \"departed\":%d,\"inserted\":%d"
+                ri.dropped ri.duplicated ri.retransmits ri.corrupted
+                ri.crashed ri.arrived ri.departed ri.inserted
             else ""
           in
           Printf.fprintf oc
@@ -477,8 +481,11 @@ let make_buf ~n ~ports =
   }
 
 (* Arena stride for a given per-message word budget: every logical word
-   needs at most [Codec.max_wire_words] 16-bit wire words. *)
-let stride_for ~max_words = 2 * Codec.max_wire_words * max 1 max_words
+   needs at most [Codec.max_wire_words] 16-bit wire words, plus room for
+   the one CRC guard word per frame when integrity guards are on. *)
+let stride_for ?(guard = false) ~max_words () =
+  (2 * Codec.max_wire_words * max 1 max_words)
+  + if guard then 2 * Codec.guard_words else 0
 
 let ensure_arena buf ~ports ~stride =
   let need = max 2 (ports * stride) in
@@ -794,6 +801,101 @@ module Churn = struct
     Hashtbl.fold (fun e () acc -> e :: acc) down [] |> List.sort compare
 end
 
+(* ------------------------------------------------------------------ *)
+(* Wire corruption: a deterministic model of a lying network.  Frames in
+   flight are garbled (bursts of bit flips on the packed wire words) or
+   truncated, and every decision is a pure hash of (cseed, delivery
+   round, slot, lane): the verdict for a frame does not depend on
+   iteration order, so the sequential, emit, sharded and reference paths
+   corrupt — and drop — exactly the same frames.  Enabling corruption
+   forces the codec guard word onto every frame; the delivery pass
+   verifies each garbled frame and kills what the guard catches, so
+   algorithm code never decodes a lying byte.  (An undetected error
+   needs an even-weight pattern spread over 17+ bits that also collides
+   the CRC *and* stays structurally decodable: probability under 2^-16
+   per corrupted frame; the structural check keeps even that case from
+   crashing the decoder.) *)
+module Corrupt = struct
+  type counters = {
+    mutable injected : int;  (* frames garbled or truncated in flight *)
+    mutable detected : int;  (* garbled frames the guard word caught *)
+    mutable truncated : int; (* truncations (always detected) *)
+  }
+
+  let fresh_counters () = { injected = 0; detected = 0; truncated = 0 }
+
+  type spec = {
+    flip : float;     (* per-wire-word garble probability *)
+    burst : int;      (* consecutive wire words garbled per hit, >= 1 *)
+    truncate : float; (* per-frame truncation probability *)
+    ramp : (int * float) list;
+        (* (round, intensity) steps, ascending: the probabilities are
+           multiplied by the last step at or before the current round
+           (1.0 before the first step).  Chaos storms use this to ramp
+           intensity up and carve quiescent windows out. *)
+    cseed : int;
+    tally : counters; (* reset by the executor at the start of each run *)
+  }
+
+  let make ?(flip = 0.) ?(burst = 1) ?(truncate = 0.) ?(ramp = []) ~seed () =
+    { flip; burst; truncate; ramp; cseed = seed; tally = fresh_counters () }
+
+  let validate s =
+    let prob what p =
+      if not (p >= 0. && p <= 1.) then
+        invalid_arg
+          (Printf.sprintf "Engine.Corrupt: %s %g not in [0, 1]" what p)
+    in
+    prob "flip probability" s.flip;
+    prob "truncate probability" s.truncate;
+    if s.burst < 1 then
+      invalid_arg (Printf.sprintf "Engine.Corrupt: burst %d < 1" s.burst);
+    let last = ref (-1) in
+    List.iter
+      (fun (r, m) ->
+        if r < 0 then
+          invalid_arg
+            (Printf.sprintf "Engine.Corrupt: ramp step at negative round %d" r);
+        if r <= !last then
+          invalid_arg "Engine.Corrupt: ramp rounds not strictly ascending";
+        if m < 0. then
+          invalid_arg
+            (Printf.sprintf "Engine.Corrupt: negative ramp intensity %g" m);
+        last := r)
+      s.ramp
+
+  let intensity s ~round =
+    let m = ref 1.0 in
+    List.iter (fun (r, mult) -> if r <= round then m := mult) s.ramp;
+    !m
+
+  (* SplitMix-style finalizer over OCaml's 63-bit ints (multiplies wrap
+     mod 2^63; the constants are odd and fit the int range). *)
+  let mix z =
+    let z = z * 0x2545F4914F6CDD1D in
+    let z = z lxor (z lsr 29) in
+    let z = z * 0x1D8E4E27C47D124F in
+    let z = z lxor (z lsr 32) in
+    z land max_int
+
+  let decide ~cseed ~round ~slot ~lane =
+    mix (mix (mix (cseed + round) + slot) + lane)
+
+  (* probabilities compare the hash's low 32 bits against an integer
+     threshold, so the verdict is float-rounding-free and identical
+     everywhere *)
+  let threshold p =
+    let p = if p < 0. then 0. else if p > 1. then 1. else p in
+    int_of_float (p *. 4294967296.)
+
+  let hit h thr = h land 0xFFFFFFFF < thr
+
+  (* a garble mask is never zero: a hit always changes its word *)
+  let mask h =
+    let m = (h lsr 24) land 0xFFFF in
+    if m = 0 then 1 else m
+end
+
 let reset_buf b =
   Array.fill b.wire 0 (Array.length b.wire) (-1);
   Array.fill b.count 0 (Array.length b.count) 0;
@@ -840,7 +942,7 @@ let sort_prefix a len =
   end
 
 let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
-    ?churn e algo =
+    ?churn ?(guard = false) ?corrupt e algo =
   let n = e.n in
   let g = e.g in
   (match churn with
@@ -850,6 +952,15 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     then invalid_arg "Engine.exec: churn compiled against a different engine";
     Churn.reset c
   | None -> ());
+  (match corrupt with
+  | Some (cs : Corrupt.spec) ->
+    Corrupt.validate cs;
+    cs.Corrupt.tally.Corrupt.injected <- 0;
+    cs.Corrupt.tally.Corrupt.detected <- 0;
+    cs.Corrupt.tally.Corrupt.truncated <- 0
+  | None -> ());
+  (* corruption is only detectable with the guard word on every frame *)
+  let guard = guard || corrupt <> None in
   let max_rounds =
     match max_rounds with Some r -> r | None -> default_max_rounds n
   in
@@ -861,7 +972,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     reset_buf e.buf_a;
     reset_buf e.buf_b
   end;
-  let stride = stride_for ~max_words in
+  let stride = stride_for ~guard ~max_words () in
   ensure_arena e.buf_a ~ports:e.ports ~stride;
   ensure_arena e.buf_b ~ports:e.ports ~stride;
   e.running <- true;
@@ -987,7 +1098,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
          t.Emit.edst <- u;
          t.Emit.eslot <- slot;
          t.Emit.eopen <- true;
-         Codec.attach_writer t.Emit.ew sd.data ~base:(slot * stride)
+         Codec.attach_writer ~guard t.Emit.ew sd.data ~base:(slot * stride)
            ~budget:max_words;
          t.Emit.ew);
      em.Emit.ecommit <-
@@ -999,7 +1110,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
          else begin
            let sd = !nxt in
            let slot = t.Emit.eslot and u = t.Emit.edst in
-           let w = Codec.words t.Emit.ew and wire = Codec.wire t.Emit.ew in
+           let w = Codec.words t.Emit.ew and wire = Codec.seal t.Emit.ew in
            sd.wire.(slot) <- wire;
            sd.wlog.(slot) <- w;
            sd.written.(sd.wlen) <- slot;
@@ -1020,7 +1131,14 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
         no per-neighbor binary search, no per-frame start/commit pair.
         Totals are batched after the churn-free loop; the churn loop keeps
         per-slot accounting because dropped ports send nothing. *)
-     let bscratch = Bytes.create (2 * Codec.max_wire_words) in
+     let bscratch =
+       Bytes.create (2 * (Codec.max_wire_words + Codec.guard_words))
+     in
+     (* Broadcast memo: consecutive [broadcast1] calls with the same value
+        re-use the encoded scratch frame, so a flood round encodes (and
+        CRCs, when the guard is on) once instead of n times.  Nothing else
+        writes [bscratch], so the memo never goes stale. *)
+     let bmemo_live = ref false and bmemo_a = ref 0 and bmemo_wire = ref 0 in
      em.Emit.ebroadcast1 <-
        (fun t a ->
          if t.Emit.eopen then
@@ -1032,7 +1150,19 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                 (Printf.sprintf
                    "round %d: node %d payload of %d words exceeds %d" !round v
                    1 max_words));
-         let wire = Codec.encode1 bscratch ~base:0 a in
+         let wire =
+           if !bmemo_live && !bmemo_a = a then !bmemo_wire
+           else begin
+             let w =
+               if guard then Codec.encode1_guarded bscratch ~base:0 a
+               else Codec.encode1 bscratch ~base:0 a
+             in
+             bmemo_live := true;
+             bmemo_a := a;
+             bmemo_wire := w;
+             w
+           end
+         in
          let sd = !nxt in
          let first = e.out_off.(v) and stop = e.out_off.(v + 1) in
          if not churn_on then begin
@@ -1063,6 +1193,32 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                          v u));
                Bytes.set_uint16_le data (slot * stride) g;
                swire.(slot) <- 1;
+               swlog.(slot) <- 1;
+               written.(wbase + slot) <- slot;
+               let c = count.(u) in
+               if c = 0 then begin
+                 active.(sd.alen) <- u;
+                 sd.alen <- sd.alen + 1
+               end;
+               count.(u) <- c + 1
+             done
+           end
+           else if wire = 2 && not instrumented then begin
+             (* guarded lean loop: a one-word value plus its CRC guard
+                word is exactly one 32-bit store — the stride is always
+                at least [2 * max_wire_words] bytes, so the wide store
+                stays inside the slot's frame region *)
+             let g = Bytes.get_int32_le bscratch 0 in
+             for slot = first to stop - 1 do
+               let u = out_dst.(slot) in
+               if swire.(slot) >= 0 then
+                 raise
+                   (Congestion_violation
+                      (Printf.sprintf
+                         "round %d: node %d sent twice over edge to %d" !round
+                         v u));
+               Bytes.set_int32_le data (slot * stride) g;
+               swire.(slot) <- 2;
                swlog.(slot) <- 1;
                written.(wbase + slot) <- slot;
                let c = count.(u) in
@@ -1269,6 +1425,80 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       done;
       if !live_unsorted then sort_prefix live !live_len
     | None -> ());
+    (* Deterministic wire corruption: a serial pass over the delivery-side
+       written stack, after churn (a frame churn killed cannot also be
+       corrupted) and before the halted-receiver minimum (a corrupted
+       frame to a halted node is dropped, never delivered).  Every
+       decision is a pure (cseed, round, slot, lane) hash, so the pass is
+       iteration-order-free. *)
+    let corrupt_dropped = ref 0 in
+    (match corrupt with
+    | Some (cs : Corrupt.spec) ->
+      let inten = Corrupt.intensity cs ~round:r in
+      let fthr = Corrupt.threshold (cs.Corrupt.flip *. inten) in
+      let tthr = Corrupt.threshold (cs.Corrupt.truncate *. inten) in
+      if fthr > 0 || tthr > 0 then begin
+        let cseed = cs.Corrupt.cseed and burst = cs.Corrupt.burst in
+        let tally = cs.Corrupt.tally in
+        for j = 0 to dv.wlen - 1 do
+          let slot = dv.written.(j) in
+          let wv = dv.wire.(slot) in
+          if wv >= 0 then begin
+            let kill () =
+              dv.wire.(slot) <- -1;
+              dv.total <- dv.total - 1;
+              dv.words <- dv.words - dv.wlog.(slot);
+              dv.bits <- dv.bits - (word_bits * wv);
+              dv.count.(e.out_dst.(slot)) <- dv.count.(e.out_dst.(slot)) - 1;
+              incr corrupt_dropped
+            in
+            let h0 = Corrupt.decide ~cseed ~round:r ~slot ~lane:0 in
+            if tthr > 0 && Corrupt.hit h0 tthr && wv > 1 then begin
+              (* truncation shortens the frame below what its logical
+                 words need: the decoder would raise Truncated_frame, so
+                 it is always detected — drop at the recv path *)
+              tally.Corrupt.injected <- tally.Corrupt.injected + 1;
+              tally.Corrupt.truncated <- tally.Corrupt.truncated + 1;
+              kill ()
+            end
+            else if fthr > 0 then begin
+              let base = slot * stride in
+              let hitany = ref false in
+              for i = 0 to wv - 1 do
+                let h = Corrupt.decide ~cseed ~round:r ~slot ~lane:(i + 1) in
+                if Corrupt.hit h fthr then begin
+                  hitany := true;
+                  let stop = min (i + burst - 1) (wv - 1) in
+                  for jj = i to stop do
+                    let hm =
+                      if jj = i then h
+                      else
+                        Corrupt.decide ~cseed ~round:r ~slot
+                          ~lane:(wv + 1 + jj)
+                    in
+                    let off = base + (2 * jj) in
+                    Bytes.set_uint16_le dv.data off
+                      (Bytes.get_uint16_le dv.data off lxor Corrupt.mask hm)
+                  done
+                end
+              done;
+              if !hitany then begin
+                tally.Corrupt.injected <- tally.Corrupt.injected + 1;
+                let clean =
+                  Codec.verify dv.data ~base ~wire:wv
+                  && Codec.well_formed dv.data ~base
+                       ~wire:(wv - Codec.guard_words) ~words:dv.wlog.(slot)
+                in
+                if not clean then begin
+                  tally.Corrupt.detected <- tally.Corrupt.detected + 1;
+                  kill ()
+                end
+              end
+            end
+          end
+        done
+      end
+    | None -> ());
     let this_round = dv.total in
     max_inflight := max !max_inflight this_round;
     messages := !messages + this_round;
@@ -1332,7 +1562,10 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                   (Congestion_violation
                      (Printf.sprintf "round %d: node %d payload of %d words exceeds %d"
                         r v w max_words));
-              let wire = Codec.encode sd.data ~base:(slot * stride) p in
+              let wire =
+                if guard then Codec.encode_guarded sd.data ~base:(slot * stride) p
+                else Codec.encode sd.data ~base:(slot * stride) p
+              in
               sd.wire.(slot) <- wire;
               sd.wlog.(slot) <- w;
               sd.written.(sd.wlen) <- slot;
@@ -1433,9 +1666,9 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
         (Congestion_violation
            (Printf.sprintf "round %d: halted node %d received a message" r !v_min));
     let receivers =
-      (* an active entry whose inbox was entirely churned away received
-         nothing; without churn drops every entry still has its count *)
-      if !churn_dropped = 0 then dv.alen
+      (* an active entry whose inbox was entirely churned or corrupted
+         away received nothing; without drops every entry keeps its count *)
+      if !churn_dropped = 0 && !corrupt_dropped = 0 then dv.alen
       else begin
         let c = ref 0 in
         for i = 0 to dv.alen - 1 do
@@ -1512,6 +1745,7 @@ let exec_unguarded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
           dropped = !churn_dropped;
           duplicated = 0;
           retransmits = 0;
+          corrupted = !corrupt_dropped;
           crashed = !newly_crashed;
           arrived = !newly_arrived;
           departed = !newly_departed;
@@ -1635,7 +1869,7 @@ let contiguous_partition ~n ~shards =
   shard_of
 
 let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
-    ?churn ~domains ?partition e algo =
+    ?churn ?(guard = false) ?corrupt ~domains ?partition e algo =
   let n = e.n in
   let g = e.g in
   (match churn with
@@ -1645,6 +1879,14 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
     then invalid_arg "Engine.exec: churn compiled against a different engine";
     Churn.reset c
   | None -> ());
+  (match corrupt with
+  | Some (cs : Corrupt.spec) ->
+    Corrupt.validate cs;
+    cs.Corrupt.tally.Corrupt.injected <- 0;
+    cs.Corrupt.tally.Corrupt.detected <- 0;
+    cs.Corrupt.tally.Corrupt.truncated <- 0
+  | None -> ());
+  let guard = guard || corrupt <> None in
   let max_rounds =
     match max_rounds with Some r -> r | None -> default_max_rounds n
   in
@@ -1683,7 +1925,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
      shard per phase — the slot's unique sender during phase A, nobody
      afterwards — and read only after the phase barrier, so the shards
      never race on them. *)
-  let stride = stride_for ~max_words in
+  let stride = stride_for ~guard ~max_words () in
   let data_a = Bytes.create (max 2 (e.ports * stride)) in
   let data_b = Bytes.create (max 2 (e.ports * stride)) in
   let wire_a = Array.make (max 1 e.ports) (-1) in
@@ -1937,7 +2179,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
             t.Emit.eslot <- slot;
             t.Emit.eopen <- true;
             let sdata = if !cur_is_a then data_b else data_a in
-            Codec.attach_writer t.Emit.ew sdata ~base:(slot * stride)
+            Codec.attach_writer ~guard t.Emit.ew sdata ~base:(slot * stride)
               ~budget:max_words;
             t.Emit.ew);
         em.Emit.ecommit <-
@@ -1950,7 +2192,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
             else begin
               let slot = t.Emit.eslot and u = t.Emit.edst in
               let w = Codec.words t.Emit.ew
-              and wire = Codec.wire t.Emit.ew in
+              and wire = Codec.seal t.Emit.ew in
               let swire = if !cur_is_a then wire_b else wire_a in
               let swlog = if !cur_is_a then wlog_b else wlog_a in
               swire.(slot) <- wire;
@@ -1978,7 +2220,14 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
            scratch, then walk the sender's contiguous out-port segment —
            every slot belongs to this shard's sender, so the writes race
            with nobody; only the cross-shard pushes go through [xpush]. *)
-        let bscratch = Bytes.create (2 * Codec.max_wire_words) in
+        let bscratch =
+          Bytes.create (2 * (Codec.max_wire_words + Codec.guard_words))
+        in
+        (* Broadcast memo (see the sequential executor): one encode per
+           distinct consecutive value, per shard. *)
+        let bmemo_live = ref false
+        and bmemo_a = ref 0
+        and bmemo_wire = ref 0 in
         em.Emit.ebroadcast1 <-
           (fun t a ->
             if t.Emit.eopen then
@@ -1991,7 +2240,19 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                    (Printf.sprintf
                       "round %d: node %d payload of %d words exceeds %d" r v 1
                       max_words));
-            let wire = Codec.encode1 bscratch ~base:0 a in
+            let wire =
+              if !bmemo_live && !bmemo_a = a then !bmemo_wire
+              else begin
+                let w =
+                  if guard then Codec.encode1_guarded bscratch ~base:0 a
+                  else Codec.encode1 bscratch ~base:0 a
+                in
+                bmemo_live := true;
+                bmemo_a := a;
+                bmemo_wire := w;
+                w
+              end
+            in
             let sdata = if !cur_is_a then data_b else data_a in
             let swire = if !cur_is_a then wire_b else wire_a in
             let swlog = if !cur_is_a then wlog_b else wlog_a in
@@ -2011,7 +2272,15 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                        (Printf.sprintf
                           "round %d: node %d sent twice over edge to %d" r v u));
                 sent_stamp.(slot) <- r;
-                Bytes.blit bscratch 0 sdata (slot * stride) (2 * wire);
+                (* width-specialized stores: the 1- and 2-word (guarded)
+                   broadcast frames skip the blit call entirely *)
+                if wire = 1 then
+                  Bytes.set_uint16_le sdata (slot * stride)
+                    (Bytes.get_uint16_le bscratch 0)
+                else if wire = 2 then
+                  Bytes.set_int32_le sdata (slot * stride)
+                    (Bytes.get_int32_le bscratch 0)
+                else Bytes.blit bscratch 0 sdata (slot * stride) (2 * wire);
                 swire.(slot) <- wire;
                 swlog.(slot) <- 1;
                 let tgt = shard_of.(u) in
@@ -2146,7 +2415,11 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                           "round %d: node %d payload of %d words exceeds %d" r v w
                           max_words));
                 sent_stamp.(slot) <- r;
-                let wire = Codec.encode sdata ~base:(slot * stride) p in
+                let wire =
+                  if guard then
+                    Codec.encode_guarded sdata ~base:(slot * stride) p
+                  else Codec.encode sdata ~base:(slot * stride) p
+                in
                 swire.(slot) <- wire;
                 swlog.(slot) <- w;
                 let t = shard_of.(u) in
@@ -2341,6 +2614,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       if !round > max_rounds then raise (Round_limit_exceeded !round);
       cur_is_a := not !cur_is_a;
       let r = !round in
+      let ddata = if !cur_is_a then data_a else data_b in
       let dwire = if !cur_is_a then wire_a else wire_b in
       let dwlog = if !cur_is_a then wlog_a else wlog_b in
       let dcount = if !cur_is_a then count_a else count_b in
@@ -2455,6 +2729,87 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
         if !live_unsorted then
           Array.iter (fun sh -> sort_prefix sh.sh_live sh.sh_live_len) shards
       | None -> ());
+      (* wire corruption, applied serially like churn: the decisions are
+         the same (cseed, round, slot, lane) hashes the sequential pass
+         makes, and each kill touches only the destination shard's
+         delivery buffer — bit-identity with the sequential executor is
+         per-slot exact *)
+      let corrupt_dropped = ref 0 in
+      let corrupt_killed = ref false in
+      (match corrupt with
+      | Some (cs : Corrupt.spec) ->
+        let inten = Corrupt.intensity cs ~round:r in
+        let fthr = Corrupt.threshold (cs.Corrupt.flip *. inten) in
+        let tthr = Corrupt.threshold (cs.Corrupt.truncate *. inten) in
+        if fthr > 0 || tthr > 0 then begin
+          let cseed = cs.Corrupt.cseed and burst = cs.Corrupt.burst in
+          let tally = cs.Corrupt.tally in
+          Array.iter
+            (fun sh ->
+              let dvb = sbuf_of sh ~delivery:true in
+              for j = 0 to dvb.s_wlen - 1 do
+                let slot = dvb.s_written.(j) in
+                let wv = dwire.(slot) in
+                if wv >= 0 then begin
+                  let kill () =
+                    dwire.(slot) <- -1;
+                    dvb.s_total <- dvb.s_total - 1;
+                    dvb.s_words <- dvb.s_words - dwlog.(slot);
+                    dvb.s_bits <- dvb.s_bits - (word_bits * wv);
+                    dcount.(e.out_dst.(slot)) <- dcount.(e.out_dst.(slot)) - 1;
+                    sh.sh_hit <- true;
+                    corrupt_killed := true;
+                    incr corrupt_dropped
+                  in
+                  let h0 = Corrupt.decide ~cseed ~round:r ~slot ~lane:0 in
+                  if tthr > 0 && Corrupt.hit h0 tthr && wv > 1 then begin
+                    tally.Corrupt.injected <- tally.Corrupt.injected + 1;
+                    tally.Corrupt.truncated <- tally.Corrupt.truncated + 1;
+                    kill ()
+                  end
+                  else if fthr > 0 then begin
+                    let base = slot * stride in
+                    let hitany = ref false in
+                    for i = 0 to wv - 1 do
+                      let h =
+                        Corrupt.decide ~cseed ~round:r ~slot ~lane:(i + 1)
+                      in
+                      if Corrupt.hit h fthr then begin
+                        hitany := true;
+                        let stop = min (i + burst - 1) (wv - 1) in
+                        for jj = i to stop do
+                          let hm =
+                            if jj = i then h
+                            else
+                              Corrupt.decide ~cseed ~round:r ~slot
+                                ~lane:(wv + 1 + jj)
+                          in
+                          let off = base + (2 * jj) in
+                          Bytes.set_uint16_le ddata off
+                            (Bytes.get_uint16_le ddata off
+                            lxor Corrupt.mask hm)
+                        done
+                      end
+                    done;
+                    if !hitany then begin
+                      tally.Corrupt.injected <- tally.Corrupt.injected + 1;
+                      let clean =
+                        Codec.verify ddata ~base ~wire:wv
+                        && Codec.well_formed ddata ~base
+                             ~wire:(wv - Codec.guard_words)
+                             ~words:dwlog.(slot)
+                      in
+                      if not clean then begin
+                        tally.Corrupt.detected <- tally.Corrupt.detected + 1;
+                        kill ()
+                      end
+                    end
+                  end
+                end
+              done)
+            shards
+        end
+      | None -> ());
       let this_round = ref 0 in
       let live_snapshot = ref 0 in
       Array.iter
@@ -2465,7 +2820,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
       max_inflight := max !max_inflight !this_round;
       messages := !messages + !this_round;
       let v_min = ref (-1) in
-      if !churn_applied then
+      if !churn_applied || !corrupt_killed then
         (* churn can only remove candidates, but removing the minimum
            exposes the next one: recompute from the surviving counts *)
         Array.iter
@@ -2545,6 +2900,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
                   dropped = sh.sh_send_dropped;
                   duplicated = 0;
                   retransmits = 0;
+                  corrupted = 0;
                   crashed = 0;
                   arrived = 0;
                   departed = 0;
@@ -2558,6 +2914,7 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
             Sink.delivered = !this_round;
             skipped = !live_snapshot - agg.Sink.stepped;
             dropped = agg.Sink.dropped + !churn_dropped;
+            corrupted = !corrupt_dropped;
             crashed = !newly_crashed;
             arrived = !newly_arrived;
             departed = !newly_departed;
@@ -2586,8 +2943,8 @@ let exec_sharded ?max_rounds ?max_words ?(sink = Sink.null) ?(degrade = false)
    syntactically.  1 = the sequential engine, the bit-exact baseline. *)
 let default_domains = ref 1
 
-let exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
-    e algo =
+let exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt
+    ?domains ?partition e algo =
   if e.running then
     invalid_arg "Engine.exec: engine already running (re-entrant call)";
   let domains = match domains with Some d -> d | None -> !default_domains in
@@ -2596,33 +2953,34 @@ let exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
      stays set, forcing a buffer scrub on the next exec *)
   try
     if domains = 1 then
-      exec_unguarded ?max_rounds ?max_words ?sink ?degrade ?churn e algo
+      exec_unguarded ?max_rounds ?max_words ?sink ?degrade ?churn ?guard
+        ?corrupt e algo
     else
-      exec_sharded ?max_rounds ?max_words ?sink ?degrade ?churn ~domains
-        ?partition e algo
+      exec_sharded ?max_rounds ?max_words ?sink ?degrade ?churn ?guard
+        ?corrupt ~domains ?partition e algo
   with exn ->
     e.running <- false;
     raise exn
 
-let exec ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
-    algo =
-  exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
-    (A_list algo)
+let exec ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt ?domains
+    ?partition e algo =
+  exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt
+    ?domains ?partition e (A_list algo)
 
-let exec_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
-    e ealgo =
-  exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition e
-    (A_emit ealgo)
+let exec_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt
+    ?domains ?partition e ealgo =
+  exec_any ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt
+    ?domains ?partition e (A_emit ealgo)
 
-let run ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition g
-    algo =
-  exec ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
-    (create g) algo
+let run ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt ?domains
+    ?partition g algo =
+  exec ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt ?domains
+    ?partition (create g) algo
 
-let run_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
-    g ealgo =
-  exec_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?domains ?partition
-    (create g) ealgo
+let run_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt
+    ?domains ?partition g ealgo =
+  exec_emit ?max_rounds ?max_words ?sink ?degrade ?churn ?guard ?corrupt
+    ?domains ?partition (create g) ealgo
 
 (* The emit -> list compat adapter: wraps an emit-native algorithm into the
    legacy list-returning shape so it can run under [run_reference], the

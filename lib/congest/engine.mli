@@ -290,6 +290,11 @@ module Sink : sig
     duplicated : int;  (** frames duplicated by a fault layer; 0 here *)
     retransmits : int;
         (** link-layer retransmissions ({!Async.run_reliable}); 0 here *)
+    corrupted : int;
+        (** frames dropped at the recv path as integrity rejections — the
+            guard word caught a garbled frame or a truncation was detected
+            ({!Corrupt}, {!Faults}); distinct from [dropped], which counts
+            losses.  Always 0 without a corruption fault class *)
     crashed : int;
         (** nodes newly fail-stopped by a {!Churn} schedule this round;
             always 0 without churn *)
@@ -490,6 +495,82 @@ module Churn : sig
       finally down iff its last down/up/add event is a down. *)
 end
 
+(** Wire corruption: a deterministic model of a {e lying} network.  Frames
+    in flight are garbled (bursts of bit flips on the packed wire words of
+    the frame arena) or truncated; every decision is a pure hash of
+    [(cseed, delivery round, slot, lane)], so the sequential, sharded and
+    reference executors corrupt — and drop — exactly the same frames
+    regardless of iteration order.
+
+    Passing [?corrupt] to [exec]/[run] forces the {!Codec} guard word onto
+    every frame (as if [~guard:true]): the delivery pass re-verifies each
+    garbled frame's CRC and kills what the guard catches, so {e algorithm
+    code never decodes a lying byte} — a corrupted frame is either dropped
+    and counted ({!Sink.round_info.corrupted}) or, with probability under
+    [2^-16] per corrupted frame, delivered with an undetected even-weight
+    multi-word error (a structural re-check still keeps that case from
+    crashing the decoder).  Truncations are always detected.  Detection
+    without correction suffices because the layers above retransmit
+    ({!Async.run_reliable}) or re-converge ({!Repair}): see DESIGN.md
+    §15. *)
+module Corrupt : sig
+  type counters = {
+    mutable injected : int;
+        (** frames garbled or truncated in flight this run *)
+    mutable detected : int;
+        (** garbled frames the guard word (or structural check) caught *)
+    mutable truncated : int;  (** truncations — always detected *)
+  }
+
+  val fresh_counters : unit -> counters
+
+  type spec = {
+    flip : float;  (** per-wire-word garble probability *)
+    burst : int;  (** consecutive wire words garbled per hit, [>= 1] *)
+    truncate : float;  (** per-frame truncation probability *)
+    ramp : (int * float) list;
+        (** [(round, intensity)] steps, strictly ascending rounds: both
+            probabilities are multiplied by the last step at or before the
+            current round (1.0 before the first).  Chaos storms use this
+            for intensity ramps and quiescent windows. *)
+    cseed : int;  (** the hash seed — same seed, same corruption *)
+    tally : counters;
+        (** run counters, reset by the executor on entry; read them after
+            the run.  [injected = detected + truncated] iff no corrupted
+            frame slipped through. *)
+  }
+
+  val make :
+    ?flip:float ->
+    ?burst:int ->
+    ?truncate:float ->
+    ?ramp:(int * float) list ->
+    seed:int ->
+    unit ->
+    spec
+
+  val validate : spec -> unit
+  (** [Invalid_argument] on probabilities outside [0, 1], [burst < 1], or
+      a malformed ramp.  Also run by the executors on entry. *)
+
+  val intensity : spec -> round:int -> float
+  (** The ramp multiplier in force at [round]. *)
+
+  val decide : cseed:int -> round:int -> slot:int -> lane:int -> int
+  (** The decision hash.  Exposed so {!Runtime.run_reference} and the
+      fault layers reach verdicts identical to the engine's. *)
+
+  val threshold : float -> int
+  (** 32-bit integer threshold for a probability; compare with {!hit}. *)
+
+  val hit : int -> int -> bool
+  (** [hit h thr]: does hash [h] fall under threshold [thr]?  Compares
+      the hash's low 32 bits, so verdicts are float-rounding-free. *)
+
+  val mask : int -> int
+  (** The 16-bit, never-zero garble mask derived from a decision hash. *)
+end
+
 val default_domains : int ref
 (** The domain count [exec] uses when [?domains] is not passed (initially
     [1], the sequential engine).  A process-wide hook, not a tuning knob:
@@ -504,6 +585,8 @@ val exec :
   ?sink:Sink.t ->
   ?degrade:bool ->
   ?churn:Churn.t ->
+  ?guard:bool ->
+  ?corrupt:Corrupt.spec ->
   ?domains:int ->
   ?partition:int array ->
   t ->
@@ -516,6 +599,13 @@ val exec :
     hint were [Always] — the differential-testing and baseline-benchmark
     mode.  [churn] (default none) applies a {!Churn} schedule compiled
     against {e this} engine ([Invalid_argument] otherwise).
+
+    [guard] (default [false]) appends the {!Codec} CRC guard word to every
+    frame: the arena stride grows by one wire word per frame, and
+    delivered-bit accounting charges for the guard like any other wire
+    word, so the integrity cost is visible in the declared budgets.
+    [corrupt] (default none) applies a deterministic {!Corrupt} schedule
+    to frames in flight; it implies [guard].
 
     [domains] (default {!default_domains}) selects the execution core:
     [1] is the sequential engine; [d > 1] partitions the nodes into [d]
@@ -542,6 +632,8 @@ val exec_emit :
   ?sink:Sink.t ->
   ?degrade:bool ->
   ?churn:Churn.t ->
+  ?guard:bool ->
+  ?corrupt:Corrupt.spec ->
   ?domains:int ->
   ?partition:int array ->
   t ->
@@ -558,6 +650,8 @@ val run :
   ?sink:Sink.t ->
   ?degrade:bool ->
   ?churn:Churn.t ->
+  ?guard:bool ->
+  ?corrupt:Corrupt.spec ->
   ?domains:int ->
   ?partition:int array ->
   Graph.t ->
@@ -573,6 +667,8 @@ val run_emit :
   ?sink:Sink.t ->
   ?degrade:bool ->
   ?churn:Churn.t ->
+  ?guard:bool ->
+  ?corrupt:Corrupt.spec ->
   ?domains:int ->
   ?partition:int array ->
   Graph.t ->

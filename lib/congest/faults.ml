@@ -26,6 +26,7 @@ type spec = {
   crashes : crash list;
   churn : churn_event list;
   seed : int;
+  corrupt : Engine.Corrupt.spec option;
 }
 
 exception Overlapping_crashes of int
@@ -44,10 +45,11 @@ let none =
     crashes = [];
     churn = [];
     seed = 0;
+    corrupt = None;
   }
 
 let lossy ?(drop = 0.) ?(duplicate = 0.) ?(slow = 0.) ?(slow_factor = 10.)
-    ?(reorder = true) ?(crashes = []) ?(churn = []) ~seed () =
+    ?(reorder = true) ?(crashes = []) ?(churn = []) ?corrupt ~seed () =
   {
     link = { drop; duplicate; slow; slow_factor };
     overrides = [];
@@ -55,6 +57,7 @@ let lossy ?(drop = 0.) ?(duplicate = 0.) ?(slow = 0.) ?(slow_factor = 10.)
     crashes;
     churn;
     seed;
+    corrupt;
   }
 
 type counters = {
@@ -62,6 +65,7 @@ type counters = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable crash_dropped : int;
+  mutable corrupted : int;
 }
 
 type t = {
@@ -70,6 +74,10 @@ type t = {
   last : float array;       (* per slot: latest scheduled delivery (FIFO clamp) *)
   crashes_of : crash list array;  (* per node, sorted by crash time *)
   rng : Rng.t;
+  crng : Rng.t option;  (* dedicated corruption stream: drawing garble
+                           verdicts never perturbs the loss/dup/delay
+                           stream, so enabling corruption leaves every
+                           other fault decision unchanged *)
   counters : counters;
 }
 
@@ -127,13 +135,31 @@ let compile eng spec =
       check cs;
       crashes_of.(v) <- cs)
     crashes_of;
+  let crng =
+    match spec.corrupt with
+    | Some cs ->
+      Engine.Corrupt.validate cs;
+      cs.Engine.Corrupt.tally.Engine.Corrupt.injected <- 0;
+      cs.Engine.Corrupt.tally.Engine.Corrupt.detected <- 0;
+      cs.Engine.Corrupt.tally.Engine.Corrupt.truncated <- 0;
+      Some (Rng.create cs.Engine.Corrupt.cseed)
+    | None -> None
+  in
   {
     spec;
     links;
     last = Array.make (max 1 (Engine.port_count eng)) 0.;
     crashes_of;
     rng = Rng.create spec.seed;
-    counters = { transmitted = 0; dropped = 0; duplicated = 0; crash_dropped = 0 };
+    crng;
+    counters =
+      {
+        transmitted = 0;
+        dropped = 0;
+        duplicated = 0;
+        crash_dropped = 0;
+        corrupted = 0;
+      };
   }
 
 let spec t = t.spec
@@ -192,6 +218,40 @@ let rec next_up t ~node ~time =
   | Some { recover = Some r; _ } -> next_up t ~node ~time:r
 
 let note_crash_drop t = t.counters.crash_dropped <- t.counters.crash_dropped + 1
+
+(* Per-copy corruption verdict for the asynchronous link layer: one flip
+   trial per wire word of the physical frame plus a truncation trial, all
+   scaled by the spec's intensity ramp at the sender's pulse.  The guard
+   word makes detection certain up to the 2^-16 CRC collision, which this
+   float-time model folds into the loss it already tolerates — a garbled
+   copy behaves exactly like a lost one, except it is accounted as
+   [corrupted], not [dropped]. *)
+let garble t ~pulse ~wire =
+  match (t.spec.corrupt, t.crng) with
+  | Some cs, Some rng ->
+    let inten = Engine.Corrupt.intensity cs ~round:pulse in
+    let flip = cs.Engine.Corrupt.flip *. inten in
+    let trunc = cs.Engine.Corrupt.truncate *. inten in
+    let hit = ref false in
+    if flip > 0. then
+      for _ = 1 to wire do
+        if Rng.float rng 1.0 < flip then hit := true
+      done;
+    if trunc > 0. && wire > 1 && Rng.float rng 1.0 < trunc then hit := true;
+    if !hit then
+      cs.Engine.Corrupt.tally.Engine.Corrupt.injected <-
+        cs.Engine.Corrupt.tally.Engine.Corrupt.injected + 1;
+    !hit
+  | _ -> false
+
+(* Record a garbled copy rejected by the receiver's guard check. *)
+let note_corrupt t =
+  t.counters.corrupted <- t.counters.corrupted + 1;
+  match t.spec.corrupt with
+  | Some cs ->
+    cs.Engine.Corrupt.tally.Engine.Corrupt.detected <-
+      cs.Engine.Corrupt.tally.Engine.Corrupt.detected + 1
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* churn: permanent topology changes on the synchronous round clock *)

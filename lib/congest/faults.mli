@@ -76,6 +76,14 @@ type spec = {
       (** permanent fail-stops and edge down/up events for the synchronous
           engine; compiled via {!churn}, ignored by {!Async} *)
   seed : int;
+  corrupt : Engine.Corrupt.spec option;
+      (** wire corruption — bit flips, burst garbling, truncation — on the
+          packed frame bytes.  Consumed two ways: {!Async.run_reliable}
+          draws per-copy {!garble} verdicts from a dedicated stream seeded
+          by the spec's [cseed], and the synchronous executors take the
+          same spec directly via [Engine.exec ?corrupt] /
+          [Runtime.run_reference ?corrupt].  [None] leaves every existing
+          decision stream untouched. *)
 }
 
 exception Overlapping_crashes of int
@@ -95,18 +103,24 @@ val lossy :
   ?reorder:bool ->
   ?crashes:crash list ->
   ?churn:churn_event list ->
+  ?corrupt:Engine.Corrupt.spec ->
   seed:int ->
   unit ->
   spec
 (** Uniform fault regime: every link gets the same parameters
     (defaults: [drop = 0.], [duplicate = 0.], [slow = 0.],
-    [slow_factor = 10.], [reorder = true], no crashes, no churn). *)
+    [slow_factor = 10.], [reorder = true], no crashes, no churn, no
+    corruption). *)
 
 type counters = {
   mutable transmitted : int;  (** frames offered to the network *)
   mutable dropped : int;      (** frames lost by the link layer *)
   mutable duplicated : int;   (** extra copies injected *)
   mutable crash_dropped : int;  (** frames that arrived at a crashed node *)
+  mutable corrupted : int;
+      (** garbled copies rejected by the receiver's integrity guard
+          ({!note_corrupt}) — distinguished from [dropped] so retransmit
+          sweeps stay interpretable *)
 }
 
 type t
@@ -143,6 +157,22 @@ val next_up : t -> node:int -> time:float -> float option
 val note_crash_drop : t -> unit
 (** Record a frame discarded because its destination was down (called by
     the executor, which is the one that knows delivery times). *)
+
+val garble : t -> pulse:int -> wire:int -> bool
+(** Per-copy corruption verdict for a physical frame of [wire] wire words
+    sent at synchronizer pulse [pulse]: one bit-flip trial per wire word
+    plus a truncation trial (frames of one wire word cannot be shortened),
+    scaled by the corrupt spec's intensity ramp.  Draws from a dedicated
+    stream seeded by the spec's [cseed], so enabling corruption does not
+    perturb the loss/duplication/delay decisions.  Always [false] when the
+    spec carries no [corrupt].  A [true] verdict counts into the corrupt
+    spec's [tally.injected]. *)
+
+val note_corrupt : t -> unit
+(** Record a garbled copy rejected by the receiver's guard check: bumps
+    {!counters}[.corrupted] and the corrupt spec's [tally.detected].
+    Called by the executor at arrival time (a copy arriving at a crashed
+    node is a crash drop instead, like any other frame). *)
 
 (** {1 Topology churn (synchronous engine)} *)
 

@@ -11,6 +11,7 @@ type span_report = {
   r_dropped : int;
   r_duplicated : int;
   r_retransmits : int;
+  r_corrupted : int;
   r_crashed : int;
   r_arrived : int;
   r_departed : int;
@@ -30,6 +31,7 @@ type t = {
   dropped : int;
   duplicated : int;
   retransmits : int;
+  corrupted : int;
   crashed : int;
   arrived : int;
   departed : int;
@@ -64,6 +66,7 @@ let report tr =
             r_dropped = 0;
             r_duplicated = 0;
             r_retransmits = 0;
+            r_corrupted = 0;
             r_crashed = 0;
             r_arrived = 0;
             r_departed = 0;
@@ -84,6 +87,7 @@ let report tr =
           r_dropped = r.r_dropped + st.Trace.s_dropped;
           r_duplicated = r.r_duplicated + st.Trace.s_duplicated;
           r_retransmits = r.r_retransmits + st.Trace.s_retransmits;
+          r_corrupted = r.r_corrupted + st.Trace.s_corrupted;
           r_crashed = r.r_crashed + st.Trace.s_crashed;
           r_arrived = r.r_arrived + st.Trace.s_arrived;
           r_departed = r.r_departed + st.Trace.s_departed;
@@ -98,6 +102,7 @@ let report tr =
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0
+  and corrupted = ref 0
   and crashed = ref 0
   and arrived = ref 0
   and departed = ref 0
@@ -112,6 +117,7 @@ let report tr =
       dropped := !dropped + ri.dropped;
       duplicated := !duplicated + ri.duplicated;
       retransmits := !retransmits + ri.retransmits;
+      corrupted := !corrupted + ri.corrupted;
       crashed := !crashed + ri.crashed;
       arrived := !arrived + ri.arrived;
       departed := !departed + ri.departed;
@@ -130,6 +136,7 @@ let report tr =
     dropped = !dropped;
     duplicated = !duplicated;
     retransmits = !retransmits;
+    corrupted = !corrupted;
     crashed = !crashed;
     arrived = !arrived;
     departed = !departed;
@@ -170,9 +177,10 @@ let pp ppf r =
     r.budget;
   if r.skipped + r.woken > 0 then
     Format.fprintf ppf "@,frontier: skipped %d  woken %d" r.skipped r.woken;
-  if r.dropped + r.duplicated + r.retransmits + r.crashed > 0 then
-    Format.fprintf ppf "@,faults: dropped %d  duplicated %d  retransmits %d  crashed %d"
-      r.dropped r.duplicated r.retransmits r.crashed;
+  if r.dropped + r.duplicated + r.retransmits + r.corrupted + r.crashed > 0 then
+    Format.fprintf ppf
+      "@,faults: dropped %d  duplicated %d  retransmits %d  corrupted %d  crashed %d"
+      r.dropped r.duplicated r.retransmits r.corrupted r.crashed;
   if r.arrived + r.departed + r.inserted > 0 then
     Format.fprintf ppf "@,dynamic: arrived %d  departed %d  inserted %d"
       r.arrived r.departed r.inserted;

@@ -15,6 +15,7 @@ type span_report = {
   r_dropped : int;
   r_duplicated : int;
   r_retransmits : int;
+  r_corrupted : int;  (** frames rejected by the integrity guard *)
   r_crashed : int;   (** nodes fail-stopped by churn during the spans *)
   r_arrived : int;   (** dormant nodes brought online during the spans *)
   r_departed : int;  (** graceful departures during the spans *)
@@ -36,6 +37,7 @@ type t = {
   dropped : int;
   duplicated : int;
   retransmits : int;
+  corrupted : int;      (** total frames rejected by the integrity guard *)
   crashed : int;        (** total nodes fail-stopped by churn *)
   arrived : int;        (** total dormant nodes brought online *)
   departed : int;       (** total graceful departures *)

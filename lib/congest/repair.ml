@@ -486,7 +486,7 @@ let decode states =
 (* ------------------------------------------------------------------ *)
 (* execution *)
 
-let run ?trace ?sink ?degrade ?churn ?max_rounds e cfg =
+let run ?trace ?sink ?degrade ?churn ?guard ?corrupt ?max_rounds e cfg =
   let g = Engine.graph e in
   validate g cfg;
   let max_rounds = match max_rounds with Some m -> m | None -> cfg.horizon + 2 in
@@ -495,8 +495,8 @@ let run ?trace ?sink ?degrade ?churn ?max_rounds e cfg =
   let sink = Trace.wrap ?trace ?sink () in
   let states, stats =
     Trace.span_opt trace "repair" (fun () ->
-        Engine.exec_emit ~max_rounds ~max_words ~sink ?degrade ?churn e
-          (ealgorithm g cfg))
+        Engine.exec_emit ~max_rounds ~max_words ~sink ?degrade ?churn ?guard
+          ?corrupt e (ealgorithm g cfg))
   in
   let rep = decode states in
   (match trace with

@@ -152,6 +152,8 @@ val run :
   ?sink:Engine.Sink.t ->
   ?degrade:bool ->
   ?churn:Engine.Churn.t ->
+  ?guard:bool ->
+  ?corrupt:Engine.Corrupt.spec ->
   ?max_rounds:int ->
   Engine.t ->
   config ->

@@ -25,11 +25,15 @@ type stats = Engine.stats = { rounds : int; messages : int; max_inflight : int }
 exception Round_limit_exceeded = Engine.Round_limit_exceeded
 exception Congestion_violation = Engine.Congestion_violation
 
-let run ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g algo =
-  Engine.run ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g algo
+let run ?max_rounds ?max_words ?sink ?degrade ?guard ?corrupt ?domains ?partition
+    g algo =
+  Engine.run ?max_rounds ?max_words ?sink ?degrade ?guard ?corrupt ?domains
+    ?partition g algo
 
-let run_emit ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g ea =
-  Engine.run_emit ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g ea
+let run_emit ?max_rounds ?max_words ?sink ?degrade ?guard ?corrupt ?domains
+    ?partition g ea =
+  Engine.run_emit ?max_rounds ?max_words ?sink ?degrade ?guard ?corrupt ?domains
+    ?partition g ea
 
 (* ------------------------------------------------------------------ *)
 (* The original list-based simulator, kept verbatim as the executable
@@ -40,7 +44,8 @@ let run_emit ?max_rounds ?max_words ?sink ?degrade ?domains ?partition g ea =
    hints — it IS the dense schedule the sparse scheduler must be
    indistinguishable from. *)
 
-let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g algo =
+let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn
+    ?(guard = false) ?corrupt g algo =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> Engine.default_max_rounds n
@@ -49,6 +54,31 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
     match max_words with Some w -> w | None -> Engine.default_max_words n
   in
   (match churn with Some c -> Engine.Churn.reset c | None -> ());
+  (match corrupt with
+  | Some (cs : Engine.Corrupt.spec) ->
+    Engine.Corrupt.validate cs;
+    cs.Engine.Corrupt.tally.Engine.Corrupt.injected <- 0;
+    cs.Engine.Corrupt.tally.Engine.Corrupt.detected <- 0;
+    cs.Engine.Corrupt.tally.Engine.Corrupt.truncated <- 0
+  | None -> ());
+  let guard = guard || corrupt <> None in
+  (* Wire accounting matches the engine: a guarded frame carries one extra
+     CRC wire word, charged to delivered bits like any other. *)
+  let frame_wire p =
+    Codec.measure p + if guard then Codec.guard_words else 0
+  in
+  let frame_bits p = Codec.word_bits * frame_wire p in
+  (* Corruption decisions are keyed on the engine's out-port slot ids, so
+     the reference needs the same CSR port map the engine builds.  The
+     scratch holds one encoded guarded frame for garbling + verdict. *)
+  let eport = match corrupt with Some _ -> Some (Engine.create g) | None -> None in
+  let cscratch =
+    match corrupt with
+    | Some _ ->
+      Bytes.create
+        (2 * ((Codec.max_wire_words * max 1 max_words) + Codec.guard_words))
+    | None -> Bytes.empty
+  in
   let instrumented = sink != Engine.Sink.null in
   let states = Array.init n (fun v -> algo.init g v) in
   (* in_flight.(v) = messages to deliver to v next round, accumulated in
@@ -94,7 +124,7 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
               incr churn_dropped;
               decr pending;
               pending_words := !pending_words - Array.length p;
-              pending_bits := !pending_bits - Codec.measured_bits p)
+              pending_bits := !pending_bits - frame_bits p)
             in_flight.(v)
           |> fun () -> in_flight.(v) <- []
         else
@@ -105,13 +135,114 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
                   incr churn_dropped;
                   decr pending;
                   pending_words := !pending_words - Array.length p;
-                  pending_bits := !pending_bits - Codec.measured_bits p;
+                  pending_bits := !pending_bits - frame_bits p;
                   false
                 end
                 else true)
               in_flight.(v)
       done
     | None -> ());
+    (* Wire corruption, applied at delivery like the engine's serial pass:
+       every verdict is a pure (cseed, round, slot, lane) hash on the
+       engine's out-port slot ids, so the two simulators corrupt — and
+       drop, or deliver the same CRC-colliding garble — identically. *)
+    let corrupt_dropped = ref 0 in
+    (match (corrupt, eport) with
+    | Some (cs : Engine.Corrupt.spec), Some ep ->
+      let inten = Engine.Corrupt.intensity cs ~round:!round in
+      let fthr = Engine.Corrupt.threshold (cs.Engine.Corrupt.flip *. inten) in
+      let tthr =
+        Engine.Corrupt.threshold (cs.Engine.Corrupt.truncate *. inten)
+      in
+      if fthr > 0 || tthr > 0 then begin
+        let cseed = cs.Engine.Corrupt.cseed
+        and burst = cs.Engine.Corrupt.burst in
+        let tally = cs.Engine.Corrupt.tally in
+        let round = !round in
+        for v = 0 to n - 1 do
+          in_flight.(v) <-
+            List.filter_map
+              (fun (u, p) ->
+                let slot = Engine.find_port ep ~src:u ~dst:v in
+                let wv = frame_wire p in
+                let kill () =
+                  incr corrupt_dropped;
+                  decr pending;
+                  pending_words := !pending_words - Array.length p;
+                  pending_bits := !pending_bits - (Codec.word_bits * wv)
+                in
+                let h0 = Engine.Corrupt.decide ~cseed ~round ~slot ~lane:0 in
+                if tthr > 0 && Engine.Corrupt.hit h0 tthr && wv > 1 then begin
+                  tally.Engine.Corrupt.injected <-
+                    tally.Engine.Corrupt.injected + 1;
+                  tally.Engine.Corrupt.truncated <-
+                    tally.Engine.Corrupt.truncated + 1;
+                  kill ();
+                  None
+                end
+                else if fthr > 0 then begin
+                  let hitany = ref false in
+                  for i = 0 to wv - 1 do
+                    let h =
+                      Engine.Corrupt.decide ~cseed ~round ~slot ~lane:(i + 1)
+                    in
+                    if Engine.Corrupt.hit h fthr then hitany := true
+                  done;
+                  if not !hitany then Some (u, p)
+                  else begin
+                    (* the decisions are byte-independent, so the frame is
+                       encoded only once a flip actually lands *)
+                    let wire = Codec.encode_guarded cscratch ~base:0 p in
+                    for i = 0 to wv - 1 do
+                      let h =
+                        Engine.Corrupt.decide ~cseed ~round ~slot ~lane:(i + 1)
+                      in
+                      if Engine.Corrupt.hit h fthr then begin
+                        let stop = min (i + burst - 1) (wv - 1) in
+                        for jj = i to stop do
+                          let hm =
+                            if jj = i then h
+                            else
+                              Engine.Corrupt.decide ~cseed ~round ~slot
+                                ~lane:(wv + 1 + jj)
+                          in
+                          let off = 2 * jj in
+                          Bytes.set_uint16_le cscratch off
+                            (Bytes.get_uint16_le cscratch off
+                            lxor Engine.Corrupt.mask hm)
+                        done
+                      end
+                    done;
+                    tally.Engine.Corrupt.injected <-
+                      tally.Engine.Corrupt.injected + 1;
+                    let clean =
+                      Codec.verify cscratch ~base:0 ~wire
+                      && Codec.well_formed cscratch ~base:0
+                           ~wire:(wire - Codec.guard_words)
+                           ~words:(Array.length p)
+                    in
+                    if clean then
+                      (* CRC collision: the garbled frame is delivered, so
+                         the algorithm sees the same wrong values the
+                         engine's decoder would read back *)
+                      Some
+                        ( u,
+                          Codec.decode cscratch ~base:0
+                            ~wire:(wire - Codec.guard_words)
+                            ~words:(Array.length p) )
+                    else begin
+                      tally.Engine.Corrupt.detected <-
+                        tally.Engine.Corrupt.detected + 1;
+                      kill ();
+                      None
+                    end
+                  end
+                end
+                else Some (u, p))
+              in_flight.(v)
+        done
+      end
+    | _ -> ());
     let delivered = Array.map List.rev in_flight in
     Array.fill in_flight 0 n [];
     let this_round = !pending in
@@ -181,7 +312,7 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
               in_flight.(u) <- (v, p) :: in_flight.(u);
               incr pending;
               pending_words := !pending_words + Array.length p;
-              pending_bits := !pending_bits + Codec.measured_bits p
+              pending_bits := !pending_bits + frame_bits p
             end)
           outbox
       end
@@ -201,6 +332,7 @@ let run_reference ?max_rounds ?max_words ?(sink = Engine.Sink.null) ?churn g alg
           dropped = !churn_dropped;
           duplicated = 0;
           retransmits = 0;
+          corrupted = !corrupt_dropped;
           crashed = (!delta).Engine.Churn.d_crashed;
           arrived = (!delta).Engine.Churn.d_arrived;
           departed = (!delta).Engine.Churn.d_departed;

@@ -77,6 +77,7 @@ exception Congestion_violation of string
 
 val run :
   ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t -> ?degrade:bool ->
+  ?guard:bool -> ?corrupt:Engine.Corrupt.spec ->
   ?domains:int -> ?partition:int array ->
   Graph.t -> 'st algorithm -> 'st array * stats
 (** Execute to quiescence on the mailbox engine. [max_rounds] defaults to
@@ -96,6 +97,7 @@ val run :
 
 val run_emit :
   ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t -> ?degrade:bool ->
+  ?guard:bool -> ?corrupt:Engine.Corrupt.spec ->
   ?domains:int -> ?partition:int array ->
   Graph.t -> 'st ealgorithm -> 'st array * stats
 (** {!run} for the emit-native shape — the allocation-free send path.
@@ -104,6 +106,7 @@ val run_emit :
 val run_reference :
   ?max_rounds:int -> ?max_words:int -> ?sink:Engine.Sink.t ->
   ?churn:Engine.Churn.t ->
+  ?guard:bool -> ?corrupt:Engine.Corrupt.spec ->
   Graph.t -> 'st algorithm -> 'st array * stats
 (** The original list-based simulator — O(deg) neighbor validation, a
     scratch table per step, an O(n) sweep per round, wake hints ignored.
@@ -117,4 +120,12 @@ val run_reference :
     [Engine.exec ?churn] with identical semantics (the schedule is reset
     on entry, so one compiled value can drive an engine run and a
     reference run in sequence).  The schedule must have been compiled
-    against an engine for the same graph. *)
+    against an engine for the same graph.
+
+    [guard] and [corrupt] mirror [Engine.exec ?guard ?corrupt]: with the
+    guard on, every frame is charged one extra CRC wire word in the bit
+    accounting, and a [corrupt] spec applies the engine's deterministic
+    wire-corruption model — the verdicts are keyed on the engine's
+    out-port slot ids (the reference builds the same port map), so both
+    simulators drop, truncate, or deliver the same CRC-colliding garbled
+    frames bit-identically. *)

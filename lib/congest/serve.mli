@@ -138,6 +138,8 @@ val run :
   ?sink:Engine.Sink.t ->
   ?degrade:bool ->
   ?churn:Engine.Churn.t ->
+  ?guard:bool ->
+  ?corrupt:Engine.Corrupt.spec ->
   ?max_rounds:int ->
   Engine.t ->
   config ->
@@ -174,6 +176,8 @@ val with_repair :
   ?trace:Trace.t ->
   ?sink:Engine.Sink.t ->
   ?degrade:bool ->
+  ?guard:bool ->
+  ?corrupt:Engine.Corrupt.spec ->
   beta:int ->
   lease:int ->
   settle:int ->

@@ -18,6 +18,7 @@ type span_stats = {
   s_dropped : int;
   s_duplicated : int;
   s_retransmits : int;
+  s_corrupted : int;
   s_crashed : int;
   s_arrived : int;
   s_departed : int;
@@ -41,6 +42,7 @@ let dummy_round : Engine.Sink.round_info =
     dropped = 0;
     duplicated = 0;
     retransmits = 0;
+    corrupted = 0;
     crashed = 0;
     arrived = 0;
     departed = 0;
@@ -228,6 +230,7 @@ let span_stats t s =
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0
+  and corrupted = ref 0
   and crashed = ref 0
   and arrived = ref 0
   and departed = ref 0
@@ -242,6 +245,7 @@ let span_stats t s =
     dropped := !dropped + r.dropped;
     duplicated := !duplicated + r.duplicated;
     retransmits := !retransmits + r.retransmits;
+    corrupted := !corrupted + r.corrupted;
     crashed := !crashed + r.crashed;
     arrived := !arrived + r.arrived;
     departed := !departed + r.departed;
@@ -257,6 +261,7 @@ let span_stats t s =
     s_dropped = !dropped;
     s_duplicated = !duplicated;
     s_retransmits = !retransmits;
+    s_corrupted = !corrupted;
     s_crashed = !crashed;
     s_arrived = !arrived;
     s_departed = !departed;
@@ -291,7 +296,7 @@ let histograms t = List.rev t.hists_rev
 (* ------------------------------------------------------------------ *)
 (* export *)
 
-let schema_version = "kdom.trace.v1.6"
+let schema_version = "kdom.trace.v1.7"
 
 let escape name =
   let b = Buffer.create (String.length name) in
@@ -314,6 +319,7 @@ type totals = {
   t_dropped : int;
   t_duplicated : int;
   t_retransmits : int;
+  t_corrupted : int;
   t_crashed : int;
   t_arrived : int;
   t_departed : int;
@@ -329,6 +335,7 @@ let totals t =
   and dropped = ref 0
   and duplicated = ref 0
   and retransmits = ref 0
+  and corrupted = ref 0
   and crashed = ref 0
   and arrived = ref 0
   and departed = ref 0
@@ -343,6 +350,7 @@ let totals t =
     dropped := !dropped + r.dropped;
     duplicated := !duplicated + r.duplicated;
     retransmits := !retransmits + r.retransmits;
+    corrupted := !corrupted + r.corrupted;
     crashed := !crashed + r.crashed;
     arrived := !arrived + r.arrived;
     departed := !departed + r.departed;
@@ -357,6 +365,7 @@ let totals t =
     t_dropped = !dropped;
     t_duplicated = !duplicated;
     t_retransmits = !retransmits;
+    t_corrupted = !corrupted;
     t_crashed = !crashed;
     t_arrived = !arrived;
     t_departed = !departed;
@@ -379,13 +388,14 @@ let to_jsonl t =
            "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"depth\":%d,\
             \"track\":%d,\"start\":%d,\"end\":%d,\"rounds\":%d,\"delivered\":%d,\
             \"words\":%d,\"bits\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
-            \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d,\
+            \"duplicated\":%d,\"retransmits\":%d,\"corrupted\":%d,\
+            \"crashed\":%d,\
             \"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
            s.id s.parent (escape s.name) s.depth s.track s.start_round
            (if s.stop_round < 0 then t.clock else s.stop_round)
            st.s_rounds st.s_delivered st.s_words st.s_bits st.s_skipped st.s_woken
-           st.s_dropped st.s_duplicated st.s_retransmits st.s_crashed
-           st.s_arrived st.s_departed st.s_inserted))
+           st.s_dropped st.s_duplicated st.s_retransmits st.s_corrupted
+           st.s_crashed st.s_arrived st.s_departed st.s_inserted))
     spans;
   for i = 0 to t.buf.rlen - 1 do
     let r = t.buf.rb.(i) in
@@ -394,10 +404,11 @@ let to_jsonl t =
          "{\"type\":\"round\",\"round\":%d,\"delivered\":%d,\"words\":%d,\
           \"bits\":%d,\"receivers\":%d,\"stepped\":%d,\"skipped\":%d,\"woken\":%d,\
           \"sent\":%d,\"dropped\":%d,\"duplicated\":%d,\"retransmits\":%d,\
-          \"crashed\":%d,\"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
+          \"corrupted\":%d,\"crashed\":%d,\"arrived\":%d,\"departed\":%d,\
+          \"inserted\":%d}\n"
          r.round r.delivered r.delivered_words r.delivered_bits r.receivers
          r.stepped r.skipped r.woken r.sent r.dropped r.duplicated r.retransmits
-         r.crashed r.arrived r.departed r.inserted)
+         r.corrupted r.crashed r.arrived r.departed r.inserted)
   done;
   List.iter
     (fun (name, v) ->
@@ -420,12 +431,13 @@ let to_jsonl t =
         \"messages\":%d,\"delivered\":%d,\"words\":%d,\"bits\":%d,\
         \"peak_words\":%d,\
         \"budget\":%d,\"skipped\":%d,\"woken\":%d,\"dropped\":%d,\
-        \"duplicated\":%d,\"retransmits\":%d,\"crashed\":%d,\
+        \"duplicated\":%d,\"retransmits\":%d,\"corrupted\":%d,\
+        \"crashed\":%d,\
         \"arrived\":%d,\"departed\":%d,\"inserted\":%d}\n"
        t.clock t.buf.rlen (List.length spans) t.msgs tt.t_delivered tt.t_words
        tt.t_bits t.peak t.budget tt.t_skipped tt.t_woken tt.t_dropped
-       tt.t_duplicated tt.t_retransmits tt.t_crashed tt.t_arrived tt.t_departed
-       tt.t_inserted);
+       tt.t_duplicated tt.t_retransmits tt.t_corrupted tt.t_crashed tt.t_arrived
+       tt.t_departed tt.t_inserted);
   Buffer.contents b
 
 let export_jsonl t oc =
@@ -525,14 +537,14 @@ let int_fields = function
       [
         "id"; "parent"; "depth"; "track"; "start"; "end"; "rounds"; "delivered";
         "words"; "bits"; "skipped"; "woken"; "dropped"; "duplicated";
-        "retransmits"; "crashed"; "arrived"; "departed"; "inserted";
+        "retransmits"; "corrupted"; "crashed"; "arrived"; "departed"; "inserted";
       ]
   | "round" ->
     Some
       [
         "round"; "delivered"; "words"; "bits"; "receivers"; "stepped"; "skipped";
-        "woken"; "sent"; "dropped"; "duplicated"; "retransmits"; "crashed";
-        "arrived"; "departed"; "inserted";
+        "woken"; "sent"; "dropped"; "duplicated"; "retransmits"; "corrupted";
+        "crashed"; "arrived"; "departed"; "inserted";
       ]
   | "note" -> Some [ "value" ]
   | "hist" -> Some []
@@ -542,7 +554,7 @@ let int_fields = function
         "clock"; "rounds"; "spans"; "messages"; "delivered"; "words"; "bits";
         "peak_words";
         "budget"; "skipped"; "woken"; "dropped"; "duplicated"; "retransmits";
-        "crashed"; "arrived"; "departed"; "inserted";
+        "corrupted"; "crashed"; "arrived"; "departed"; "inserted";
       ]
   | _ -> None
 

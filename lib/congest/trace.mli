@@ -55,6 +55,9 @@ type span_stats = {
   s_dropped : int;
   s_duplicated : int;
   s_retransmits : int;
+  s_corrupted : int;
+      (** frames killed by the integrity guard during the span — injected
+          wire corruption detected and dropped before delivery *)
   s_crashed : int;
       (** nodes fail-stopped by a churn schedule during the span *)
   s_arrived : int;
@@ -179,7 +182,7 @@ val histograms : t -> (string * (int * int) list) list
 (** {2 Export} *)
 
 val schema_version : string
-(** The JSONL schema identifier, ["kdom.trace.v1.5"].  v1.1 added the
+(** The JSONL schema identifier, ["kdom.trace.v1.7"].  v1.1 added the
     frontier counters ([skipped]/[woken]) to the [round], [span] and
     [summary] records; v1.2 adds the churn counter ([crashed]) to the
     same three records; v1.3 adds the executor domain count ([shards])
@@ -187,7 +190,11 @@ val schema_version : string
     ([arrived]/[departed]/[inserted]) to the [round], [span] and
     [summary] records; v1.5 adds the [hist] record ({!histogram} —
     named [(value, count)] distributions, e.g. the serving layer's
-    latency / hop-count / edge-load histograms).  Any change to the
+    latency / hop-count / edge-load histograms); v1.6 re-bases the [bits]
+    fields on the packed codec's measured wire lengths; v1.7 adds the
+    integrity counter ([corrupted])
+    to the [round], [span] and [summary] records, distinguishing frames
+    rejected by the CRC guard from plain drops.  Any change to the
     record shapes below bumps this string and the golden files. *)
 
 val to_jsonl : t -> string

@@ -282,12 +282,205 @@ let test_broadcast_width () =
       (String.length msg > 0
       && String.ends_with ~suffix:"payload of 1 words exceeds 0" msg)
 
+(* ------------------------------------------------------------------ *)
+(* Group 3: frame guards and reader hardening.
+
+   The reader faces bytes an adversary may have rewritten; whatever it is
+   handed, it must either decode or raise one of the two typed errors
+   ([Truncated_frame] / [Corrupt_frame]) — never an out-of-bounds access,
+   a stray exception, or (for guarded frames) a silent wrong decode of a
+   frame whose CRC does not verify.  The named regressions pin the two
+   hardening fixes: the varint shift cap and the frame-span bounds
+   check. *)
+
+let guarded_cap words = (2 * Codec.max_wire_words * max 1 words) + 2
+
+let prop_guard_roundtrip =
+  QCheck2.Test.make ~name:"guarded frames verify and round-trip" ~count:500
+    (payload_gen ~max_len:8) (fun p ->
+      let p = Array.of_list p in
+      let words = Array.length p in
+      let buf = Bytes.make (guarded_cap words) '\xff' in
+      let wire = Codec.encode_guarded buf ~base:0 p in
+      if wire <> Codec.measure p + Codec.guard_words then
+        Alcotest.fail "guarded wire <> measure + guard";
+      if not (Codec.verify buf ~base:0 ~wire) then
+        Alcotest.fail "fresh guarded frame fails verify";
+      if
+        not
+          (Codec.well_formed buf ~base:0 ~wire:(wire - Codec.guard_words)
+             ~words)
+      then Alcotest.fail "fresh guarded frame fails well_formed";
+      if Codec.decode buf ~base:0 ~wire:(wire - Codec.guard_words) ~words <> p
+      then Alcotest.fail "guarded round trip differs";
+      (* the incremental writer CRC agrees with the one-shot encoder *)
+      let w = Codec.writer () in
+      Codec.scratch_writer ~guard:true w ~budget:(max 1 words);
+      Array.iter (Codec.put w) p;
+      let swire = Codec.seal w in
+      swire = wire
+      && Bytes.sub (Codec.writer_bytes w) 0 (2 * wire)
+         = Bytes.sub buf 0 (2 * wire))
+
+let prop_guard_detects_bit_flips =
+  QCheck2.Test.make
+    ~name:"any single-bit flip is caught by verify (CRC-16)" ~count:500
+    QCheck2.Gen.(pair (payload_gen ~max_len:6) (int_bound 100_000))
+    (fun (p, r) ->
+      let p = Array.of_list p in
+      let buf = Bytes.make (guarded_cap (Array.length p)) '\x00' in
+      let wire = Codec.encode_guarded buf ~base:0 p in
+      let bit = r mod (16 * wire) in
+      let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+      Bytes.set_uint8 buf byte (Bytes.get_uint8 buf byte lxor mask);
+      not (Codec.verify buf ~base:0 ~wire))
+
+let prop_guard_encode1 =
+  QCheck2.Test.make ~name:"encode1_guarded = encode_guarded on one word"
+    ~count:300 word_gen (fun v ->
+      let a = Bytes.make (guarded_cap 1) '\x00' in
+      let b = Bytes.make (guarded_cap 1) '\x00' in
+      let wa = Codec.encode_guarded a ~base:0 [| v |] in
+      let wb = Codec.encode1_guarded b ~base:0 v in
+      wa = wb && Bytes.sub a 0 (2 * wa) = Bytes.sub b 0 (2 * wb))
+
+(* Any byte soup, any claimed geometry: decoding yields words or a typed
+   error.  [words] here intentionally exceeds what [wire] can hold at
+   times, so the truncation path is hit alongside the corruption path. *)
+let prop_reader_total =
+  QCheck2.Test.make
+    ~name:"reader on arbitrary bytes: decode or typed error, never a crash"
+    ~count:2_000
+    QCheck2.Gen.(
+      triple (string_size ~gen:char (int_range 0 64)) (int_range 0 40)
+        (int_range 0 12))
+    (fun (soup, wire, words) ->
+      let buf = Bytes.of_string soup in
+      let try_decode f =
+        match f () with
+        | (_ : int array) -> true
+        | exception Codec.Truncated_frame _ -> true
+        | exception Codec.Corrupt_frame _ -> true
+      in
+      try_decode (fun () -> Codec.decode buf ~base:0 ~wire ~words)
+      && try_decode (fun () ->
+             (* the cursor reader walks the same bytes word by word *)
+             let r = Codec.reader () in
+             Codec.attach_reader r buf ~base:0 ~wire ~words;
+             Array.init words (fun _ -> Codec.get r))
+      && (* verify/well_formed are total predicates on any bytes *)
+      (let _ = Codec.verify buf ~base:0 ~wire in
+       let _ = Codec.well_formed buf ~base:0 ~wire ~words in
+       true))
+
+(* Truncating a valid frame mid-varint must surface as a typed error —
+   or, when the cut lands on a group boundary, as a clean decode of a
+   prefix; a guarded frame additionally fails verify. *)
+let prop_truncated_frames =
+  QCheck2.Test.make ~name:"truncated valid frames raise typed errors"
+    ~count:500
+    QCheck2.Gen.(pair (payload_gen ~max_len:6) (int_bound 1_000))
+    (fun (p, cut) ->
+      let p = Array.of_list p in
+      let words = Array.length p in
+      let buf = Bytes.make (guarded_cap words) '\x00' in
+      let gwire = Codec.encode_guarded buf ~base:0 p in
+      let wire = gwire - Codec.guard_words in
+      (wire = 0
+      ||
+      let short = cut mod (max 1 wire) in
+      let clipped = Bytes.sub buf 0 (2 * short) in
+      (match Codec.decode clipped ~base:0 ~wire:short ~words with
+      | (_ : int array) -> true (* prefix happened to parse *)
+      | exception Codec.Truncated_frame _ -> true
+      | exception Codec.Corrupt_frame _ -> true))
+      && (* shortening a guarded span never verifies: the guard word is
+            now some data word, and the CRC covers position *)
+      (gwire < 2 || not (Codec.verify buf ~base:0 ~wire:(gwire - 1))))
+
+(* Named regressions for the two hardening fixes. *)
+
+let test_shift_cap_regression () =
+  (* five continuation groups followed by a sixth group: more groups than
+     any 63-bit zigzag value can canonically need.  Before the shift cap,
+     the sixth group was folded in at shift 75 — [lsl] past the int width,
+     an unspecified result and a silently wrong decode. *)
+  let wire = Codec.max_wire_words + 1 in
+  let buf = Bytes.create (2 * wire) in
+  for i = 0 to wire - 2 do
+    Bytes.set_uint16_le buf (2 * i) 0x8001 (* continuation, payload 1 *)
+  done;
+  Bytes.set_uint16_le buf (2 * (wire - 1)) 0x0001;
+  (match Codec.decode buf ~base:0 ~wire ~words:1 with
+  | _ -> Alcotest.fail "over-long varint decoded"
+  | exception Codec.Corrupt_frame { wire = w } ->
+    Alcotest.(check int) "error names the claimed wire length" wire w);
+  (* the same bytes through the cursor reader *)
+  let r = Codec.reader () in
+  Codec.attach_reader r buf ~base:0 ~wire ~words:1;
+  (match Codec.get r with
+  | _ -> Alcotest.fail "over-long varint decoded by the reader"
+  | exception Codec.Corrupt_frame _ -> ());
+  (* exactly max_wire_words groups is the canonical limit and still
+     decodes: the cap rejects one-past-canonical, not canonical *)
+  let ok = Bytes.create (2 * Codec.max_wire_words) in
+  for i = 0 to Codec.max_wire_words - 2 do
+    Bytes.set_uint16_le ok (2 * i) 0x8001
+  done;
+  Bytes.set_uint16_le ok (2 * (Codec.max_wire_words - 1)) 0x0001;
+  match Codec.decode ok ~base:0 ~wire:Codec.max_wire_words ~words:1 with
+  | _ -> ()
+  | exception _ -> Alcotest.fail "canonical-width varint rejected"
+
+let test_bounds_regression () =
+  (* a frame whose claimed span runs past the buffer end must raise the
+     typed truncation error up front — not read out of bounds *)
+  let buf = Bytes.make 4 '\xff' in
+  let expect_truncated what f =
+    match f () with
+    | (_ : int array) -> Alcotest.failf "%s: out-of-span decode returned" what
+    | exception Codec.Truncated_frame { wire } ->
+      Alcotest.(check int) (what ^ " error carries wire") 8 wire
+  in
+  expect_truncated "decode" (fun () ->
+      Codec.decode buf ~base:0 ~wire:8 ~words:1);
+  expect_truncated "decode at base" (fun () ->
+      Codec.decode buf ~base:2 ~wire:8 ~words:1);
+  expect_truncated "negative base" (fun () ->
+      Codec.decode buf ~base:(-2) ~wire:8 ~words:1);
+  (* a well-sized span that promises more words than its bytes hold
+     exhausts the span mid-frame: also the typed error *)
+  let two = Bytes.make 2 '\x00' in
+  (match Codec.decode two ~base:0 ~wire:1 ~words:2 with
+  | _ -> Alcotest.fail "exhausted span decoded"
+  | exception Codec.Truncated_frame _ -> ());
+  (* verify never reads past the buffer either: a span larger than the
+     bytes is simply not a valid guarded frame *)
+  Alcotest.(check bool) "verify rejects over-span" false
+    (Codec.verify buf ~base:0 ~wire:8)
+
 let () =
   Alcotest.run "codec"
     [
       ( "roundtrip",
         List.map QCheck_alcotest.to_alcotest
           [ prop_roundtrip; prop_encode1; prop_over_budget ] );
+      ( "guard",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_guard_roundtrip;
+            prop_guard_detects_bit_flips;
+            prop_guard_encode1;
+          ] );
+      ( "hardening",
+        QCheck_alcotest.to_alcotest prop_reader_total
+        :: QCheck_alcotest.to_alcotest prop_truncated_frames
+        :: [
+             Alcotest.test_case "varint shift cap" `Quick
+               test_shift_cap_regression;
+             Alcotest.test_case "frame-span bounds" `Quick
+               test_bounds_regression;
+           ] );
       ( "broadcast",
         QCheck_alcotest.to_alcotest prop_broadcast_flood
         :: QCheck_alcotest.to_alcotest prop_broadcast_gossip

@@ -126,6 +126,11 @@ let check_case ?(what = "") ~faults ~max_delay ~rng_seed g
   oracle states;
   frep
 
+(* A noticeable wire-corruption plane: at ~2e-3/word on these small
+   graphs most sweeps see at least a few garbled frames. *)
+let corrupting seed =
+  Engine.Corrupt.make ~flip:2e-3 ~burst:2 ~truncate:1e-3 ~seed ()
+
 let regimes =
   [
     ("/drop.2+dup.1", fun seed -> Faults.lossy ~drop:0.2 ~duplicate:0.1 ~seed ());
@@ -133,6 +138,11 @@ let regimes =
       fun seed -> Faults.lossy ~drop:0.3 ~slow:0.2 ~slow_factor:8.0 ~seed () );
     ("/dup.3+fifo", fun seed -> Faults.lossy ~duplicate:0.3 ~reorder:false ~seed ());
     ("/reorder", fun seed -> Faults.lossy ~seed ());
+    ("/corrupt", fun seed -> Faults.lossy ~corrupt:(corrupting (seed + 5)) ~seed ());
+    ( "/corrupt+drop.2",
+      fun seed ->
+        Faults.lossy ~drop:0.2 ~duplicate:0.1 ~corrupt:(corrupting (seed + 5))
+          ~seed () );
   ]
 
 let delay_of_seed seed = [| 0.05; 1.0; 5.0 |].(seed mod 3)
@@ -235,6 +245,7 @@ let test_adversarial_link () =
       crashes = [];
       churn = [];
       seed = 23;
+      corrupt = None;
     }
   in
   let frep = check_case ~what:"/adversarial" ~faults ~max_delay:1.0 ~rng_seed:3 g (bfs_case g) in
@@ -365,6 +376,109 @@ let test_deterministic () =
   Alcotest.(check int) "same retransmits" f1.retransmits f2.retransmits;
   Alcotest.(check int) "same drops" f1.dropped f2.dropped
 
+(* ------------------------------------------------------------------ *)
+(* Corruption storms *)
+
+let tally_of (c : Engine.Corrupt.spec) =
+  Engine.Corrupt.(c.tally.injected, c.tally.detected, c.tally.truncated)
+
+(* The full corruption x drop x crash matrix.  check_case already enforces
+   bit-identity with the synchronous run and the per-algorithm oracle; on
+   top of that, every rejected copy must be accounted for by the tally,
+   and with no crashed receivers every injected garble must be detected —
+   zero corrupted frames delivered to algorithm code. *)
+let test_corruption_matrix () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 71) ~n:14 ~p:0.25 in
+  let total_rejected = ref 0 in
+  List.iter
+    (fun flip ->
+      List.iter
+        (fun drop ->
+          List.iter
+            (fun crashes ->
+              let corrupt =
+                Engine.Corrupt.make ~flip ~burst:2 ~truncate:(flip /. 2.)
+                  ~seed:91 ()
+              in
+              let faults =
+                Faults.lossy ~drop ~duplicate:0.05 ~crashes ~corrupt ~seed:13 ()
+              in
+              let what =
+                Printf.sprintf "/flip%g+drop%g+crash%d" flip drop
+                  (List.length crashes)
+              in
+              List.iter
+                (fun case ->
+                  let frep =
+                    check_case ~what ~faults ~max_delay:1.0 ~rng_seed:37 g case
+                  in
+                  let injected, detected, _ = tally_of corrupt in
+                  Alcotest.(check int)
+                    (what ^ ": every rejection is a tallied detection")
+                    detected frep.corrupted;
+                  (* the undetected remainder never reached algorithm code
+                     either: those copies arrived at a crashed receiver or
+                     were still in flight at quiescence — the bit-identity
+                     check above is the proof *)
+                  if injected < detected then
+                    Alcotest.failf "%s: detected %d > injected %d" what
+                      detected injected;
+                  if drop = 0.0 then
+                    Alcotest.(check int)
+                      (what ^ ": integrity rejections are not link drops") 0
+                      frep.dropped;
+                  total_rejected := !total_rejected + frep.corrupted)
+                [ bfs_case g; leader_case g ])
+            [ []; [ { Faults.node = 2; at = 0.5; recover = Some 4.5 } ] ])
+        [ 0.0; 0.1 ])
+    [ 1e-3; 1e-2 ];
+  if !total_rejected = 0 then
+    Alcotest.fail "the corruption matrix never rejected a frame"
+
+(* The corrupted sink counter: per-pulse records sum to the report, and a
+   corrupting-but-lossless regime keeps [dropped] at zero while
+   [corrupted] counts — the two counters are distinct streams. *)
+let test_sink_corrupted_counter () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 53) ~n:16 ~p:0.25 in
+  let counters, rounds_info = Engine.Sink.counters () in
+  let corrupt = Engine.Corrupt.make ~flip:1e-2 ~burst:2 ~seed:7 () in
+  let faults = Faults.lossy ~corrupt ~seed:9 () in
+  let _, frep =
+    Async.run_reliable ~rng:(Rng.create 12) ~faults ~sink:counters
+      ~max_words:Kdom.Leader.max_words g (Kdom.Leader.algorithm g)
+  in
+  let infos = rounds_info () in
+  let sum f = List.fold_left (fun a i -> a + f i) 0 infos in
+  if frep.corrupted = 0 then
+    Alcotest.fail "a 1e-2 flip regime rejected nothing";
+  Alcotest.(check int) "sink corrupted sums to the report" frep.corrupted
+    (sum (fun (i : Engine.Sink.round_info) -> i.corrupted));
+  Alcotest.(check int) "no link drops in a corruption-only regime" 0
+    frep.dropped;
+  Alcotest.(check int) "corrupted copies forced retransmissions" 0
+    (if frep.retransmits > 0 then 0 else 1)
+
+(* Enabling a zero-probability corruption plane changes frame sizes (the
+   guard word) but must not perturb the loss/duplication/delay decision
+   stream: corruption draws from its own dedicated stream. *)
+let test_zero_flip_corruption_is_inert () =
+  let g = Generators.gnp_connected ~rng:(Rng.create 57) ~n:14 ~p:0.25 in
+  let run faults =
+    Async.run_reliable ~rng:(Rng.create 4) ~faults
+      ~max_words:Kdom.Leader.max_words g (Kdom.Leader.algorithm g)
+  in
+  let s1, f1 = run (Faults.lossy ~drop:0.2 ~duplicate:0.1 ~seed:31 ()) in
+  let corrupt = Engine.Corrupt.make ~flip:0.0 ~truncate:0.0 ~seed:3 () in
+  let s2, f2 =
+    run (Faults.lossy ~drop:0.2 ~duplicate:0.1 ~corrupt ~seed:31 ())
+  in
+  if s1 <> s2 then Alcotest.fail "inert corruption changed the states";
+  Alcotest.(check int) "same frames" f1.frames f2.frames;
+  Alcotest.(check int) "same drops" f1.dropped f2.dropped;
+  Alcotest.(check int) "same duplicates" f1.duplicated f2.duplicated;
+  Alcotest.(check int) "same retransmits" f1.retransmits f2.retransmits;
+  Alcotest.(check int) "nothing corrupted" 0 f2.corrupted
+
 let () =
   Alcotest.run "faults"
     [
@@ -397,5 +511,14 @@ let () =
           Alcotest.test_case "duplicates delivered exactly once" `Quick
             test_duplicates_not_delivered_twice;
           Alcotest.test_case "determinism" `Quick test_deterministic;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "corruption x drop x crash matrix" `Quick
+            test_corruption_matrix;
+          Alcotest.test_case "corrupted sink counter" `Quick
+            test_sink_corrupted_counter;
+          Alcotest.test_case "zero-flip corruption is inert" `Quick
+            test_zero_flip_corruption_is_inert;
         ] );
     ]

@@ -514,6 +514,79 @@ let prop_self_healing =
         g rep churn ~bound:n;
       true)
 
+(* ------------------------------------------------------------------ *)
+(* Corruption storms over the maintenance protocol *)
+
+let corrupt_tally (c : Engine.Corrupt.spec) =
+  Engine.Corrupt.(c.tally.injected, c.tally.detected, c.tally.truncated)
+
+(* Corruption x drop(cut) x crash on the synchronous plane: the repair
+   protocol rides out engine-level garbling — detected frames are simply
+   dropped, and the heartbeat/lease machinery resends — with identical
+   states and corruption verdicts on the sequential engine, the 4-domain
+   sharded engine, and the reference simulator, and the eventual
+   k-domination oracle clean at the horizon.  The corruption pass decides
+   per (round, port slot), not per executor iteration order, which is
+   what the three-way agreement pins down. *)
+let test_corrupt_churn_differential () =
+  let g = Generators.random_tree ~rng:(Rng.create 31) 18 in
+  let n = Graph.n g in
+  let plan = plan_of g ~k:2 in
+  let beta = 3 and lease = 2 in
+  let events = Faults.random_churn g ~seed:5 ~crashes:2 ~edge_cuts:1 ~last:6 in
+  let horizon = 6 + (20 * ((lease * beta) + n)) in
+  let cfg =
+    { Repair.plan; beta; lease; dmax = Repair.default_dmax plan; horizon }
+  in
+  List.iter
+    (fun (what, flip, truncate) ->
+      let corrupt = Engine.Corrupt.make ~flip ~burst:2 ~truncate ~seed:44 () in
+      let run domains =
+        let saved = !Engine.default_domains in
+        Fun.protect
+          ~finally:(fun () -> Engine.default_domains := saved)
+          (fun () ->
+            Engine.default_domains := domains;
+            let e = Engine.create g in
+            let churn = Engine.Churn.compile e events in
+            let sink, rounds_info = Engine.Sink.counters () in
+            let states, _ = Repair.run ~sink ~churn ~corrupt e cfg in
+            (states, churn, rounds_info (), corrupt_tally corrupt))
+      in
+      let s1, churn, infos, t1 = run 1 in
+      let injected, detected, truncated = t1 in
+      if injected <> detected + truncated then
+        Alcotest.failf
+          "%s: %d injected <> %d detected + %d truncated — a corrupted \
+           frame was delivered"
+          what injected detected truncated;
+      let rejected =
+        List.fold_left
+          (fun a (i : Engine.Sink.round_info) -> a + i.corrupted)
+          0 infos
+      in
+      Alcotest.(check int) (what ^ ": sink corrupted = tally rejections")
+        (detected + truncated) rejected;
+      if flip > 0.0 && injected = 0 then
+        Alcotest.failf "%s: the storm never corrupted a frame" what;
+      let s4, _, _, t4 = run 4 in
+      if s4 <> s1 then Alcotest.failf "%s: 4-domain states differ" what;
+      if t4 <> t1 then Alcotest.failf "%s: 4-domain tally differs" what;
+      (* the same compiled churn value drives the reference run *)
+      let sr, _ =
+        Runtime.run_reference ~max_words:Repair.max_words
+          ~max_rounds:(horizon + 2) ~churn ~corrupt g (Repair.algorithm g cfg)
+      in
+      if sr <> s1 then Alcotest.failf "%s: reference states differ" what;
+      if corrupt_tally corrupt <> t1 then
+        Alcotest.failf "%s: reference tally differs" what;
+      check_survivors_dominated ~what g (Repair.decode s1) churn ~bound:n)
+    [
+      ("corrupt", 5e-3, 2e-3);
+      ("corrupt-heavy", 2e-2, 5e-3);
+      ("guard-only", 0.0, 0.0);
+    ]
+
 let () =
   Alcotest.run "repair"
     [
@@ -545,6 +618,8 @@ let () =
             test_crash_and_cut_same_round;
           Alcotest.test_case "validate_plan rejects bad forests" `Quick
             test_validate_plan_rejects;
+          Alcotest.test_case "corrupt x churn tri-executor differential" `Quick
+            test_corrupt_churn_differential;
         ] );
       ( "properties",
         [
